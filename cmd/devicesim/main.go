@@ -1,0 +1,57 @@
+// Command devicesim serves a simulated network device over TCP: the
+// substitute for the real devices the paper's Validator reaches over
+// Telnet (§5.3). Connect with netcat or the nassim device client; the wire
+// protocol is line-oriented (HELLO greeting, then one CLI line per
+// request, OK / ERR / DATA responses).
+//
+// Usage:
+//
+//	devicesim -vendor Huawei -scale 0.05 -listen 127.0.0.1:7023
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nassim"
+)
+
+func main() {
+	vendor := flag.String("vendor", "Huawei", `vendor ("Huawei", "Cisco", "Nokia", "H3C")`)
+	scale := flag.Float64("scale", 0.05, "device model scale (1.0 = paper scale)")
+	listen := flag.String("listen", "127.0.0.1:7023", "listen address")
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(*vendor, *scale, *listen, sig, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "devicesim:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves the device until a signal arrives on stop.
+func run(vendor string, scale float64, listen string, stop <-chan os.Signal, out io.Writer) error {
+	m, err := nassim.SyntheticModel(vendor, scale)
+	if err != nil {
+		return err
+	}
+	dev, err := nassim.NewDevice(m)
+	if err != nil {
+		return err
+	}
+	srv, err := nassim.ServeDevice(dev, listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "devicesim: %s device with %d commands / %d views listening on %s\n",
+		vendor, len(m.Commands), len(m.Views), srv.Addr())
+	fmt.Fprintf(out, "devicesim: readback command: %q; navigation: quit / return\n", dev.ShowConfigCommand())
+	<-stop
+	fmt.Fprintln(out, "devicesim: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"nassim"
+)
+
+func TestRunServesUntilSignalled(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run("H3C", 0.02, "127.0.0.1:0", stop, &out) }()
+
+	// Wait for the listen line, extract the address and talk to it.
+	var addr string
+	deadline := time.After(5 * time.Second)
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for addr == "" {
+		select {
+		case <-deadline:
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		default:
+			if m := re.FindStringSubmatch(out.String()); m != nil {
+				addr = m[1]
+			} else {
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+	cl, err := nassim.DialDevice(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Exec("return")
+	if err != nil || !resp.OK {
+		t.Fatalf("exec: %+v %v", resp, err)
+	}
+	cl.Close()
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	stop := make(chan os.Signal)
+	var out bytes.Buffer
+	if err := run("nope", 0.02, "127.0.0.1:0", stop, &out); err == nil {
+		t.Error("unknown vendor accepted")
+	}
+	if err := run("H3C", 0.02, "256.0.0.1:99999", stop, &out); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

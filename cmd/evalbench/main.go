@@ -1,0 +1,160 @@
+// Command evalbench regenerates the paper's evaluation artifacts: every
+// data-bearing table (1, 2, 4, 5, 6) and the §7.3 headline acceleration.
+//
+// Usage:
+//
+//	evalbench -table 4 -scale 0.1      # Table 4 at a tenth of paper scale
+//	evalbench -table 5                 # Table 5 (Mapper, paper protocol)
+//	evalbench -table 6                 # appendix Table 6 (dense k grid + MRR)
+//	evalbench -headline                # recall@10 -> acceleration factor
+//	evalbench -all -scale 0.1          # everything
+//
+// Scale 1.0 reproduces the paper-scale corpora (12 874 Huawei commands,
+// 14 046 Nokia, ...); smaller scales run the same pipeline on
+// proportionally smaller models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nassim/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1, 2, 4, 5 or 6)")
+	headline := flag.Bool("headline", false, "compute the 9.1x-style acceleration headline")
+	all := flag.Bool("all", false, "regenerate every artifact")
+	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 77, "experiment seed")
+	checks := flag.Bool("checks", false, "run the result-shape sanity checks on the mapper tables")
+	yangExp := flag.Bool("yang", false, "run the E10 extension: CLI-manual vs native-YANG mapping")
+	ablate := flag.Bool("ablate", false, "run the design-choice ablations (weights, context rows, epochs, negatives)")
+	curve := flag.Bool("curve", false, "run the E11 continuous-improvement learning curve")
+	jsonOut := flag.String("json", "", "also export the run's results as JSON to this file")
+	flag.Parse()
+
+	if !*all && *table == 0 && !*headline && !*yangExp && !*ablate && !*curve {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	doc := &eval.ResultsDocument{Scale: *scale, Seed: *seed}
+	defer func() {
+		if *jsonOut == "" {
+			return
+		}
+		data, err := doc.ExportJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalbench: export:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "evalbench: export:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote results to", *jsonOut)
+	}()
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "evalbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *all || *table == 1 {
+		fmt.Println(eval.FormatTable1(eval.Table1()))
+	}
+	if *all || *table == 2 {
+		fmt.Println(eval.FormatTable2())
+	}
+	if *all || *table == 4 {
+		run("table 4", func() error {
+			rows, err := eval.Table4(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.FormatTable4(rows))
+			doc.Table4 = rows
+			return nil
+		})
+	}
+	if *all || *yangExp {
+		run("yang experiment", func() error {
+			cmp, err := eval.YANGExperiment("Huawei", *scale, *seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.FormatYANGComparison(cmp))
+			return nil
+		})
+	}
+	if *all || *ablate {
+		run("ablations", func() error {
+			rep, err := eval.Ablate("Nokia", *scale, *seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.FormatAblation(rep))
+			return nil
+		})
+	}
+	if *all || *curve {
+		run("learning curve", func() error {
+			ks := []int{1, 10}
+			points, err := eval.LearningCurve("Nokia", *scale, *seed, 20, ks)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.FormatLearningCurve("Nokia", points, ks))
+			return nil
+		})
+	}
+	needMapper := *all || *table == 5 || *table == 6 || *headline
+	if needMapper {
+		ks := eval.Table5Ks
+		withMRR := false
+		if *table == 6 || *all {
+			ks = eval.Table6Ks
+			withMRR = true
+		}
+		run("mapper evaluation", func() error {
+			tasks, err := eval.MapperEval(eval.MapperOptions{
+				Scale: *scale, Ks: ks, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			doc.Mapper = tasks
+			if *all || *table == 5 || *table == 6 {
+				label := "Table 5"
+				if withMRR {
+					label = "Table 5/6"
+				}
+				fmt.Printf("%s: Mapper performance (scale %.2f)\n", label, *scale)
+				fmt.Println(eval.FormatMapper(tasks, withMRR))
+			}
+			if *all || *headline {
+				r10, accel := eval.Headline(tasks)
+				doc.Headline = &eval.HeadlineDoc{Recall10: r10, Acceleration: accel}
+				fmt.Printf("Headline: best NetBERT-family recall@10 on Huawei-UDM = %.1f%%\n", r10)
+				fmt.Printf("          => engineers consult the manual %.1f%% of the time\n", 100-r10)
+				fmt.Printf("          => mapping phase acceleration = %.1fx (paper: 89%% -> 9.1x)\n", accel)
+			}
+			if *checks || *all {
+				v := eval.SanityChecks(tasks)
+				doc.Checks = v
+				if len(v) == 0 {
+					fmt.Println("Result-shape sanity checks: all passed")
+				} else {
+					fmt.Println("Result-shape sanity checks: VIOLATIONS")
+					for _, msg := range v {
+						fmt.Println("  -", msg)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command manualgen generates the synthetic vendor manual corpus: the
+// ground-truth device model rendered as per-vendor HTML manual pages (with
+// the Table 1 CSS conventions and injected human-writing errors), plus the
+// parsed, validated and expert-curated corpus dataset in the released JSON
+// format — the repository's analogue of the dataset the paper publishes.
+//
+// Usage:
+//
+//	manualgen -vendor Huawei -scale 0.05 -out ./manualdata
+//	manualgen -vendor all -scale 0.02 -out ./manualdata -dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nassim"
+	"nassim/internal/corpus"
+)
+
+func main() {
+	vendor := flag.String("vendor", "all", `vendor ("Huawei", "Cisco", "Nokia", "H3C" or "all")`)
+	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = paper scale)")
+	out := flag.String("out", "manualdata", "output directory")
+	dataset := flag.Bool("dataset", true, "also write the parsed+validated corpus dataset (JSON)")
+	flag.Parse()
+
+	vendors := nassim.Vendors()
+	if *vendor != "all" {
+		vendors = []string{*vendor}
+	}
+	for _, v := range vendors {
+		if err := generate(v, *scale, *out, *dataset); err != nil {
+			fmt.Fprintf(os.Stderr, "manualgen: %s: %v\n", v, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func generate(vendor string, scale float64, out string, dataset bool) error {
+	m, err := nassim.SyntheticModel(vendor, scale)
+	if err != nil {
+		return err
+	}
+	pages := nassim.SyntheticManual(m)
+	dir := filepath.Join(out, strings.ToLower(vendor), "pages")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, p := range pages {
+		name := filepath.Join(dir, fmt.Sprintf("cmd-%05d.html", i))
+		if err := os.WriteFile(name, []byte(p.HTML), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: wrote %d manual pages to %s\n", vendor, len(pages), dir)
+	if !dataset {
+		return nil
+	}
+	// Parse, run the completeness tests, apply expert corrections, and
+	// release the validated corpus — the dataset artifact of the paper.
+	asr, err := nassim.AssimilateModel(m)
+	if err != nil {
+		return err
+	}
+	data, err := corpus.Marshal(asr.VDM.Corpora)
+	if err != nil {
+		return err
+	}
+	name := filepath.Join(out, strings.ToLower(vendor), "corpus.json")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: wrote validated corpus dataset (%d corpora, %d invalid CLIs corrected, %d ambiguous views) to %s\n",
+		vendor, len(asr.VDM.Corpora), asr.PreCorrectionInvalid, len(asr.VDM.AmbiguousViews()), name)
+	return nil
+}

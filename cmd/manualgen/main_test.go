@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nassim/internal/corpus"
+)
+
+func TestGenerateWritesPagesAndDataset(t *testing.T) {
+	out := t.TempDir()
+	if err := generate("H3C", 0.02, out, true); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := os.ReadDir(filepath.Join(out, "h3c", "pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no pages written")
+	}
+	for _, e := range pages[:3] {
+		if !strings.HasSuffix(e.Name(), ".html") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(out, "h3c", "corpus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpora, err := corpus.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpora) != len(pages) {
+		t.Errorf("corpora = %d, pages = %d", len(corpora), len(pages))
+	}
+	// The released dataset is the expert-corrected one: every template is
+	// syntactically valid.
+	if rep := corpus.RunTests(corpora); !rep.Passed() {
+		t.Errorf("released dataset fails completeness tests:\n%s", rep.Summary())
+	}
+}
+
+func TestGenerateUnknownVendor(t *testing.T) {
+	if err := generate("nope", 0.02, t.TempDir(), false); err == nil {
+		t.Error("unknown vendor accepted")
+	}
+}

@@ -1,0 +1,365 @@
+// Command nassim is the CLI front-end of the SNA assistant framework. Its
+// subcommands mirror the paper's workflow:
+//
+//	nassim parse    -vendor Huawei -pages ./manualdata/huawei/pages -out corpus.json
+//	nassim validate -vendor Huawei -corpus corpus.json
+//	nassim map      -vendor Huawei -corpus corpus.json -model IR+NetBERT -top 10 -limit 5
+//	nassim demo     -vendor Huawei -scale 0.02
+//
+// parse runs the vendor manual parser plus the TDD completeness tests;
+// validate runs formal syntax validation and hierarchy derivation and
+// reports what the experts must review; map recommends UDM attributes for
+// VDM parameters; demo runs the whole synthetic pipeline end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nassim"
+	"nassim/internal/corpus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = cmdParse(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "map":
+		err = cmdMap(os.Args[2:])
+	case "intent":
+		err = cmdIntent(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nassim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `nassim — SDN assimilation assistant (NAssim, SIGCOMM'22 reproduction)
+
+subcommands:
+  parse     parse vendor manual pages into the vendor-independent corpus
+  validate  formal syntax validation + hierarchy derivation over a corpus
+  map       recommend UDM attributes for VDM parameters
+  intent    push a UDM-level intent to a simulated device (controller demo)
+  demo      run the full synthetic pipeline end to end
+
+run "nassim <subcommand> -h" for flags.
+`)
+}
+
+// parseArtifact is the on-disk output of the parse subcommand: the corpus
+// plus the explicit hierarchy edges some vendors publish.
+type parseArtifact struct {
+	Vendor    string
+	Corpora   []nassim.Corpus
+	Hierarchy []nassim.Edge
+}
+
+func loadArtifact(path string) (*parseArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art parseArtifact
+	if err := json.Unmarshal(data, &art); err == nil && len(art.Corpora) > 0 {
+		return &art, nil
+	}
+	// Fall back to a bare corpus array (the released-dataset format).
+	corpora, err := corpus.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s is neither a parse artifact nor a corpus dataset: %w", path, err)
+	}
+	art = parseArtifact{Corpora: corpora}
+	if len(corpora) > 0 {
+		art.Vendor = corpora[0].Vendor
+	}
+	return &art, nil
+}
+
+func cmdParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	vendor := fs.String("vendor", "", "vendor of the manual")
+	pagesDir := fs.String("pages", "", "directory of manual HTML pages")
+	out := fs.String("out", "corpus.json", "output artifact path")
+	fs.Parse(args)
+	if *vendor == "" || *pagesDir == "" {
+		return fmt.Errorf("parse: -vendor and -pages are required")
+	}
+	entries, err := os.ReadDir(*pagesDir)
+	if err != nil {
+		return err
+	}
+	var pages []nassim.Page
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".html") {
+			continue
+		}
+		path := filepath.Join(*pagesDir, e.Name())
+		html, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, nassim.Page{URL: "file://" + path, HTML: string(html)})
+	}
+	if len(pages) == 0 {
+		return fmt.Errorf("parse: no .html pages in %s", *pagesDir)
+	}
+	res, err := nassim.ParseManual(*vendor, pages)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %d pages\n%s", len(pages), res.Completeness.Summary())
+	art := parseArtifact{Vendor: *vendor, Corpora: res.Corpora, Hierarchy: res.Hierarchy}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote parse artifact to %s\n", *out)
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	vendor := fs.String("vendor", "", "vendor (defaults to the artifact's)")
+	corpusPath := fs.String("corpus", "corpus.json", "parse artifact or corpus dataset")
+	showInvalid := fs.Int("show-invalid", 10, "how many invalid CLIs to print")
+	save := fs.String("save", "", "write the validated VDM (derived hierarchy included) to this file")
+	fs.Parse(args)
+	art, err := loadArtifact(*corpusPath)
+	if err != nil {
+		return err
+	}
+	v := *vendor
+	if v == "" {
+		v = art.Vendor
+	}
+	model, rep := nassim.BuildVDM(v, art.Corpora, art.Hierarchy)
+	fmt.Println(model.Summary())
+	fmt.Println("derivation:", rep)
+	if n := len(model.InvalidCLIs); n > 0 {
+		fmt.Printf("formal syntax validation flagged %d CLI templates for expert review:\n", n)
+		max := n
+		if max > *showInvalid {
+			max = *showInvalid
+		}
+		for _, ic := range model.InvalidCLIs[:max] {
+			fmt.Println("  -", ic)
+			if ic.Err != nil {
+				for _, s := range ic.Err.Suggestions {
+					fmt.Println("      candidate fix:", s)
+				}
+			}
+		}
+		if n > max {
+			fmt.Printf("  ... and %d more\n", n-max)
+		}
+	}
+	if amb := model.AmbiguousViews(); len(amb) > 0 {
+		fmt.Printf("ambiguous views (recorded with relevant snippets for review): %v\n", amb)
+	}
+	if issues := nassim.ValidateHierarchy(model); len(issues) > 0 {
+		fmt.Printf("hierarchy consistency issues: %d\n", len(issues))
+		for i, is := range issues {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(issues)-10)
+				break
+			}
+			fmt.Println("  -", is)
+		}
+	} else {
+		fmt.Println("hierarchy consistency: OK")
+	}
+	if *save != "" {
+		data, err := nassim.MarshalVDM(model)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote validated VDM to %s\n", *save)
+	}
+	return nil
+}
+
+func cmdMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	vendor := fs.String("vendor", "", "vendor (defaults to the artifact's)")
+	corpusPath := fs.String("corpus", "corpus.json", "parse artifact or corpus dataset")
+	model := fs.String("model", "IR+SBERT", "mapper model (IR, SimCSE, SBERT, NetBERT, IR+SimCSE, IR+SBERT, IR+NetBERT)")
+	top := fs.Int("top", 10, "recommendations per parameter")
+	limit := fs.Int("limit", 5, "how many parameters to map (0 = all)")
+	param := fs.String("param", "", `map one specific parameter ("<corpusIndex>#<name>")`)
+	vdmPath := fs.String("vdm", "", "load a saved validated VDM instead of re-deriving from -corpus")
+	fs.Parse(args)
+	var vdmModel *nassim.VDM
+	if *vdmPath != "" {
+		data, err := os.ReadFile(*vdmPath)
+		if err != nil {
+			return err
+		}
+		vdmModel, err = nassim.UnmarshalVDM(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		art, err := loadArtifact(*corpusPath)
+		if err != nil {
+			return err
+		}
+		v := *vendor
+		if v == "" {
+			v = art.Vendor
+		}
+		vdmModel, _ = nassim.BuildVDM(v, art.Corpora, art.Hierarchy)
+	}
+	u := nassim.BuildUDM()
+	mp, err := nassim.NewMapper(u, nassim.ModelKind(*model))
+	if err != nil {
+		return err
+	}
+	params := vdmModel.Parameters()
+	if *param != "" {
+		var idx int
+		var name string
+		if _, err := fmt.Sscanf(*param, "%d#%s", &idx, &name); err != nil {
+			return fmt.Errorf("map: bad -param %q (want <corpusIndex>#<name>)", *param)
+		}
+		params = []nassim.Parameter{{Corpus: idx, Name: name}}
+	} else if *limit > 0 && len(params) > *limit {
+		params = params[:*limit]
+	}
+	for _, p := range params {
+		ctx := nassim.ExtractContext(vdmModel, p)
+		fmt.Print(nassim.Explain(ctx, mp.Recommend(ctx, *top)))
+	}
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	vendor := fs.String("vendor", "Huawei", "vendor to assimilate")
+	scale := fs.Float64("scale", 0.02, "model scale (1.0 = paper scale)")
+	fs.Parse(args)
+
+	fmt.Printf("=== SNA demo: assimilating a synthetic %s device (scale %.2f) ===\n", *vendor, *scale)
+	asr, err := nassim.Assimilate(*vendor, *scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manual pages parsed: %d (completeness tests: passed=%v)\n",
+		len(asr.Parsed.Corpora), asr.Parsed.Completeness.Passed())
+	fmt.Printf("invalid CLI templates caught and expert-corrected: %d\n", asr.PreCorrectionInvalid)
+	fmt.Println(asr.VDM.Summary())
+
+	if files, ok := nassim.SyntheticConfigs(asr.Model, *scale); ok {
+		rep := nassim.ValidateConfigs(asr.VDM, files)
+		fmt.Println("empirical validation:", rep)
+	}
+
+	u := nassim.BuildUDM()
+	mp, err := nassim.NewMapper(u, nassim.ModelIRSBERT)
+	if err != nil {
+		return err
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 5, 1)
+	sort.Slice(anns, func(a, b int) bool { return anns[a].AttrID < anns[b].AttrID })
+	fmt.Println("\nsample VDM->UDM recommendations (IR+SBERT):")
+	for _, ann := range anns {
+		ctx := nassim.ExtractContext(asr.VDM, ann.Param)
+		fmt.Print(nassim.Explain(ctx, mp.Recommend(ctx, 3)))
+		fmt.Printf("  (ground truth: %s)\n", ann.AttrID)
+	}
+	return nil
+}
+
+// cmdIntent demonstrates the controller: spin up a simulated device for
+// the vendor, build the confirmed binding (ground truth plays the
+// expert-reviewed mapping), and push one UDM-level intent.
+func cmdIntent(args []string) error {
+	fs := flag.NewFlagSet("intent", flag.ExitOnError)
+	vendor := fs.String("vendor", "Huawei", "vendor of the target device")
+	scale := fs.Float64("scale", 0.05, "device model scale")
+	attr := fs.String("attr", "", "UDM attribute ID (empty: pick a bound one)")
+	value := fs.String("value", "7", "value to configure")
+	fs.Parse(args)
+
+	asr, err := nassim.Assimilate(*vendor, *scale)
+	if err != nil {
+		return err
+	}
+	binding := nassim.BindingFromAnnotations(
+		nassim.GroundTruthAnnotations(asr.Model, 200, 17))
+	dev, err := nassim.NewDevice(asr.Model)
+	if err != nil {
+		return err
+	}
+	srv, err := nassim.ServeDevice(dev, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	client, err := nassim.DialDevice(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ctrl := nassim.NewController(17)
+	if err := nassim.RegisterDevice(ctrl, "device-1", *vendor, asr.VDM, binding,
+		client, dev.ShowConfigCommand()); err != nil {
+		return err
+	}
+	attrID := *attr
+	if attrID == "" {
+		ids := make([]string, 0, len(binding))
+		for id := range binding {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if strings.HasSuffix(id, "-time") || strings.HasSuffix(id, "-limit") {
+				attrID = id
+				break
+			}
+		}
+		if attrID == "" && len(ids) > 0 {
+			attrID = ids[0]
+		}
+	}
+	fmt.Printf("intent: set %s = %s on device-1 (%s at %s)\n", attrID, *value, *vendor, srv.Addr())
+	res, err := ctrl.Apply("device-1", nassim.Intent{AttrID: attrID, Value: *value})
+	if err != nil {
+		return err
+	}
+	for _, line := range res.Chain {
+		fmt.Printf("  > %s\n", line)
+	}
+	fmt.Printf("  > %s\n", res.CLI)
+	fmt.Printf("verified via %q: %v\n", dev.ShowConfigCommand(), res.Verified)
+	return nil
+}

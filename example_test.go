@@ -1,0 +1,53 @@
+package nassim_test
+
+import (
+	"fmt"
+
+	"nassim"
+)
+
+// The §7.3 headline: 89% top-10 recall means engineers consult the manual
+// 11% of the time — a 9.1x acceleration of the mapping phase.
+func ExampleAccelerationFactor() {
+	fmt.Printf("%.1fx\n", nassim.AccelerationFactor(89))
+	// Output: 9.1x
+}
+
+// Assimilate runs the whole VDM-construction phase — render (or scrape)
+// the manual, parse, expert-correct the flagged templates, derive the
+// hierarchy — in one call.
+func ExampleAssimilate() {
+	asr, err := nassim.Assimilate("H3C", 0.02)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("completeness passed:", asr.Parsed.Completeness.Passed())
+	fmt.Println("invalid templates caught:", asr.PreCorrectionInvalid)
+	fmt.Println("remaining after correction:", len(asr.VDM.InvalidCLIs))
+	// Output:
+	// completeness passed: true
+	// invalid templates caught: 2
+	// remaining after correction: 0
+}
+
+// The Mapper's recommendations carry the semantic context parsed from the
+// manual, so an engineer reviews them without opening the manual again.
+func ExampleMapper_Recommend() {
+	asr, err := nassim.Assimilate("Huawei", 0.02)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	u := nassim.BuildUDM()
+	m, err := nassim.NewMapper(u, nassim.ModelIR)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 1, 42)
+	ctx := nassim.ExtractContext(asr.VDM, anns[0].Param)
+	recs := m.Recommend(ctx, 3)
+	fmt.Println("recommendations:", len(recs))
+	// Output: recommendations: 3
+}

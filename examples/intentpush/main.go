@@ -1,0 +1,103 @@
+// Intentpush: the payoff of SNA (§2.1, §8.3) — after assimilating two
+// vendors, the SDN controller configures both through one UDM-level
+// intent, translating it into each vendor's own CLI dialect, pushing over
+// TCP and verifying through the show command. "The controller should
+// execute correct configuration commands to put the change into effect on
+// the targeted devices regardless of their vendors."
+//
+//	go run ./examples/intentpush
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nassim"
+)
+
+// onboard assimilates a vendor, serves its simulated device over TCP and
+// registers it with the controller.
+func onboard(ctrl *nassim.Controller, name, vendor string) (nassim.Binding, func(), error) {
+	asr, err := nassim.Assimilate(vendor, 0.05)
+	if err != nil {
+		return nil, nil, err
+	}
+	// In production the binding is the expert-reviewed Mapper output; the
+	// ground-truth annotations play the confirmed mapping here.
+	binding := nassim.BindingFromAnnotations(
+		nassim.GroundTruthAnnotations(asr.Model, 200, 21))
+
+	dev, err := nassim.NewDevice(asr.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := nassim.ServeDevice(dev, "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	client, err := nassim.DialDevice(srv.Addr())
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	cleanup := func() { client.Close(); srv.Close() }
+	if err := nassim.RegisterDevice(ctrl, name, vendor, asr.VDM, binding,
+		client, dev.ShowConfigCommand()); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	fmt.Printf("on-boarded %-10s (%s device at %s, binding covers %d UDM attributes)\n",
+		name, vendor, srv.Addr(), len(binding))
+	return binding, cleanup, nil
+}
+
+func main() {
+	ctrl := nassim.NewController(7)
+	hwBinding, cleanup1, err := onboard(ctrl, "dc1-core-1", "Huawei")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup1()
+	nkBinding, cleanup2, err := onboard(ctrl, "dc1-core-2", "Nokia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup2()
+
+	// Intents both bindings cover.
+	var shared []string
+	for id := range hwBinding {
+		if _, ok := nkBinding[id]; ok {
+			shared = append(shared, id)
+		}
+	}
+	intents := []nassim.Intent{}
+	for _, id := range shared {
+		if strings.HasSuffix(id, "as-number") {
+			intents = append(intents, nassim.Intent{AttrID: id, Value: "65001"})
+		}
+		if strings.HasSuffix(id, "hold-time") {
+			intents = append(intents, nassim.Intent{AttrID: id, Value: "180"})
+		}
+		if len(intents) >= 2 {
+			break
+		}
+	}
+	if len(intents) == 0 && len(shared) > 0 {
+		intents = append(intents, nassim.Intent{AttrID: shared[0], Value: "7"})
+	}
+
+	for _, in := range intents {
+		fmt.Printf("\nintent: set %s = %s on every device\n", in.AttrID, in.Value)
+		results, err := ctrl.ApplyAll(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("  %-10s navigated %d views, pushed %q (verified=%v)\n",
+				r.Device, len(r.Chain), r.CLI, r.Verified)
+		}
+	}
+	fmt.Println("\nsame intent, different vendor dialects, both verified — the last mile bridged.")
+}

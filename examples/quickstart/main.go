@@ -1,0 +1,62 @@
+// Quickstart: the smallest end-to-end use of the nassim public API — take
+// a vendor's manual pages, parse them into the vendor-independent corpus,
+// run the Validator, and look at what it found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nassim"
+)
+
+func main() {
+	// 1. Obtain the manual. Real deployments scrape the vendor's online
+	// command reference; here the synthetic substrate renders one (with
+	// the same CSS-class diversity and human-writing errors).
+	model, err := nassim.SyntheticModel("H3C", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages := nassim.SyntheticManual(model)
+	fmt.Printf("manual: %d pages of the synthetic %s command reference\n", len(pages), model.Vendor)
+
+	// 2. Parse with the vendor's parser; the TDD completeness tests run
+	// automatically and report anything the parser missed.
+	parsed, err := nassim.ParseManual("H3C", pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parser completeness: passed=%v\n", parsed.Completeness.Passed())
+
+	// 3. Validate: formal syntax validation catches the manual's errors;
+	// hierarchy derivation recovers the view tree from example snippets.
+	vdm, report := nassim.BuildVDM("H3C", parsed.Corpora, parsed.Hierarchy)
+	fmt.Println(vdm.Summary())
+	fmt.Println("derivation:", report)
+
+	// 4. The flagged templates go to a NetOps expert with candidate fixes.
+	for i, ic := range vdm.InvalidCLIs {
+		if i >= 3 {
+			fmt.Printf("  ... and %d more flagged templates\n", len(vdm.InvalidCLIs)-3)
+			break
+		}
+		fmt.Printf("flagged: %v\n", ic.Err)
+		for _, s := range ic.Err.Suggestions {
+			fmt.Println("  candidate fix:", s)
+		}
+	}
+
+	// 5. Apply the expert's corrections and rebuild: the validated VDM.
+	fixes := nassim.ExpertCorrections(model, vdm.InvalidCLIs)
+	nassim.ApplyCorrections(parsed.Corpora, fixes)
+	vdm, _ = nassim.BuildVDM("H3C", parsed.Corpora, parsed.Hierarchy)
+	fmt.Printf("after expert correction: %s\n", vdm.Summary())
+	if issues := nassim.ValidateHierarchy(vdm); len(issues) == 0 {
+		fmt.Println("hierarchy consistency: OK — the VDM is ready for the Mapper")
+	} else {
+		fmt.Println("hierarchy issues:", issues)
+	}
+}

@@ -1,0 +1,91 @@
+package nassim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FeedbackLoop implements §3.2's continuous improvement: "We also collect
+// the expert-corrected mapping results, and we use them as labelled
+// training/testing sets to continuously improve Mapper's NLP models, which
+// benefits future VDM-UDM mapping procedures."
+//
+// The loop presents recommendations for review; the engineer either
+// confirms one (possibly the top-1) or supplies the correct attribute when
+// every recommendation is wrong. Confirmed pairs accumulate as annotations
+// and Retrain fine-tunes the NetBERT encoder on everything collected so
+// far (plus any seed annotations from previously assimilated vendors).
+type FeedbackLoop struct {
+	mapper *Mapper
+	vdm    *VDM
+	udm    *UDM
+
+	// seed carries training pairs from previously assimilated vendors
+	// (built against their own VDMs via BuildTrainingPairs).
+	seed      []TrainExample
+	confirmed []Annotation
+
+	negRatio int
+	epochs   int
+	rngSeed  uint64
+}
+
+// NewFeedbackLoop starts a review loop over one vendor's VDM. seed carries
+// training pairs from previously assimilated vendors (may be nil). The
+// mapper should be a NetBERT kind for Retrain to work; other kinds can
+// still collect confirmations.
+func NewFeedbackLoop(m *Mapper, v *VDM, u *UDM, seed []TrainExample, negRatio, epochs int, rngSeed uint64) *FeedbackLoop {
+	if negRatio <= 0 {
+		negRatio = 10
+	}
+	if epochs <= 0 {
+		epochs = 1
+	}
+	return &FeedbackLoop{
+		mapper: m, vdm: v, udm: u,
+		seed:     append([]TrainExample(nil), seed...),
+		negRatio: negRatio, epochs: epochs, rngSeed: rngSeed,
+	}
+}
+
+// Review returns the current top-k recommendations for a parameter — the
+// list the engineer inspects.
+func (f *FeedbackLoop) Review(p Parameter, k int) []Recommendation {
+	return f.mapper.Recommend(ExtractContext(f.vdm, p), k)
+}
+
+// Confirm records the engineer's decision: the parameter maps to the UDM
+// attribute with the given ID (either a recommendation they accepted or a
+// correction they looked up). Unknown attribute IDs are rejected.
+func (f *FeedbackLoop) Confirm(p Parameter, attrID string) error {
+	if f.udm.IndexOf(attrID) < 0 {
+		return fmt.Errorf("nassim: unknown UDM attribute %q", attrID)
+	}
+	f.confirmed = append(f.confirmed, Annotation{Param: p, AttrID: attrID})
+	return nil
+}
+
+// Confirmed returns the annotations collected so far (sorted by attribute
+// for determinism).
+func (f *FeedbackLoop) Confirmed() []Annotation {
+	out := append([]Annotation(nil), f.confirmed...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].AttrID != out[b].AttrID {
+			return out[a].AttrID < out[b].AttrID
+		}
+		return out[a].Param.Corpus < out[b].Param.Corpus
+	})
+	return out
+}
+
+// Retrain fine-tunes the mapper on the seed pairs plus everything
+// confirmed so far and refreshes its UDM embeddings. It fails for mappers
+// without a fine-tunable encoder.
+func (f *FeedbackLoop) Retrain() (FineTuneStats, error) {
+	examples := append([]TrainExample(nil), f.seed...)
+	examples = append(examples, BuildTrainingPairs(f.vdm, f.udm, f.confirmed)...)
+	if len(examples) == 0 {
+		return FineTuneStats{}, fmt.Errorf("nassim: nothing to retrain on")
+	}
+	return f.mapper.FineTuneExamples(examples, f.negRatio, f.epochs, f.rngSeed)
+}

@@ -1,0 +1,120 @@
+package nassim_test
+
+import (
+	"testing"
+
+	"nassim"
+)
+
+// TestFeedbackLoopImprovesMapper simulates §3.2's continuous improvement:
+// an engineer reviews recommendations batch by batch, confirming the
+// ground truth; after each retrain the mapper's recall on the remaining
+// (unreviewed) parameters must not degrade and must end above the
+// untrained baseline.
+func TestFeedbackLoopImprovesMapper(t *testing.T) {
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate("Nokia", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 110, 13)
+	reviewBatch, holdout := anns[:60], anns[60:]
+
+	mp, err := nassim.NewMapper(u, nassim.ModelNetBERT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := nassim.Evaluate(mp, asr.VDM, u, holdout, []int{1, 10})
+
+	loop := nassim.NewFeedbackLoop(mp, asr.VDM, u, nil, 10, 1, 13)
+	for _, ann := range reviewBatch {
+		// The engineer inspects the list, then confirms the truth (either a
+		// listed recommendation or a manual correction).
+		recs := loop.Review(ann.Param, 10)
+		if len(recs) == 0 {
+			t.Fatalf("no recommendations for %v", ann.Param)
+		}
+		if err := loop.Confirm(ann.Param, ann.AttrID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(loop.Confirmed()); got != 60 {
+		t.Fatalf("confirmed = %d", got)
+	}
+	stats, err := loop.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Positives != 60 {
+		t.Errorf("retrained on %d positives", stats.Positives)
+	}
+	tuned := nassim.Evaluate(mp, asr.VDM, u, holdout, []int{1, 10})
+	if tuned.MRR <= baseline.MRR {
+		t.Errorf("feedback loop did not improve MRR: %.4f -> %.4f", baseline.MRR, tuned.MRR)
+	}
+	if tuned.Recall[10] < baseline.Recall[10] {
+		t.Errorf("recall@10 degraded: %.1f -> %.1f", baseline.Recall[10], tuned.Recall[10])
+	}
+}
+
+func TestFeedbackLoopSeedPairs(t *testing.T) {
+	u := nassim.BuildUDM()
+	nokia, err := nassim.Assimilate("Nokia", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huawei, err := nassim.Assimilate("Huawei", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed with Huawei's pairs, review Nokia.
+	seed := nassim.BuildTrainingPairs(huawei.VDM, u,
+		nassim.GroundTruthAnnotations(huawei.Model, 100, 5))
+	mp, err := nassim.NewMapper(u, nassim.ModelNetBERT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := nassim.NewFeedbackLoop(mp, nokia.VDM, u, seed, 0, 0, 5)
+	anns := nassim.GroundTruthAnnotations(nokia.Model, 20, 5)
+	for _, ann := range anns[:5] {
+		if err := loop.Confirm(ann.Param, ann.AttrID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := loop.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Positives != 105 {
+		t.Errorf("positives = %d, want seed 100 + confirmed 5", stats.Positives)
+	}
+}
+
+func TestFeedbackLoopErrors(t *testing.T) {
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate("H3C", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := nassim.NewMapper(u, nassim.ModelNetBERT)
+	loop := nassim.NewFeedbackLoop(nb, asr.VDM, u, nil, 10, 1, 1)
+	if err := loop.Confirm(nassim.Parameter{Corpus: 0, Name: "x"}, "no.such.attr"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := loop.Retrain(); err == nil {
+		t.Error("empty retrain accepted")
+	}
+	// Non-fine-tunable mapper: confirmations work, retrain fails.
+	ir, _ := nassim.NewMapper(u, nassim.ModelIR)
+	irLoop := nassim.NewFeedbackLoop(ir, asr.VDM, u, nil, 10, 1, 1)
+	anns := nassim.GroundTruthAnnotations(asr.Model, 1, 1)
+	if len(anns) == 0 {
+		t.Skip("no annotations at this scale")
+	}
+	if err := irLoop.Confirm(anns[0].Param, anns[0].AttrID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := irLoop.Retrain(); err == nil {
+		t.Error("IR retrain accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module nassim
+
+go 1.22

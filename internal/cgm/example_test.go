@@ -1,0 +1,25 @@
+package cgm_test
+
+import (
+	"fmt"
+
+	"nassim/internal/cgm"
+)
+
+// The paper's Figure 6 walkthrough: the CLI graph model accepts
+// `filter-policy acl-name acl1 export` by finding a root-to-terminal path
+// whose keyword nodes match exactly and whose parameter nodes match by
+// type.
+func ExampleGraph_Match() {
+	g, err := cgm.FromTemplate(
+		"filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }", nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(g.Match("filter-policy acl-name acl1 export"))
+	fmt.Println(g.Match("filter-policy acl-name acl1 sideways"))
+	// Output:
+	// true
+	// false
+}

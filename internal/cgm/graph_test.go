@@ -1,0 +1,302 @@
+package cgm
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+func mustGraph(t *testing.T, tmpl string) *Graph {
+	t.Helper()
+	g, err := FromTemplate(tmpl, nil)
+	if err != nil {
+		t.Fatalf("FromTemplate(%q): %v", tmpl, err)
+	}
+	return g
+}
+
+// TestFilterPolicyToyExample reproduces the paper's Figure 6 walkthrough:
+// the filter-policy template must accept `filter-policy acl-name acl1
+// export` by finding a root-to-terminal path.
+func TestFilterPolicyToyExample(t *testing.T) {
+	g := mustGraph(t, "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }")
+	accept := []string{
+		"filter-policy acl-name acl1 export",
+		"filter-policy 2000 import",
+		"filter-policy ip-prefix pfx1 import",
+		"filter-policy ip-prefix pfx1 export",
+	}
+	for _, inst := range accept {
+		if !g.Match(inst) {
+			t.Errorf("Match(%q) = false, want true", inst)
+		}
+	}
+	reject := []string{
+		"filter-policy export",                     // missing filter branch
+		"filter-policy acl-name acl1",              // missing direction
+		"filter-policy acl-name acl1 both",         // unknown keyword
+		"filter-policy ip-prefix import",           // branch missing its parameter
+		"filter-policy acl-name acl1 export extra", // trailing token
+		"acl-name acl1 export",                     // wrong leading keyword
+		"",                                         // empty
+	}
+	for _, inst := range reject {
+		if g.Match(inst) {
+			t.Errorf("Match(%q) = true, want false", inst)
+		}
+	}
+}
+
+func TestOptionalBranches(t *testing.T) {
+	g := mustGraph(t, "display vlan [ <vlan-id> ] [ verbose ]")
+	for _, inst := range []string{
+		"display vlan",
+		"display vlan 100",
+		"display vlan verbose",
+		"display vlan 100 verbose",
+	} {
+		if !g.Match(inst) {
+			t.Errorf("Match(%q) = false, want true", inst)
+		}
+	}
+	for _, inst := range []string{
+		"display vlan extra 100",
+		"display vlan verbose 100", // options are ordered
+		"display",
+	} {
+		if g.Match(inst) {
+			t.Errorf("Match(%q) = true, want false", inst)
+		}
+	}
+}
+
+func TestTypeMatching(t *testing.T) {
+	g := mustGraph(t, "peer <ipv4-address> as-number <as-number>")
+	if !g.Match("peer 10.1.1.1 as-number 65001") {
+		t.Error("valid instance rejected")
+	}
+	// <ipv4-address> must reject a non-address token.
+	if g.Match("peer hello as-number 65001") {
+		t.Error("string accepted for ipv4 parameter")
+	}
+	// <as-number> must reject a non-integer.
+	if g.Match("peer 10.1.1.1 as-number abc") {
+		t.Error("string accepted for int parameter")
+	}
+}
+
+// Keyword matching has priority over parameter matching (Algorithm 4 tries
+// keyword candidates first): in `vlan { batch | <vlan-id> }`, token "batch"
+// must take the keyword branch even though <vlan-id>'s sibling is reachable.
+func TestKeywordPriority(t *testing.T) {
+	g := mustGraph(t, "vlan { batch <start-id> | <vlan-id> }")
+	if !g.Match("vlan batch 5") {
+		t.Error("keyword branch rejected")
+	}
+	if !g.Match("vlan 100") {
+		t.Error("parameter branch rejected")
+	}
+	if g.Match("vlan batch") {
+		t.Error("incomplete keyword branch accepted")
+	}
+}
+
+func TestNestedOptionInSelect(t *testing.T) {
+	g := mustGraph(t, "a { b [ c ] | d } e")
+	for _, inst := range []string{"a b e", "a b c e", "a d e"} {
+		if !g.Match(inst) {
+			t.Errorf("Match(%q) = false", inst)
+		}
+	}
+	for _, inst := range []string{"a e", "a c e", "a b d e"} {
+		if g.Match(inst) {
+			t.Errorf("Match(%q) = true", inst)
+		}
+	}
+}
+
+func TestLeadingOptional(t *testing.T) {
+	g := mustGraph(t, "undo [ fast ] reboot")
+	if !g.Match("undo reboot") || !g.Match("undo fast reboot") {
+		t.Error("optional prefix handling broken")
+	}
+}
+
+func TestSingleKeywordCommand(t *testing.T) {
+	g := mustGraph(t, "shutdown")
+	if !g.Match("shutdown") {
+		t.Error("single keyword rejected")
+	}
+	if g.Match("shutdown now") || g.Match("now") {
+		t.Error("wrong instance accepted")
+	}
+	if g.NodeCount() != 3 { // root, shutdown, terminal
+		t.Errorf("NodeCount = %d, want 3", g.NodeCount())
+	}
+}
+
+func TestPathsEnumeration(t *testing.T) {
+	g := mustGraph(t, "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }")
+	paths := g.Paths(0)
+	if len(paths) != 6 { // 3 filter branches x 2 directions
+		t.Fatalf("paths = %d, want 6", len(paths))
+	}
+	// Every enumerated path must itself match when instantiated.
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, path := range paths {
+		var toks []string
+		for _, el := range path {
+			if el.IsParam {
+				toks = append(toks, devmodel.ValueFor(devmodel.Param{Name: el.Text, Type: el.Type}, r))
+			} else {
+				toks = append(toks, el.Text)
+			}
+		}
+		if !g.MatchTokens(toks) {
+			t.Errorf("instantiated path %q does not match its own template", strings.Join(toks, " "))
+		}
+	}
+}
+
+func TestPathsLimit(t *testing.T) {
+	g := mustGraph(t, "a [ b ] [ c ] [ d ] [ e ]")
+	if got := len(g.Paths(0)); got != 16 {
+		t.Fatalf("full enumeration = %d, want 16", got)
+	}
+	if got := len(g.Paths(5)); got != 5 {
+		t.Errorf("limited enumeration = %d, want 5", got)
+	}
+}
+
+func TestGraphStringSmoke(t *testing.T) {
+	g := mustGraph(t, "vlan <vlan-id>")
+	s := g.String()
+	for _, frag := range []string{"ROOT", "END", "vlan", "<vlan-id>"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// Property: every random instantiation of every generated template matches
+// its own CGM — the contract between devmodel.InstantiateWith and the
+// matcher that hierarchy derivation and empirical validation rely on.
+func TestGeneratedInstancesMatchOwnTemplate(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Huawei).Scaled(0.02))
+	r := rand.New(rand.NewPCG(5, 6))
+	for _, c := range m.Commands {
+		g, err := FromTemplate(c.Template, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			inst := m.InstantiateWith(c, r)
+			if !g.Match(inst) {
+				t.Fatalf("command %s: instance %q does not match template %q\n%s",
+					c.ID, inst, c.Template, g.String())
+			}
+		}
+		if min := m.InstantiateMinimal(c); !g.Match(min) {
+			t.Fatalf("command %s: minimal instance %q does not match template %q", c.ID, min, c.Template)
+		}
+	}
+}
+
+func TestCustomTypeResolver(t *testing.T) {
+	strict := func(p string) devmodel.ParamType {
+		if p == "level" {
+			return devmodel.TypeInt
+		}
+		return devmodel.TypeString
+	}
+	g, err := FromTemplate("debug <level>", strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Match("debug 3") {
+		t.Error("int accepted = false")
+	}
+	if g.Match("debug high") {
+		t.Error("resolver ignored: string accepted for int param")
+	}
+}
+
+func TestIndexMatch(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.H3C).Scaled(0.05))
+	ix := NewIndex()
+	for _, c := range m.Commands {
+		if err := ix.Add(c.ID, c.Template, nil); err != nil {
+			t.Fatalf("Add(%s): %v", c.ID, err)
+		}
+	}
+	if ix.Len() != len(m.Commands) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(m.Commands))
+	}
+	r := rand.New(rand.NewPCG(9, 9))
+	misses := 0
+	sample := m.Commands
+	if len(sample) > 60 {
+		sample = sample[:60]
+	}
+	for _, c := range sample {
+		inst := m.InstantiateWith(c, r)
+		ids := ix.Match(inst)
+		found := false
+		for _, id := range ids {
+			if id == c.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			misses++
+			t.Errorf("instance %q of %s matched %v", inst, c.ID, ids)
+		}
+	}
+	if misses > 0 {
+		t.Fatalf("%d instances failed to resolve to their template", misses)
+	}
+}
+
+func TestIndexDuplicateID(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add("x", "vlan <vlan-id>", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("x", "undo vlan <vlan-id>", nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestIndexRejectsInvalidTemplate(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add("bad", "vlan { <a> | ", nil); err == nil {
+		t.Error("invalid template accepted")
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d after failed add", ix.Len())
+	}
+}
+
+func TestIndexEmptyInstance(t *testing.T) {
+	ix := NewIndex()
+	_ = ix.Add("a", "vlan <vlan-id>", nil)
+	if got := ix.Match(""); got != nil {
+		t.Errorf("Match(\"\") = %v", got)
+	}
+	if got := ix.Match("unknown token"); got != nil {
+		t.Errorf("Match(unknown) = %v", got)
+	}
+}
+
+func TestIndexIDsOrder(t *testing.T) {
+	ix := NewIndex()
+	_ = ix.Add("a", "vlan <vlan-id>", nil)
+	_ = ix.Add("b", "undo vlan <vlan-id>", nil)
+	ids := ix.IDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v", ids)
+	}
+}

@@ -1,0 +1,105 @@
+package cgm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Index resolves CLI instances to the command templates they instantiate,
+// across a whole device model. Hierarchy derivation and empirical
+// validation both need this lookup for every configuration line, so the
+// index buckets graphs by their leading keyword (templates always start
+// with a literal keyword) to avoid trying all 10k+ templates per line.
+type Index struct {
+	byFirst map[string][]indexEntry
+	graphs  map[string]*Graph
+	order   []string // insertion order of template IDs, for determinism
+}
+
+type indexEntry struct {
+	id string
+	g  *Graph
+}
+
+// NewIndex returns an empty template index.
+func NewIndex() *Index {
+	return &Index{byFirst: map[string][]indexEntry{}, graphs: map[string]*Graph{}}
+}
+
+// Add parses the template, builds its CGM and registers it under the given
+// ID. Adding fails exactly when the template fails formal syntax
+// validation; the caller records such templates for expert review instead.
+func (ix *Index) Add(id, template string, typeOf TypeResolver) error {
+	if _, dup := ix.graphs[id]; dup {
+		return fmt.Errorf("cgm: duplicate template id %q", id)
+	}
+	g, err := FromTemplate(template, typeOf)
+	if err != nil {
+		return err
+	}
+	ix.graphs[id] = g
+	ix.order = append(ix.order, id)
+	for _, s := range g.succ[g.root] {
+		n := g.nodes[s]
+		if n.kind == KindKeyword {
+			ix.byFirst[n.text] = append(ix.byFirst[n.text], indexEntry{id: id, g: g})
+		}
+	}
+	return nil
+}
+
+// Match returns the IDs of all templates the instance matches, in insertion
+// order of registration.
+func (ix *Index) Match(instance string) []string {
+	toks := strings.Fields(instance)
+	if len(toks) == 0 {
+		return nil
+	}
+	var out []string
+	for _, e := range ix.byFirst[toks[0]] {
+		if e.g.MatchTokens(toks) {
+			out = append(out, e.id)
+		}
+	}
+	return out
+}
+
+// MatchBest returns only the most specific matching templates: among all
+// templates the instance matches, those explaining the most tokens as
+// exact keywords. This is the disambiguation hierarchy derivation uses
+// when a string parameter of one template shadows a keyword of another.
+func (ix *Index) MatchBest(instance string) []string {
+	toks := strings.Fields(instance)
+	if len(toks) == 0 {
+		return nil
+	}
+	best := -1
+	var out []string
+	for _, e := range ix.byFirst[toks[0]] {
+		score := e.g.Specificity(toks)
+		if score < 0 {
+			continue
+		}
+		switch {
+		case score > best:
+			best = score
+			out = append(out[:0], e.id)
+		case score == best:
+			out = append(out, e.id)
+		}
+	}
+	return out
+}
+
+// Graph returns the CGM registered under the ID, or nil.
+func (ix *Index) Graph(id string) *Graph { return ix.graphs[id] }
+
+// IDs returns the registered template IDs in insertion order.
+func (ix *Index) IDs() []string {
+	out := make([]string, len(ix.order))
+	copy(out, ix.order)
+	return out
+}
+
+// Len returns the number of registered templates.
+func (ix *Index) Len() int { return len(ix.graphs) }

@@ -1,0 +1,78 @@
+package cgm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecificityScores(t *testing.T) {
+	base := mustGraph(t, "qos <policy-name>")
+	variant := mustGraph(t, "qos ipv4-family")
+	toks := strings.Fields("qos ipv4-family")
+	if got := base.Specificity(toks); got != 1 {
+		t.Errorf("base specificity = %d, want 1 (only the leading keyword)", got)
+	}
+	if got := variant.Specificity(toks); got != 2 {
+		t.Errorf("variant specificity = %d, want 2", got)
+	}
+	if got := base.Specificity(strings.Fields("qos gold5")); got != 1 {
+		t.Errorf("plain instance specificity = %d, want 1", got)
+	}
+	if got := variant.Specificity(strings.Fields("qos gold5")); got != -1 {
+		t.Errorf("non-matching specificity = %d, want -1", got)
+	}
+	if got := base.Specificity(nil); got != -1 {
+		t.Errorf("empty specificity = %d, want -1", got)
+	}
+}
+
+func TestSpecificityWithBranches(t *testing.T) {
+	g := mustGraph(t, "filter { <name> | export }")
+	// "export" can match either the parameter (string) or the keyword
+	// branch; specificity must take the keyword interpretation.
+	if got := g.Specificity(strings.Fields("filter export")); got != 2 {
+		t.Errorf("specificity = %d, want 2 (keyword branch preferred)", got)
+	}
+	if got := g.Specificity(strings.Fields("filter custom1")); got != 1 {
+		t.Errorf("specificity = %d, want 1", got)
+	}
+}
+
+// MatchBest must resolve the string-parameter shadowing that made the
+// hierarchy deriver over-report ambiguity: `qos ipv4-family` matches both
+// templates but only the exact-keyword one survives.
+func TestMatchBestResolvesShadowing(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add("base", "qos <policy-name>", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("variant", "qos ipv4-family", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Match("qos ipv4-family"); len(got) != 2 {
+		t.Fatalf("Match = %v, want both candidates", got)
+	}
+	if got := ix.MatchBest("qos ipv4-family"); !reflect.DeepEqual(got, []string{"variant"}) {
+		t.Errorf("MatchBest = %v, want [variant]", got)
+	}
+	if got := ix.MatchBest("qos gold5"); !reflect.DeepEqual(got, []string{"base"}) {
+		t.Errorf("MatchBest = %v, want [base]", got)
+	}
+	if got := ix.MatchBest(""); got != nil {
+		t.Errorf("MatchBest(\"\") = %v", got)
+	}
+	if got := ix.MatchBest("unknown line"); got != nil {
+		t.Errorf("MatchBest(unknown) = %v", got)
+	}
+}
+
+func TestMatchBestKeepsTies(t *testing.T) {
+	ix := NewIndex()
+	_ = ix.Add("a", "peer <ipv4-address> group <g>", nil)
+	_ = ix.Add("b", "peer <ipv4-address> group <h>", nil)
+	got := ix.MatchBest("peer 10.0.0.1 group test")
+	if len(got) != 2 {
+		t.Errorf("MatchBest = %v, want both equally specific candidates", got)
+	}
+}

@@ -1,0 +1,29 @@
+package clisyntax_test
+
+import (
+	"fmt"
+
+	"nassim/internal/clisyntax"
+)
+
+// The Figure 6 template parses into the nested structure of Figure 16;
+// the §2.2 ambiguous Cisco template is caught with candidate repairs.
+func ExampleParse() {
+	n, err := clisyntax.Parse("filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("params:", n.Params())
+	fmt.Println("round trip:", n.String())
+	// Output:
+	// params: [acl-number ip-prefix-name acl-name]
+	// round trip: filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }
+}
+
+func ExampleValidate() {
+	err := clisyntax.Validate("neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> | route-map <name> }")
+	fmt.Println(err)
+	// Output:
+	// syntax error at offset 44 of "neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> | route-map <name> }": unpaired left bracket: group is never closed
+}

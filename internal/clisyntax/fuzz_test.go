@@ -1,0 +1,37 @@
+package clisyntax
+
+import "testing"
+
+// FuzzParse drives the command-convention parser with arbitrary input:
+// it must never panic, always either produce a round-trip-stable structure
+// or a positioned SyntaxError. Run `go test -fuzz FuzzParse ./internal/clisyntax`
+// to explore beyond the seed corpus.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"peer <ipv4-address> group <group-name>",
+		"filter-policy { <acl-number> | ip-prefix <n> } { import | export }",
+		"a [ b { c | d [ e ] } ] f",
+		"vlan { <a> | ", "x } y", "<p> q", "{{{{", "a | b", "< >", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			if serr, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("non-SyntaxError: %v", err)
+			} else if serr.Pos < 0 || serr.Pos > len(src) {
+				t.Fatalf("error position %d outside input of length %d", serr.Pos, len(src))
+			}
+			return
+		}
+		rendered := n.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("unstable round trip: %q -> %q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package clisyntax
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+// randomTmpl builds a random structured template of bounded depth whose
+// first element is always a keyword (the convention Parse enforces).
+func randomTmpl(r *rand.Rand, depth int) *devmodel.TmplNode {
+	kwPool := []string{"peer", "vlan", "display", "undo", "route", "import", "export", "verbose", "brief"}
+	paramPool := []string{"as-number", "vlan-id", "ipv4-address", "group-name", "cost-value"}
+	var element func(d int) *devmodel.TmplNode
+	element = func(d int) *devmodel.TmplNode {
+		switch {
+		case d <= 0 || r.IntN(4) == 0:
+			if r.IntN(2) == 0 {
+				return devmodel.Kw(kwPool[r.IntN(len(kwPool))])
+			}
+			return devmodel.P(paramPool[r.IntN(len(paramPool))])
+		case r.IntN(2) == 0:
+			n := 2 + r.IntN(2)
+			branches := make([]*devmodel.TmplNode, n)
+			for i := range branches {
+				branches[i] = sequence(r, d-1, element)
+			}
+			return devmodel.Sel(branches...)
+		default:
+			return devmodel.Opt(sequence(r, d-1, element).Children...)
+		}
+	}
+	seq := sequence(r, depth, element)
+	return devmodel.Seq(append([]*devmodel.TmplNode{devmodel.Kw(kwPool[r.IntN(len(kwPool))])}, seq.Children...)...)
+}
+
+func sequence(r *rand.Rand, d int, element func(int) *devmodel.TmplNode) *devmodel.TmplNode {
+	n := 1 + r.IntN(3)
+	children := make([]*devmodel.TmplNode, n)
+	for i := range children {
+		children[i] = element(d)
+	}
+	return devmodel.Seq(children...)
+}
+
+// Property: every random structured template renders to text the syntax
+// validator accepts, and the parse re-renders to the identical text. This
+// pins devmodel's renderer and clisyntax's grammar to one convention over
+// a much wider space than the generated models exercise.
+func TestRandomTemplateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(2024, 8))
+	for i := 0; i < 2000; i++ {
+		tmpl := randomTmpl(r, 3)
+		text := tmpl.String()
+		node, err := Parse(text)
+		if err != nil {
+			t.Fatalf("random template %q rejected: %v", text, err)
+		}
+		if got := node.String(); got != text {
+			t.Fatalf("round trip: %q -> %q", text, got)
+		}
+	}
+}
+
+// Property: the parsed structure preserves parameter and keyword order.
+func TestRandomTemplateTokenOrder(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 500; i++ {
+		tmpl := randomTmpl(r, 2)
+		node, err := Parse(tmpl.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tmpl.ParamNames()
+		got := node.Params()
+		if len(want) != len(got) {
+			t.Fatalf("param count: %v vs %v for %q", want, got, tmpl.String())
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("param order: %v vs %v for %q", want, got, tmpl.String())
+			}
+		}
+	}
+}

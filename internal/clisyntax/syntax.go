@@ -1,0 +1,406 @@
+// Package clisyntax implements the formal syntax validation of NAssim's
+// Validator (§5.1). Vendor manuals state a command styling convention in
+// their preambles (Figure 4): space-separated tokens, <placeholder>
+// parameters, curly braces for selected branches and square brackets for
+// optional branches. The paper expresses the convention in Backus Normal
+// Form and generates a parser with pyparsing; this package is the
+// equivalent recursive-descent parser. Parsing a 'CLIs' field either yields
+// the nested structure of Figure 16 (consumed by the CLI graph model) or a
+// SyntaxError pinpointing the manual's mistake with candidate fixes, which
+// is what the Validator reports for expert intervention.
+package clisyntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the node kind of the parsed nested CLI structure. The names
+// mirror the paper's parse actions (leaf_gen, select_gen, option_gen,
+// ele_gen in Appendix C).
+type Kind int
+
+// Node kinds.
+const (
+	KindSeq    Kind = iota // ordered element sequence ("ele")
+	KindLeaf               // literal keyword ("leaf")
+	KindParam              // placeholder parameter
+	KindSelect             // { a | b }: exactly one branch
+	KindOption             // [ a ]: zero or one branch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSeq:
+		return "ele"
+	case KindLeaf:
+		return "leaf"
+	case KindParam:
+		return "param"
+	case KindSelect:
+		return "select"
+	case KindOption:
+		return "option"
+	}
+	return "unknown"
+}
+
+// Node is a node of the nested CLI structure (Figure 16). For KindSelect
+// and KindOption every child is a KindSeq branch.
+type Node struct {
+	Kind     Kind
+	Text     string // keyword (KindLeaf) or parameter name (KindParam)
+	Children []*Node
+}
+
+// String renders the node back into the manual styling convention; for a
+// structure produced by Parse, Parse(n.String()) reproduces the structure.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	pad := func() {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+	}
+	switch n.Kind {
+	case KindLeaf:
+		pad()
+		b.WriteString(n.Text)
+	case KindParam:
+		pad()
+		b.WriteString("<" + n.Text + ">")
+	case KindSeq:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case KindSelect, KindOption:
+		open, close := "{", "}"
+		if n.Kind == KindOption {
+			open, close = "[", "]"
+		}
+		pad()
+		b.WriteString(open)
+		for i, c := range n.Children {
+			if i > 0 {
+				pad()
+				b.WriteString("|")
+			}
+			c.render(b)
+		}
+		pad()
+		b.WriteString(close)
+	}
+}
+
+// SyntaxError reports a violation of the command styling convention. Pos is
+// a byte offset into the template. Suggestions list the candidate fixes a
+// NetOps expert chooses among (§2.2's unpaired-bracket example admits
+// several repairs, and picking one "requires judgement from experts").
+type SyntaxError struct {
+	Template    string
+	Pos         int
+	Msg         string
+	Suggestions []string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at offset %d of %q: %s", e.Pos, e.Template, e.Msg)
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota
+	tokParam
+	tokLBrace
+	tokRBrace
+	tokLBrack
+	tokRBrack
+	tokPipe
+)
+
+type token struct {
+	kind tokKind
+	text string
+	off  int
+}
+
+// isWordByte reports whether c may appear in a keyword or parameter name.
+func isWordByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '-' || c == '_' || c == '.' || c == '/' || c == ':' || c == '*' || c == '&' || c == '#' || c == '+' || c == '@':
+		return true
+	}
+	return false
+}
+
+func lex(src string) ([]token, *SyntaxError) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", i})
+			i++
+		case c == '<':
+			j := i + 1
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			if j >= len(src) || src[j] != '>' {
+				return nil, &SyntaxError{Template: src, Pos: i,
+					Msg:         "unterminated parameter placeholder",
+					Suggestions: []string{"add a closing '>' after the parameter name"}}
+			}
+			if j == i+1 {
+				return nil, &SyntaxError{Template: src, Pos: i,
+					Msg:         "empty parameter placeholder",
+					Suggestions: []string{"name the parameter between '<' and '>'"}}
+			}
+			toks = append(toks, token{tokParam, src[i+1 : j], i})
+			i = j + 1
+		case c == '>':
+			return nil, &SyntaxError{Template: src, Pos: i,
+				Msg:         "'>' without matching '<'",
+				Suggestions: []string{"add an opening '<' before the parameter name", "remove the '>'"}}
+		case isWordByte(c):
+			j := i
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokWord, src[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{Template: src, Pos: i,
+				Msg:         fmt.Sprintf("unexpected character %q", c),
+				Suggestions: []string{"remove the character"}}
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) errAt(off int, msg string, suggestions ...string) *SyntaxError {
+	return &SyntaxError{Template: p.src, Pos: off, Msg: msg, Suggestions: suggestions}
+}
+
+// Parse validates a CLI command template against the styling convention and
+// returns its nested structure.
+func Parse(template string) (*Node, error) {
+	toks, lerr := lex(template)
+	if lerr != nil {
+		return nil, lerr
+	}
+	if len(toks) == 0 {
+		return nil, &SyntaxError{Template: template, Pos: 0, Msg: "empty command template",
+			Suggestions: []string{"the manual page's CLIs field was parsed empty; check the page"}}
+	}
+	p := &parser{src: template, toks: toks}
+	seq, err := p.parseSeq(nil)
+	if err != nil {
+		return nil, err
+	}
+	if tok, ok := p.peek(); ok {
+		switch tok.kind {
+		case tokRBrace:
+			return nil, p.errAt(tok.off, "'}' without matching '{'",
+				"remove the right brace",
+				"add a left brace earlier in the command")
+		case tokRBrack:
+			return nil, p.errAt(tok.off, "']' without matching '['",
+				"remove the right bracket",
+				"add a left bracket earlier in the command")
+		case tokPipe:
+			return nil, p.errAt(tok.off, "'|' outside a { } or [ ] group",
+				"wrap the alternatives in braces",
+				"remove the '|'")
+		}
+		return nil, p.errAt(tok.off, fmt.Sprintf("unexpected token %q", tok.text))
+	}
+	if len(seq.Children) == 0 {
+		return nil, &SyntaxError{Template: template, Pos: 0, Msg: "empty command template"}
+	}
+	if seq.Children[0].Kind != KindLeaf {
+		return nil, p.errAt(0, "command must begin with a literal keyword",
+			"check that the manual page stylized the command word as a keyword")
+	}
+	return seq, nil
+}
+
+// parseSeq parses elements until EOF or a token that closes the enclosing
+// group (opener says which group we are inside; nil at top level).
+func (p *parser) parseSeq(opener *token) (*Node, error) {
+	seq := &Node{Kind: KindSeq}
+	for {
+		tok, ok := p.peek()
+		if !ok {
+			if opener != nil {
+				closer, name := "}", "left brace"
+				if opener.kind == tokLBrack {
+					closer, name = "]", "left bracket"
+				}
+				return nil, p.errAt(opener.off,
+					fmt.Sprintf("unpaired %s: group is never closed", name),
+					fmt.Sprintf("remove the %s", name),
+					fmt.Sprintf("add a %q before the next closing symbol", closer),
+					fmt.Sprintf("add a %q at the end of the command", closer))
+			}
+			return seq, nil
+		}
+		switch tok.kind {
+		case tokWord:
+			p.pos++
+			seq.Children = append(seq.Children, &Node{Kind: KindLeaf, Text: tok.text})
+		case tokParam:
+			p.pos++
+			seq.Children = append(seq.Children, &Node{Kind: KindParam, Text: tok.text})
+		case tokLBrace, tokLBrack:
+			p.pos++
+			group, err := p.parseGroup(tok)
+			if err != nil {
+				return nil, err
+			}
+			seq.Children = append(seq.Children, group)
+		case tokRBrace, tokRBrack, tokPipe:
+			// Ends this sequence; the caller decides whether it is legal.
+			return seq, nil
+		}
+	}
+}
+
+// parseGroup parses the inside of a { } or [ ] group after its opener.
+func (p *parser) parseGroup(opener token) (*Node, error) {
+	kind := KindSelect
+	closeKind := tokRBrace
+	if opener.kind == tokLBrack {
+		kind = KindOption
+		closeKind = tokRBrack
+	}
+	group := &Node{Kind: kind}
+	for {
+		branch, err := p.parseSeq(&opener)
+		if err != nil {
+			return nil, err
+		}
+		tok, ok := p.peek()
+		if !ok {
+			// parseSeq reports unclosed groups itself; reaching here means
+			// the sequence ended at EOF without error, which cannot happen
+			// inside a group.
+			return nil, p.errAt(opener.off, "unpaired group")
+		}
+		if len(branch.Children) == 0 {
+			return nil, p.errAt(tok.off, "empty branch in group",
+				"remove the superfluous '|'",
+				"add the missing alternative")
+		}
+		group.Children = append(group.Children, branch)
+		switch tok.kind {
+		case tokPipe:
+			p.pos++
+			continue
+		case closeKind:
+			p.pos++
+			return group, nil
+		case tokRBrace, tokRBrack:
+			open, close := "{", "]"
+			if opener.kind == tokLBrack {
+				open, close = "[", "}"
+			}
+			return nil, p.errAt(tok.off,
+				fmt.Sprintf("mismatched group: %q closed by %q", open, close),
+				"change the closing symbol to match the opening one",
+				"change the opening symbol to match the closing one")
+		}
+	}
+}
+
+// Validate checks a template against the styling convention, returning nil
+// or a *SyntaxError. This is the per-'CLIs'-field check the Validator runs
+// over a whole parsed corpus.
+func Validate(template string) error {
+	_, err := Parse(template)
+	return err
+}
+
+// Params lists the parameter placeholders of the structure in order.
+func (n *Node) Params() []string {
+	var out []string
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.Kind == KindParam {
+			out = append(out, m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Keywords lists the literal keywords of the structure in order.
+func (n *Node) Keywords() []string {
+	var out []string
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.Kind == KindLeaf {
+			out = append(out, m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Grammar is the command styling convention in Backus Normal Form — the
+// §5.1 step of expressing the manuals' conventions (Figure 4) as a formal
+// grammar before generating the syntax parser. Parse implements exactly
+// this grammar.
+const Grammar = `<cli>      ::= <keyword> <element>*
+<element>  ::= <keyword> | <param> | <select> | <option>
+<keyword>  ::= WORD
+<param>    ::= "<" WORD ">"
+<select>   ::= "{" <branch> ( "|" <branch> )* "}"
+<option>   ::= "[" <branch> ( "|" <branch> )* "]"
+<branch>   ::= <element>+
+WORD       ::= [A-Za-z0-9._/:*&#+@-]+`

@@ -1,0 +1,251 @@
+package clisyntax
+
+import (
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nassim/internal/devmodel"
+)
+
+func mustParse(t *testing.T, tmpl string) *Node {
+	t.Helper()
+	n, err := Parse(tmpl)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", tmpl, err)
+	}
+	return n
+}
+
+func TestParseSimpleCommand(t *testing.T) {
+	n := mustParse(t, "peer <ipv4-address> group <group-name>")
+	if n.Kind != KindSeq || len(n.Children) != 4 {
+		t.Fatalf("structure = %+v", n)
+	}
+	wantKinds := []Kind{KindLeaf, KindParam, KindLeaf, KindParam}
+	wantTexts := []string{"peer", "ipv4-address", "group", "group-name"}
+	for i, c := range n.Children {
+		if c.Kind != wantKinds[i] || c.Text != wantTexts[i] {
+			t.Errorf("child %d = (%v, %q), want (%v, %q)", i, c.Kind, c.Text, wantKinds[i], wantTexts[i])
+		}
+	}
+}
+
+// TestParseFilterPolicy is the Figure 6 / Figure 16 golden case.
+func TestParseFilterPolicy(t *testing.T) {
+	tmpl := "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }"
+	n := mustParse(t, tmpl)
+	if len(n.Children) != 3 {
+		t.Fatalf("top-level children = %d, want 3", len(n.Children))
+	}
+	sel1 := n.Children[1]
+	if sel1.Kind != KindSelect || len(sel1.Children) != 3 {
+		t.Fatalf("first select = %+v", sel1)
+	}
+	// Branch 2: ip-prefix <ip-prefix-name>
+	b2 := sel1.Children[1]
+	if b2.Kind != KindSeq || len(b2.Children) != 2 || b2.Children[0].Text != "ip-prefix" {
+		t.Errorf("branch 2 = %+v", b2)
+	}
+	sel2 := n.Children[2]
+	if sel2.Kind != KindSelect || len(sel2.Children) != 2 {
+		t.Fatalf("second select = %+v", sel2)
+	}
+	if got := n.Params(); !reflect.DeepEqual(got, []string{"acl-number", "ip-prefix-name", "acl-name"}) {
+		t.Errorf("params = %v", got)
+	}
+	if got := n.Keywords(); got[0] != "filter-policy" {
+		t.Errorf("keywords = %v", got)
+	}
+}
+
+func TestParseNestedGroups(t *testing.T) {
+	n := mustParse(t, "a [ b { c | d [ e ] } ] f")
+	opt := n.Children[1]
+	if opt.Kind != KindOption {
+		t.Fatalf("child 1 kind = %v", opt.Kind)
+	}
+	sel := opt.Children[0].Children[1]
+	if sel.Kind != KindSelect || len(sel.Children) != 2 {
+		t.Fatalf("nested select = %+v", sel)
+	}
+	inner := sel.Children[1].Children[1]
+	if inner.Kind != KindOption {
+		t.Fatalf("innermost option = %+v", inner)
+	}
+}
+
+func TestParseTightSpacing(t *testing.T) {
+	// Manuals sometimes omit spaces around group symbols.
+	n := mustParse(t, "neighbor {<ip-addr>|<ip-prefix/length>} remote-as <as-num>")
+	if len(n.Children) != 4 {
+		t.Fatalf("children = %d: %+v", len(n.Children), n)
+	}
+	if n.Children[1].Kind != KindSelect {
+		t.Errorf("child 1 = %+v", n.Children[1])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		"vlan <vlan-id>",
+		"display vlan [ <vlan-id> ]",
+		"filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }",
+		"a [ b { c | d [ e ] } ] f",
+		"stp instance <instance-id> root primary",
+	}
+	for _, tmpl := range cases {
+		n := mustParse(t, tmpl)
+		rendered := n.String()
+		n2 := mustParse(t, rendered)
+		if n2.String() != rendered {
+			t.Errorf("round trip unstable: %q -> %q -> %q", tmpl, rendered, n2.String())
+		}
+	}
+}
+
+// The §2.2 Cisco example: an unpaired '[' before remote-as. The validator
+// must catch it and offer the three candidate repairs the paper lists.
+func TestUnpairedBracketSuggestions(t *testing.T) {
+	tmpl := "neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> | route-map <name> }"
+	_, err := Parse(tmpl)
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error = %v, want *SyntaxError", err)
+	}
+	if !strings.Contains(serr.Msg, "unpaired left bracket") {
+		t.Errorf("msg = %q", serr.Msg)
+	}
+	if len(serr.Suggestions) != 3 {
+		t.Fatalf("suggestions = %v, want 3 candidate repairs", serr.Suggestions)
+	}
+	wantFragments := []string{"remove the left bracket", "before the next closing symbol", "at the end of the command"}
+	for i, frag := range wantFragments {
+		if !strings.Contains(serr.Suggestions[i], frag) {
+			t.Errorf("suggestion %d = %q, want fragment %q", i, serr.Suggestions[i], frag)
+		}
+	}
+	if serr.Pos != strings.Index(tmpl, "[") {
+		t.Errorf("pos = %d, want offset of the unpaired bracket", serr.Pos)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		tmpl string
+		frag string // expected message fragment
+	}{
+		{"", "empty command"},
+		{"   ", "empty command"},
+		{"peer <ipv4-address", "unterminated parameter"},
+		{"peer <> group", "empty parameter"},
+		{"peer ipv4-address> group", "'>' without matching '<'"},
+		{"vlan <vlan-id> }", "'}' without matching '{'"},
+		{"vlan <vlan-id> ]", "']' without matching '['"},
+		{"vlan | undo vlan", "outside a { } or [ ] group"},
+		{"vlan { <a> | }", "empty branch"},
+		{"vlan { <a> | <b> ]", "mismatched group"},
+		{"vlan [ <a> }", "mismatched group"},
+		{"vlan { <a>", "unpaired left brace"},
+		{"<vlan-id> vlan", "must begin with a literal keyword"},
+		{"vlan \x01 x", "unexpected character"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.tmpl)
+		if err == nil {
+			t.Errorf("Validate(%q) = nil, want error with %q", tc.tmpl, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Validate(%q) = %q, want fragment %q", tc.tmpl, err.Error(), tc.frag)
+		}
+	}
+}
+
+func TestValidTemplatesPass(t *testing.T) {
+	cases := []string{
+		"shutdown",
+		"spanning tree vlan <vlanid> root primary",
+		"show vlan-id/vlans <vlanid>",
+		"ip route-static <ip-address> { <mask> | <mask-length> } <nexthop-address>",
+		"peer <ipv4-address> as-number <as-number>",
+		"snmp-agent target-host trap address udp-domain <ip-address> [ udp-port <port> ] params securityname <name>",
+	}
+	for _, tmpl := range cases {
+		if err := Validate(tmpl); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", tmpl, err)
+		}
+	}
+}
+
+// Property: every template the ground-truth generator renders is valid and
+// round-trips through the syntax parser unchanged. This pins the renderer
+// (devmodel) and the validator (clisyntax) to the same convention — the
+// same contract the paper establishes between manual authors and NAssim.
+func TestGeneratedTemplatesRoundTrip(t *testing.T) {
+	for _, v := range devmodel.AllVendors {
+		m := devmodel.Generate(devmodel.PaperConfig(v).Scaled(0.02))
+		for _, c := range m.Commands {
+			n, err := Parse(c.Template)
+			if err != nil {
+				t.Fatalf("%s %s: Parse(%q): %v", v, c.ID, c.Template, err)
+			}
+			if got := n.String(); got != c.Template {
+				t.Fatalf("%s %s: round trip %q -> %q", v, c.ID, c.Template, got)
+			}
+		}
+	}
+}
+
+// Property: Parse never panics and, on success, String round-trips.
+func TestParseRobustness(t *testing.T) {
+	syms := []string{"{", "}", "[", "]", "|", "<", ">", "a", "bc", "<p>", " "}
+	r := rand.New(rand.NewPCG(11, 17))
+	f := func(n uint8) bool {
+		var b strings.Builder
+		for i := 0; i < int(n%24); i++ {
+			b.WriteString(syms[r.IntN(len(syms))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		node, err := Parse(src)
+		if err != nil {
+			var serr *SyntaxError
+			return errors.As(err, &serr)
+		}
+		again, err2 := Parse(node.String())
+		return err2 == nil && again.String() == node.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntaxErrorError(t *testing.T) {
+	e := &SyntaxError{Template: "x {", Pos: 2, Msg: "unpaired left brace"}
+	if got := e.Error(); !strings.Contains(got, "offset 2") || !strings.Contains(got, "unpaired") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{KindSeq: "ele", KindLeaf: "leaf", KindParam: "param",
+		KindSelect: "select", KindOption: "option", Kind(99): "unknown"}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestGrammarDocumentsTheImplementation(t *testing.T) {
+	// The published BNF must mention every construct Parse accepts.
+	for _, frag := range []string{"<select>", "<option>", "<param>", `"{"`, `"["`, `"|"`, "WORD"} {
+		if !strings.Contains(Grammar, frag) {
+			t.Errorf("Grammar missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package configgen synthesizes configuration files from running devices —
+// the empirical data source of §5.3. The paper collected 613 production
+// files from datacenter networks (197 Huawei, 416 Nokia) whose key property
+// is heavy skew: thousands of devices run the same few features, so the
+// Huawei set exercised only 153 of 12 874 command templates. The generator
+// reproduces that shape: a small template working set, many files, many
+// repeated instances, hierarchical stanzas whose indentation mirrors the
+// view tree.
+package configgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"nassim/internal/devmodel"
+)
+
+// Config sizes a generated configuration corpus.
+type Config struct {
+	Files          int // number of device configuration files
+	TemplateBudget int // distinct command templates the fleet uses
+	StanzasPerFile int // top-level sections per file
+	LinesPerStanza int // member commands per section (mean)
+	Seed           uint64
+}
+
+// PaperConfig returns the corpus shape of Table 4's device-configuration
+// validation rows: 197 Huawei files (93 617 lines over 153 templates) and
+// 416 Nokia files (163 854 lines).
+func PaperConfig(v devmodel.Vendor) (Config, bool) {
+	switch v {
+	case devmodel.Huawei:
+		return Config{Files: 197, TemplateBudget: 153, StanzasPerFile: 38, LinesPerStanza: 11, Seed: 0x197}, true
+	case devmodel.Nokia:
+		return Config{Files: 416, TemplateBudget: 200, StanzasPerFile: 36, LinesPerStanza: 10, Seed: 0x416}, true
+	}
+	return Config{}, false
+}
+
+// Scaled shrinks the corpus for tests.
+func (c Config) Scaled(f float64) Config {
+	scale := func(n, min int) int {
+		v := int(float64(n) * f)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	out := c
+	out.Files = scale(c.Files, 3)
+	out.TemplateBudget = scale(c.TemplateBudget, 20)
+	out.StanzasPerFile = scale(c.StanzasPerFile, 4)
+	out.LinesPerStanza = scale(c.LinesPerStanza, 3)
+	return out
+}
+
+// File is one device's configuration file.
+type File struct {
+	Name  string
+	Lines []string // indentation encodes view depth
+}
+
+// Corpus is a generated set of configuration files with bookkeeping about
+// which templates the fleet actually used.
+type Corpus struct {
+	Vendor devmodel.Vendor
+	Files  []File
+	// UsedCommandIDs lists the ground-truth commands instantiated at least
+	// once — the "used" set that §5.3's generated-instance testing
+	// complements.
+	UsedCommandIDs []string
+}
+
+// TotalLines counts configuration lines across all files.
+func (c *Corpus) TotalLines() int {
+	n := 0
+	for _, f := range c.Files {
+		n += len(f.Lines)
+	}
+	return n
+}
+
+// UniqueLines counts distinct configuration lines (ignoring indentation).
+func (c *Corpus) UniqueLines() int {
+	seen := map[string]bool{}
+	for _, f := range c.Files {
+		for _, l := range f.Lines {
+			seen[strings.TrimSpace(l)] = true
+		}
+	}
+	return len(seen)
+}
+
+// stanza is a reusable generation unit: a view whose enter chain the file
+// prints once, followed by member command instances.
+type stanza struct {
+	view    string
+	enters  []*devmodel.Command // chain of enter commands, root-down
+	members []*devmodel.Command
+}
+
+// Generate synthesizes the corpus for a model. All emitted instances match
+// their ground-truth templates and respect the view hierarchy, so a sound
+// Validator achieves the paper's 100% matching ratio on them.
+func Generate(m *devmodel.Model, cfg Config) *Corpus {
+	r := rand.New(rand.NewPCG(cfg.Seed, 0x5eed))
+	out := &Corpus{Vendor: m.Vendor}
+
+	// Build the fleet's working set: walk views in model order, taking the
+	// enter chain plus member commands until the template budget is spent.
+	used := map[string]bool{}
+	budget := cfg.TemplateBudget
+	take := func(c *devmodel.Command) bool {
+		if used[c.ID] {
+			return true
+		}
+		if budget <= 0 {
+			return false
+		}
+		used[c.ID] = true
+		budget--
+		out.UsedCommandIDs = append(out.UsedCommandIDs, c.ID)
+		return true
+	}
+	membersByView := map[string][]*devmodel.Command{}
+	for _, c := range m.Commands {
+		if c.Enters == "" {
+			membersByView[c.Views[0]] = append(membersByView[c.Views[0]], c)
+		}
+	}
+	var stanzas []stanza
+	for _, v := range m.Views {
+		if v.Enter == "" {
+			continue
+		}
+		var chain []*devmodel.Command
+		ok := true
+		for cur := v; cur != nil && cur.Enter != ""; cur = m.ViewByName(cur.Parent) {
+			e := m.CommandByID(cur.Enter)
+			if e == nil {
+				ok = false
+				break
+			}
+			chain = append([]*devmodel.Command{e}, chain...)
+		}
+		if !ok {
+			continue
+		}
+		members := membersByView[v.Name]
+		if len(members) == 0 {
+			continue
+		}
+		st := stanza{view: v.Name}
+		fits := true
+		for _, e := range chain {
+			if !take(e) {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			break
+		}
+		st.enters = chain
+		for _, mcmd := range members {
+			if len(st.members) >= 6 {
+				break
+			}
+			if take(mcmd) {
+				st.members = append(st.members, mcmd)
+			}
+		}
+		if len(st.members) > 0 {
+			stanzas = append(stanzas, st)
+		}
+		if budget <= 0 {
+			break
+		}
+	}
+	if len(stanzas) == 0 {
+		panic("configgen: model yields no usable stanzas")
+	}
+
+	// A fleet reuses values: thousands of devices carry the same peer
+	// addresses, pool names and timer settings, which is why the paper's
+	// corpus has far fewer unique lines (17 391) than total lines (93 617).
+	// Each command draws its instances from a bounded pre-generated pool.
+	const poolSize = 96
+	pools := map[string][]string{}
+	instance := func(c *devmodel.Command) string {
+		pool, ok := pools[c.ID]
+		if !ok {
+			pool = make([]string, 0, poolSize)
+			for i := 0; i < poolSize; i++ {
+				pool = append(pool, m.InstantiateWith(c, r))
+			}
+			pools[c.ID] = pool
+		}
+		return pool[r.IntN(len(pool))]
+	}
+
+	for f := 0; f < cfg.Files; f++ {
+		file := File{Name: fmt.Sprintf("%s-dc-%03d.cfg", strings.ToLower(string(m.Vendor)), f)}
+		for s := 0; s < cfg.StanzasPerFile; s++ {
+			st := stanzas[r.IntN(len(stanzas))]
+			for depth, e := range st.enters {
+				file.Lines = append(file.Lines,
+					strings.Repeat(" ", depth)+instance(e))
+			}
+			depth := len(st.enters)
+			n := 1 + r.IntN(2*cfg.LinesPerStanza-1)
+			for l := 0; l < n; l++ {
+				file.Lines = append(file.Lines,
+					strings.Repeat(" ", depth)+instance(st.members[r.IntN(len(st.members))]))
+			}
+		}
+		out.Files = append(out.Files, file)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package configgen
+
+import (
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+func TestGenerateShape(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Huawei).Scaled(0.02))
+	cfg, ok := PaperConfig(devmodel.Huawei)
+	if !ok {
+		t.Fatal("no paper config for Huawei")
+	}
+	cfg = cfg.Scaled(0.05)
+	c := Generate(m, cfg)
+	if len(c.Files) != cfg.Files {
+		t.Errorf("files = %d, want %d", len(c.Files), cfg.Files)
+	}
+	if c.TotalLines() == 0 {
+		t.Fatal("no lines generated")
+	}
+	if c.UniqueLines() > c.TotalLines() {
+		t.Error("unique > total")
+	}
+	// Datacenter skew: far fewer templates than the model offers.
+	if len(c.UsedCommandIDs) > cfg.TemplateBudget {
+		t.Errorf("used %d templates, budget %d", len(c.UsedCommandIDs), cfg.TemplateBudget)
+	}
+	if len(c.UsedCommandIDs) >= len(m.Commands)/2 {
+		t.Errorf("used %d of %d commands: not skewed", len(c.UsedCommandIDs), len(m.Commands))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Nokia).Scaled(0.01))
+	cfg, _ := PaperConfig(devmodel.Nokia)
+	cfg = cfg.Scaled(0.02)
+	a := Generate(m, cfg)
+	b := Generate(m, cfg)
+	if a.TotalLines() != b.TotalLines() {
+		t.Fatalf("line counts differ: %d vs %d", a.TotalLines(), b.TotalLines())
+	}
+	for i := range a.Files {
+		for j := range a.Files[i].Lines {
+			if a.Files[i].Lines[j] != b.Files[i].Lines[j] {
+				t.Fatalf("file %d line %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestStanzaIndentationWellFormed(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Huawei).Scaled(0.02))
+	cfg, _ := PaperConfig(devmodel.Huawei)
+	c := Generate(m, cfg.Scaled(0.03))
+	for _, f := range c.Files {
+		prev := -1
+		for n, line := range f.Lines {
+			indent := len(line) - len(strings.TrimLeft(line, " "))
+			if indent > prev+1 {
+				t.Fatalf("%s line %d: indent jumps from %d to %d", f.Name, n, prev, indent)
+			}
+			prev = indent
+		}
+	}
+}
+
+func TestNoPaperConfigForCiscoH3C(t *testing.T) {
+	// Table 4 has "/" for Cisco and H3C device-configuration validation.
+	if _, ok := PaperConfig(devmodel.Cisco); ok {
+		t.Error("Cisco should have no config corpus")
+	}
+	if _, ok := PaperConfig(devmodel.H3C); ok {
+		t.Error("H3C should have no config corpus")
+	}
+}

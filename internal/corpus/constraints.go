@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// §4 step 0 of the parser-development workflow: "We augment the base
+// Table 3 with additional type constraints for this vendor; an automated
+// procedure then generates a set of tests." A Constraint is one such
+// vendor-specific restriction; GenerateConstraintTests compiles a set into
+// the same violation-reporting form the base tests use, so the TDD report
+// covers both.
+
+// Constraint is one vendor-specific restriction on parsed corpora.
+type Constraint struct {
+	Name  string
+	Field string
+	// Check returns "" when the corpus satisfies the constraint, or the
+	// violation message.
+	Check func(c *Corpus) string
+}
+
+// viewSuffixConstraint requires every parent view name to end with the
+// vendor's wording ("... view", "... mode", "... context") — a cheap,
+// reliable detector for a parser that grabbed the wrong element.
+func viewSuffixConstraint(suffix string) Constraint {
+	return Constraint{
+		Name:  "ViewNaming",
+		Field: "ParentViews",
+		Check: func(c *Corpus) string {
+			for _, v := range c.ParentViews {
+				if !strings.HasSuffix(v, suffix) {
+					return fmt.Sprintf("view %q does not end with %q", v, suffix)
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// examplesPresentConstraint requires example snippets: for vendors whose
+// manuals always show them, an example-less corpus means the parser missed
+// the section.
+var examplesPresentConstraint = Constraint{
+	Name:  "ExamplesPresent",
+	Field: "Examples",
+	Check: func(c *Corpus) string {
+		if len(c.Examples) == 0 {
+			return "no example snippet parsed (the manual always provides one)"
+		}
+		return ""
+	},
+}
+
+// examplesAbsentConstraint is the inverse: Nokia manuals publish no
+// example snippets, so any parsed example is a mis-extraction.
+var examplesAbsentConstraint = Constraint{
+	Name:  "ExamplesAbsent",
+	Field: "Examples",
+	Check: func(c *Corpus) string {
+		if len(c.Examples) != 0 {
+			return "example snippets parsed from a manual that has none"
+		}
+		return ""
+	},
+}
+
+// VendorConstraints returns the built-in additional constraints for a
+// vendor ("" for vendors without any).
+func VendorConstraints(vendor string) []Constraint {
+	switch strings.ToLower(vendor) {
+	case "huawei":
+		return []Constraint{viewSuffixConstraint(" view"), examplesPresentConstraint}
+	case "cisco":
+		return []Constraint{viewSuffixConstraint(" mode"), examplesPresentConstraint}
+	case "nokia":
+		return []Constraint{viewSuffixConstraint(" context"), examplesAbsentConstraint}
+	case "h3c":
+		return []Constraint{viewSuffixConstraint(" view"), examplesPresentConstraint}
+	case "juniper":
+		return []Constraint{viewSuffixConstraint(" hierarchy level"), examplesPresentConstraint}
+	}
+	return nil
+}
+
+// RunConstraintTests runs a constraint set over a batch and reports
+// violations in the base report's form (Test = "VendorConstraint:<name>").
+func RunConstraintTests(constraints []Constraint, corpora []Corpus) *Report {
+	r := &Report{Total: len(corpora)}
+	for i := range corpora {
+		for _, con := range constraints {
+			if msg := con.Check(&corpora[i]); msg != "" {
+				r.Violations = append(r.Violations, Violation{
+					Index: i, URL: corpora[i].SourceURL,
+					Test:  "VendorConstraint:" + con.Name,
+					Field: con.Field, Msg: msg,
+				})
+			}
+		}
+	}
+	return r
+}
+
+// Merge folds another report's violations into this one (the combined
+// base + vendor-constraint TDD report).
+func (r *Report) Merge(other *Report) {
+	r.Violations = append(r.Violations, other.Violations...)
+}

@@ -1,0 +1,322 @@
+// Package corpus defines NAssim's vendor-independent VDM corpus format
+// (§4, Table 3, Figure 3): the unified container that normalizes the
+// heterogeneous styles of vendor manuals. One Corpus holds everything a
+// manual page says about one CLI command; a slice of Corpus values is the
+// preliminary VDM handed to the Validator. The package also implements the
+// Test-Driven-Development completeness tests of Appendix B and the
+// violation reports that drive the human-in-the-loop parser workflow.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParaDef describes one placeholder parameter: its name(s) as printed in
+// the manual and the implication/value-range text.
+type ParaDef struct {
+	Paras string `json:"Paras"`
+	Info  string `json:"Info"`
+}
+
+// Corpus is one manual page in the vendor-independent format. The five
+// JSON keys and their type restrictions are Table 3 verbatim.
+type Corpus struct {
+	CLIs        []string   `json:"CLIs"`
+	FuncDef     string     `json:"FuncDef"`
+	ParentViews []string   `json:"ParentViews"`
+	ParaDef     []ParaDef  `json:"ParaDef"`
+	Examples    [][]string `json:"Examples"`
+
+	// EnablesView extends the base format (Table 3 is "easy to expand"):
+	// vendors whose manuals explicitly document the working view a
+	// structural command opens (Nokia's context tree) publish it here; for
+	// other vendors the Validator derives the same relation from Examples.
+	EnablesView string `json:"Enables,omitempty"`
+
+	// Bookkeeping outside the five basic keys: the external link back to
+	// the manual page (used in violation reports so developers can jump to
+	// the problematic page) and the vendor name.
+	SourceURL string `json:"SourceURL,omitempty"`
+	Vendor    string `json:"Vendor,omitempty"`
+}
+
+// PrimaryCLI returns the first (canonical) CLI template of the page, or "".
+func (c *Corpus) PrimaryCLI() string {
+	if len(c.CLIs) == 0 {
+		return ""
+	}
+	return c.CLIs[0]
+}
+
+// ParamTokens extracts the angle-bracketed placeholder names from all CLIs
+// fields, in first-appearance order without duplicates. The Appendix B
+// self-check cross-references these against ParaDef.
+func (c *Corpus) ParamTokens() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, cli := range c.CLIs {
+		for _, tok := range extractParams(cli) {
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+	}
+	return out
+}
+
+// extractParams scans a template for <name> placeholders.
+func extractParams(s string) []string {
+	var out []string
+	for i := 0; i < len(s); {
+		open := strings.IndexByte(s[i:], '<')
+		if open < 0 {
+			break
+		}
+		open += i
+		close := strings.IndexByte(s[open:], '>')
+		if close < 0 {
+			break
+		}
+		close += open
+		name := s[open+1 : close]
+		if name != "" && !strings.ContainsAny(name, " \t") {
+			out = append(out, name)
+		}
+		i = close + 1
+	}
+	return out
+}
+
+// DefinedParams returns the parameter names listed in ParaDef. A Paras
+// field may list several names separated by commas or whitespace.
+func (c *Corpus) DefinedParams() []string {
+	var out []string
+	for _, pd := range c.ParaDef {
+		for _, f := range strings.FieldsFunc(pd.Paras, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		}) {
+			f = strings.Trim(f, "<>")
+			if f != "" {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Marshal encodes corpora as indented JSON — the released-dataset format.
+func Marshal(corpora []Corpus) ([]byte, error) {
+	return json.MarshalIndent(corpora, "", "  ")
+}
+
+// Unmarshal decodes a released-dataset JSON document.
+func Unmarshal(data []byte) ([]Corpus, error) {
+	var out []Corpus
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("corpus: decoding dataset: %w", err)
+	}
+	return out, nil
+}
+
+// basicKeys are the five mandatory keys of Table 3.
+var basicKeys = []string{"CLIs", "FuncDef", "ParentViews", "ParaDef", "Examples"}
+
+// Violation is one failed completeness test for one corpus.
+type Violation struct {
+	Index int    // corpus position within the batch
+	URL   string // external link to the manual page, when known
+	Test  string // which Appendix B test failed
+	Field string // offending field
+	Msg   string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	loc := fmt.Sprintf("corpus %d", v.Index)
+	if v.URL != "" {
+		loc += " (" + v.URL + ")"
+	}
+	return fmt.Sprintf("%s: [%s] %s: %s", loc, v.Test, v.Field, v.Msg)
+}
+
+// Test names, as reported in violation summaries.
+const (
+	TestKeysCompleteness = "KeysCompleteness"
+	TestTypeRestriction  = "TypeRestriction"
+	TestCLISelfCheck     = "CLIKeywordParameterSelfCheck"
+)
+
+// CheckJSON runs the Keys Completeness and Type Restriction tests against a
+// raw JSON document holding one corpus object, catching structural problems
+// a typed decode would silently repair (missing keys, wrong value kinds).
+func CheckJSON(index int, raw []byte) []Violation {
+	var v []Violation
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return []Violation{{Index: index, Test: TestKeysCompleteness, Field: "(document)",
+			Msg: "not a JSON dictionary: " + err.Error()}}
+	}
+	url := ""
+	if u, ok := m["SourceURL"]; ok {
+		_ = json.Unmarshal(u, &url)
+	}
+	for _, key := range basicKeys {
+		if _, ok := m[key]; !ok {
+			v = append(v, Violation{Index: index, URL: url, Test: TestKeysCompleteness,
+				Field: key, Msg: "missing basic key"})
+		}
+	}
+	type restriction struct {
+		key  string
+		dst  any
+		desc string
+	}
+	checks := []restriction{
+		{"CLIs", new([]string), "a list of string"},
+		{"FuncDef", new(string), "string"},
+		{"ParentViews", new([]string), "a list of string"},
+		{"ParaDef", new([]ParaDef), `a list of dict (keys "Paras" and "Info")`},
+		{"Examples", new([][]string), "a list of list"},
+	}
+	for _, c := range checks {
+		raw, ok := m[c.key]
+		if !ok {
+			continue // already reported by the completeness test
+		}
+		if err := json.Unmarshal(raw, c.dst); err != nil {
+			v = append(v, Violation{Index: index, URL: url, Test: TestTypeRestriction,
+				Field: c.key, Msg: "must be " + c.desc})
+		}
+	}
+	return v
+}
+
+// Check runs the Appendix B tests against a decoded corpus: non-empty-list
+// restrictions of Table 3 plus the CLI keyword/parameter self-check (angle
+// bracketed tokens in CLIs must be cross-referenced in ParaDef — this is
+// the test that exposed Cisco's interchangeable cKeyword/cBold CSS tags).
+func Check(index int, c *Corpus) []Violation {
+	var v []Violation
+	add := func(test, field, msg string) {
+		v = append(v, Violation{Index: index, URL: c.SourceURL, Test: test, Field: field, Msg: msg})
+	}
+	if len(c.CLIs) == 0 {
+		add(TestTypeRestriction, "CLIs", "non-empty list required")
+	}
+	for i, cli := range c.CLIs {
+		if strings.TrimSpace(cli) == "" {
+			add(TestTypeRestriction, "CLIs", fmt.Sprintf("entry %d is empty", i))
+		}
+	}
+	if len(c.ParentViews) == 0 {
+		add(TestTypeRestriction, "ParentViews", "non-empty list required")
+	}
+	if strings.TrimSpace(c.FuncDef) == "" {
+		add(TestTypeRestriction, "FuncDef", "empty function description")
+	}
+	for i, pd := range c.ParaDef {
+		if strings.TrimSpace(pd.Paras) == "" {
+			add(TestTypeRestriction, "ParaDef", fmt.Sprintf("entry %d has empty Paras", i))
+		}
+	}
+	// CLI keyword/parameter self-check: the angle-bracketed tokens of the
+	// CLIs fields and the parameters of ParaDef must cross-reference in
+	// both directions; a mismatch in either means the page's keyword vs
+	// parameter font styling was mis-identified (Appendix B).
+	defined := map[string]bool{}
+	for _, p := range c.DefinedParams() {
+		defined[p] = true
+	}
+	inCLI := map[string]bool{}
+	for _, p := range c.ParamTokens() {
+		inCLI[p] = true
+		if !defined[p] {
+			add(TestCLISelfCheck, "CLIs",
+				fmt.Sprintf("parameter <%s> not described in ParaDef (keyword/parameter styling may be mis-parsed)", p))
+		}
+	}
+	if len(c.CLIs) > 0 {
+		for _, p := range c.DefinedParams() {
+			if !inCLI[p] {
+				add(TestCLISelfCheck, "ParaDef",
+					fmt.Sprintf("parameter %s described in ParaDef but absent from the CLIs field", p))
+			}
+		}
+	}
+	return v
+}
+
+// Report is the two-part violation report of §4: a summary of corpora with
+// problematic key attributes, and the per-corpus violation status.
+type Report struct {
+	Total      int
+	Violations []Violation
+}
+
+// RunTests runs every Appendix B test over a parsed batch.
+func RunTests(corpora []Corpus) *Report {
+	r := &Report{Total: len(corpora)}
+	for i := range corpora {
+		r.Violations = append(r.Violations, Check(i, &corpora[i])...)
+	}
+	return r
+}
+
+// Passed reports whether the batch passed all tests — the TDD loop's exit
+// condition (§4 step 2&3 iterate until all tests pass).
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// ProblematicCLIs lists the indices of corpora whose 'CLIs' field failed a
+// test — part one of the report, with external links where available.
+func (r *Report) ProblematicCLIs() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Field == "CLIs" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ByTest groups violation counts by test name.
+func (r *Report) ByTest() map[string]int {
+	out := map[string]int{}
+	for _, v := range r.Violations {
+		out[v.Test]++
+	}
+	return out
+}
+
+// Summary renders the human-readable report the parser developer iterates
+// against.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "corpus completeness report: %d corpora, %d violations\n", r.Total, len(r.Violations))
+	byTest := r.ByTest()
+	tests := make([]string, 0, len(byTest))
+	for t := range byTest {
+		tests = append(tests, t)
+	}
+	sort.Strings(tests)
+	for _, t := range tests {
+		fmt.Fprintf(&b, "  %-32s %d\n", t, byTest[t])
+	}
+	if prob := r.ProblematicCLIs(); len(prob) > 0 {
+		fmt.Fprintf(&b, "summary of key attributes (problematic 'CLIs' fields):\n")
+		max := len(prob)
+		if max > 20 {
+			max = 20
+		}
+		for _, v := range prob[:max] {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if len(prob) > max {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(prob)-max)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,320 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure3Corpus is the sample parsed VDM corpus of the paper's Figure 3.
+func figure3Corpus() Corpus {
+	return Corpus{
+		CLIs:        []string{"peer <ipv4-address> group <group-name>"},
+		FuncDef:     "Adds a peer to a peer group.",
+		ParentViews: []string{"BGP view"},
+		ParaDef: []ParaDef{
+			{Paras: "ipv4-address", Info: "Specifies the IPv4 address of a peer."},
+			{Paras: "group-name", Info: "Specifies the name of a peer group."},
+		},
+		Examples: [][]string{{"bgp 100", " peer 10.1.1.1 group test"}},
+		Vendor:   "Huawei",
+	}
+}
+
+func TestFigure3CorpusPasses(t *testing.T) {
+	c := figure3Corpus()
+	if v := Check(0, &c); len(v) != 0 {
+		t.Errorf("Figure 3 corpus fails tests: %v", v)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Corpus{figure3Corpus()}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// The five Table 3 keys must appear verbatim in the JSON.
+	for _, key := range basicKeys {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("JSON missing key %q", key)
+		}
+	}
+}
+
+func TestUnmarshalError(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+func TestParamTokens(t *testing.T) {
+	c := Corpus{CLIs: []string{
+		"filter-policy { <acl-number> | ip-prefix <ip-prefix-name> } { import | export }",
+		"undo filter-policy <acl-number>",
+	}}
+	got := c.ParamTokens()
+	want := []string{"acl-number", "ip-prefix-name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParamTokens = %v, want %v", got, want)
+	}
+}
+
+func TestParamTokensIgnoresMalformed(t *testing.T) {
+	c := Corpus{CLIs: []string{"peer <unclosed", "cmp a < b and c > d", "ok <x>"}}
+	got := c.ParamTokens()
+	if !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("ParamTokens = %v, want [x]", got)
+	}
+}
+
+func TestDefinedParams(t *testing.T) {
+	c := Corpus{ParaDef: []ParaDef{
+		{Paras: "ipv4-address, ipv6-address", Info: "addresses"},
+		{Paras: "<group-name>", Info: "group"},
+	}}
+	got := c.DefinedParams()
+	want := []string{"ipv4-address", "ipv6-address", "group-name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DefinedParams = %v, want %v", got, want)
+	}
+}
+
+func TestCheckCatchesMissingFields(t *testing.T) {
+	c := Corpus{} // everything empty
+	v := Check(3, &c)
+	fields := map[string]bool{}
+	for _, violation := range v {
+		fields[violation.Field] = true
+		if violation.Index != 3 {
+			t.Errorf("violation index = %d, want 3", violation.Index)
+		}
+	}
+	for _, want := range []string{"CLIs", "ParentViews", "FuncDef"} {
+		if !fields[want] {
+			t.Errorf("no violation recorded for empty %s (got %v)", want, v)
+		}
+	}
+}
+
+func TestSelfCheckCatchesUndescribedParam(t *testing.T) {
+	c := figure3Corpus()
+	c.ParaDef = c.ParaDef[:1] // drop group-name description
+	v := Check(0, &c)
+	found := false
+	for _, violation := range v {
+		if violation.Test == TestCLISelfCheck && strings.Contains(violation.Msg, "group-name") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-check missed undescribed parameter: %v", v)
+	}
+}
+
+func TestCheckJSONMissingKeys(t *testing.T) {
+	raw := []byte(`{"CLIs": ["vlan <vlan-id>"], "FuncDef": "x", "SourceURL": "http://example/page"}`)
+	v := CheckJSON(0, raw)
+	missing := map[string]bool{}
+	for _, violation := range v {
+		if violation.Test == TestKeysCompleteness {
+			missing[violation.Field] = true
+		}
+		if violation.URL != "http://example/page" {
+			t.Errorf("violation URL = %q", violation.URL)
+		}
+	}
+	for _, want := range []string{"ParentViews", "ParaDef", "Examples"} {
+		if !missing[want] {
+			t.Errorf("missing key %s not reported: %v", want, v)
+		}
+	}
+}
+
+func TestCheckJSONTypeRestrictions(t *testing.T) {
+	raw := []byte(`{
+		"CLIs": "not a list",
+		"FuncDef": 42,
+		"ParentViews": ["ok"],
+		"ParaDef": [{"Paras": "x", "Info": "y"}],
+		"Examples": ["flat", "strings"]
+	}`)
+	v := CheckJSON(1, raw)
+	bad := map[string]bool{}
+	for _, violation := range v {
+		if violation.Test == TestTypeRestriction {
+			bad[violation.Field] = true
+		}
+	}
+	for _, want := range []string{"CLIs", "FuncDef", "Examples"} {
+		if !bad[want] {
+			t.Errorf("type violation for %s not reported: %v", want, v)
+		}
+	}
+	if bad["ParentViews"] || bad["ParaDef"] {
+		t.Errorf("false positives: %v", v)
+	}
+}
+
+func TestCheckJSONNotADict(t *testing.T) {
+	v := CheckJSON(0, []byte(`["list", "not", "dict"]`))
+	if len(v) != 1 || !strings.Contains(v[0].Msg, "not a JSON dictionary") {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestReportWorkflow(t *testing.T) {
+	good := figure3Corpus()
+	bad := Corpus{CLIs: []string{"peer <x>"}, FuncDef: "f", ParentViews: []string{"v"}}
+	r := RunTests([]Corpus{good, bad})
+	if r.Passed() {
+		t.Fatal("report passed despite violations")
+	}
+	if r.Total != 2 {
+		t.Errorf("total = %d", r.Total)
+	}
+	if n := r.ByTest()[TestCLISelfCheck]; n != 1 {
+		t.Errorf("self-check count = %d, want 1", n)
+	}
+	if len(r.ProblematicCLIs()) == 0 {
+		t.Error("problematic CLIs list empty")
+	}
+	sum := r.Summary()
+	for _, frag := range []string{"2 corpora", TestCLISelfCheck, "problematic 'CLIs'"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, sum)
+		}
+	}
+	// A clean batch passes.
+	if !RunTests([]Corpus{good}).Passed() {
+		t.Error("clean batch did not pass")
+	}
+}
+
+func TestSummaryTruncatesLongLists(t *testing.T) {
+	var batch []Corpus
+	for i := 0; i < 30; i++ {
+		batch = append(batch, Corpus{FuncDef: "x", ParentViews: []string{"v"}})
+	}
+	r := RunTests(batch)
+	if !strings.Contains(r.Summary(), "more") {
+		t.Errorf("summary does not truncate: %s", r.Summary())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Index: 7, URL: "http://x", Test: TestTypeRestriction, Field: "CLIs", Msg: "bad"}
+	s := v.String()
+	for _, frag := range []string{"corpus 7", "http://x", TestTypeRestriction, "CLIs", "bad"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestPrimaryCLI(t *testing.T) {
+	c := figure3Corpus()
+	if got := c.PrimaryCLI(); got != c.CLIs[0] {
+		t.Errorf("PrimaryCLI = %q", got)
+	}
+	empty := Corpus{}
+	if got := empty.PrimaryCLI(); got != "" {
+		t.Errorf("PrimaryCLI of empty corpus = %q", got)
+	}
+}
+
+// Property: extractParams finds exactly the well-formed placeholders.
+func TestExtractParamsProperty(t *testing.T) {
+	f := func(names []string) bool {
+		var b strings.Builder
+		var want []string
+		b.WriteString("cmd")
+		for _, n := range names {
+			clean := strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' {
+					return r
+				}
+				return -1
+			}, n)
+			if clean == "" {
+				continue
+			}
+			b.WriteString(" <" + clean + ">")
+			want = append(want, clean)
+		}
+		got := extractParams(b.String())
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		// extractParams preserves order but drops nothing well-formed.
+		i := 0
+		for _, g := range got {
+			if i < len(want) && g == want[i] {
+				i++
+			}
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVendorConstraints(t *testing.T) {
+	huawei := figure3Corpus()
+	huaweiNoView := figure3Corpus()
+	huaweiNoView.ParentViews = []string{"BGP"} // suffix missing
+	huaweiNoExample := figure3Corpus()
+	huaweiNoExample.Examples = nil
+
+	cons := VendorConstraints("Huawei")
+	if len(cons) == 0 {
+		t.Fatal("no Huawei constraints")
+	}
+	if r := RunConstraintTests(cons, []Corpus{huawei}); !r.Passed() {
+		t.Errorf("clean Huawei corpus violates constraints: %v", r.Violations)
+	}
+	r := RunConstraintTests(cons, []Corpus{huaweiNoView, huaweiNoExample})
+	if len(r.Violations) != 2 {
+		t.Fatalf("violations = %v", r.Violations)
+	}
+	if !strings.Contains(r.Violations[0].Test, "ViewNaming") ||
+		!strings.Contains(r.Violations[1].Test, "ExamplesPresent") {
+		t.Errorf("violations = %v", r.Violations)
+	}
+
+	// Nokia: examples must be ABSENT, views end with "context".
+	nokia := Corpus{
+		CLIs: []string{"peer <ipv4-address>"}, FuncDef: "f",
+		ParentViews: []string{"BGP context"},
+		ParaDef:     []ParaDef{{Paras: "ipv4-address", Info: "a"}},
+	}
+	if r := RunConstraintTests(VendorConstraints("Nokia"), []Corpus{nokia}); !r.Passed() {
+		t.Errorf("clean Nokia corpus violates constraints: %v", r.Violations)
+	}
+	nokiaWithExample := nokia
+	nokiaWithExample.Examples = [][]string{{"peer 10.0.0.1"}}
+	if r := RunConstraintTests(VendorConstraints("Nokia"), []Corpus{nokiaWithExample}); r.Passed() {
+		t.Error("Nokia corpus with examples passed")
+	}
+	if got := VendorConstraints("unknown"); got != nil {
+		t.Errorf("unknown vendor constraints = %v", got)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a := &Report{Total: 2, Violations: []Violation{{Index: 0, Test: "A"}}}
+	b := &Report{Total: 2, Violations: []Violation{{Index: 1, Test: "B"}}}
+	a.Merge(b)
+	if len(a.Violations) != 2 {
+		t.Errorf("merged = %v", a.Violations)
+	}
+}

@@ -1,0 +1,208 @@
+// Package device simulates a configurable network device. The paper's
+// empirical validation (§5.3) issues generated CLI instances to real
+// devices over Telnet and verifies them with show commands; real routers
+// are not available here, so this package provides the closest equivalent
+// that exercises the same code path: a device whose command acceptor is
+// built from the ground-truth model (view stack, per-view command sets,
+// template matching), a configuration store with show-command readback,
+// and a line-oriented TCP server/client pair standing in for the Telnet
+// transport.
+package device
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"nassim/internal/cgm"
+	"nassim/internal/devmodel"
+)
+
+// Device is a simulated network device instantiated from a ground-truth
+// vendor model. A Device hosts any number of concurrent sessions; the
+// configuration store is shared and mutex-protected.
+type Device struct {
+	model  *devmodel.Model
+	index  *cgm.Index
+	enters map[string][]string // command ID -> views it enables
+	byID   map[string]*devmodel.Command
+
+	mu     sync.Mutex
+	config []configLine
+}
+
+type configLine struct {
+	depth int
+	text  string
+}
+
+// New builds a device from a model. Commands whose templates fail syntax
+// validation (the injected manual errors live in the *manual*, not the
+// device) are still accepted: the device is built from the clean
+// ground-truth templates.
+func New(m *devmodel.Model) (*Device, error) {
+	d := &Device{
+		model:  m,
+		index:  cgm.NewIndex(),
+		enters: map[string][]string{},
+		byID:   map[string]*devmodel.Command{},
+	}
+	for _, c := range m.Commands {
+		if err := d.index.Add(c.ID, c.Template, nil); err != nil {
+			return nil, fmt.Errorf("device: command %s: %w", c.ID, err)
+		}
+		d.byID[c.ID] = c
+	}
+	for _, v := range m.Views {
+		if v.Enter != "" {
+			d.enters[v.Enter] = append(d.enters[v.Enter], v.Name)
+		}
+	}
+	return d, nil
+}
+
+// Vendor returns the device's vendor.
+func (d *Device) Vendor() devmodel.Vendor { return d.model.Vendor }
+
+// ShowConfigCommand returns the vendor's wording of the running-config
+// readback command.
+func (d *Device) ShowConfigCommand() string {
+	switch d.model.Vendor {
+	case devmodel.Cisco:
+		return "show running-config"
+	case devmodel.Nokia:
+		return "admin display-config"
+	default:
+		return "display current-configuration"
+	}
+}
+
+// snapshotConfig renders the accepted configuration as indented lines.
+func (d *Device) snapshotConfig() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.config))
+	for i, l := range d.config {
+		out[i] = strings.Repeat(" ", l.depth) + l.text
+	}
+	return out
+}
+
+func (d *Device) record(depth int, text string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config = append(d.config, configLine{depth: depth, text: text})
+}
+
+// Session is one CLI session on the device, with its own view stack.
+// Each stack level is a set of view names: when a manual documents one
+// enter command as enabling several views (the Figure 7 ambiguity), the
+// device state after that command accepts the commands of all of them.
+// Sessions are not safe for concurrent use; open one per goroutine.
+type Session struct {
+	dev   *Device
+	stack [][]string // current view path, root first
+}
+
+// NewSession opens a session positioned in the device's root view.
+func (d *Device) NewSession() *Session {
+	return &Session{dev: d, stack: [][]string{{d.model.RootView}}}
+}
+
+// View returns the session's current working view (the first name when the
+// level is a merged multi-view state).
+func (s *Session) View() string { return s.stack[len(s.stack)-1][0] }
+
+// ViewSet returns all view names of the current level.
+func (s *Session) ViewSet() []string {
+	top := s.stack[len(s.stack)-1]
+	out := make([]string, len(top))
+	copy(out, top)
+	return out
+}
+
+// Depth returns the view-stack depth below the root view.
+func (s *Session) Depth() int { return len(s.stack) - 1 }
+
+// Response is the outcome of executing one CLI line.
+type Response struct {
+	OK   bool
+	Msg  string   // error message when !OK
+	Data []string // configuration dump for show commands
+}
+
+// Exec executes one CLI line in the session: view navigation (quit /
+// return), configuration readback (the vendor's show command), or a
+// configuration command matched against the templates valid in the current
+// view. Matched commands are recorded in the running configuration;
+// commands that enable a sub-view push it onto the view stack.
+func (s *Session) Exec(line string) Response {
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "":
+		return Response{OK: true}
+	case line == "quit" || line == "exit":
+		if len(s.stack) > 1 {
+			s.stack = s.stack[:len(s.stack)-1]
+		}
+		return Response{OK: true}
+	case line == "return":
+		s.stack = s.stack[:1]
+		return Response{OK: true}
+	case line == s.dev.ShowConfigCommand():
+		return Response{OK: true, Data: s.dev.snapshotConfig()}
+	}
+	cur := map[string]bool{}
+	for _, v := range s.stack[len(s.stack)-1] {
+		cur[v] = true
+	}
+	var inView []string
+	for _, id := range s.dev.index.Match(line) {
+		c := s.dev.byID[id]
+		for _, v := range c.Views {
+			if cur[v] {
+				inView = append(inView, id)
+				break
+			}
+		}
+	}
+	if len(inView) == 0 {
+		return Response{OK: false, Msg: fmt.Sprintf("unrecognized command in %s: %q", s.View(), line)}
+	}
+	id := inView[0]
+	s.dev.record(s.Depth(), line)
+	if views := s.dev.enters[id]; len(views) > 0 {
+		s.stack = append(s.stack, views)
+	}
+	return Response{OK: true}
+}
+
+// HasConfigLine reports whether the running configuration contains the
+// exact line (ignoring indentation) — the show-command verification step
+// of §5.3's generated-instance testing.
+func (d *Device) HasConfigLine(line string) bool {
+	line = strings.TrimSpace(line)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, l := range d.config {
+		if l.text == line {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigLineCount returns the number of accepted configuration lines.
+func (d *Device) ConfigLineCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.config)
+}
+
+// ResetConfig clears the running configuration (test hygiene between
+// generated-instance batches).
+func (d *Device) ResetConfig() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config = nil
+}

@@ -1,0 +1,200 @@
+package device
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The wire protocol is line-oriented, standing in for the Telnet transport
+// the paper's validator uses to reach devices:
+//
+//	server greeting:  HELLO <vendor>
+//	client request:   one CLI line
+//	server response:  OK | ERR <message> | DATA <n> followed by n lines
+//
+// Each connection gets its own CLI session (its own view stack); the
+// device's configuration store is shared across connections.
+
+// Server serves a simulated device over TCP.
+type Server struct {
+	dev *Device
+	l   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the device on the given address ("127.0.0.1:0"
+// picks an ephemeral port) and returns immediately.
+func Serve(dev *Device, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("device: listen: %w", err)
+	}
+	s := &Server{dev: dev, l: l, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	w := bufio.NewWriter(conn)
+	fmt.Fprintf(w, "HELLO %s\n", s.dev.Vendor())
+	if err := w.Flush(); err != nil {
+		return
+	}
+	sess := s.dev.NewSession()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		resp := sess.Exec(scanner.Text())
+		switch {
+		case len(resp.Data) > 0 || (resp.OK && isShow(scanner.Text(), s.dev)):
+			fmt.Fprintf(w, "DATA %d\n", len(resp.Data))
+			for _, line := range resp.Data {
+				fmt.Fprintln(w, line)
+			}
+		case resp.OK:
+			fmt.Fprintln(w, "OK")
+		default:
+			fmt.Fprintf(w, "ERR %s\n", resp.Msg)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func isShow(line string, d *Device) bool {
+	return strings.TrimSpace(line) == d.ShowConfigCommand()
+}
+
+// Close stops the server and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a CLI session against a remote simulated device.
+type Client struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	vendor string
+}
+
+// Dial connects to a device server and consumes the greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("device: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	greeting, err := c.readLine()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("device: reading greeting: %w", err)
+	}
+	if !strings.HasPrefix(greeting, "HELLO ") {
+		conn.Close()
+		return nil, fmt.Errorf("device: unexpected greeting %q", greeting)
+	}
+	c.vendor = strings.TrimPrefix(greeting, "HELLO ")
+	return c, nil
+}
+
+// Vendor returns the vendor announced by the device.
+func (c *Client) Vendor() string { return c.vendor }
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Exec sends one CLI line and decodes the response.
+func (c *Client) Exec(line string) (Response, error) {
+	if strings.ContainsAny(line, "\r\n") {
+		return Response{}, errors.New("device: CLI line must not contain newlines")
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return Response{}, fmt.Errorf("device: send: %w", err)
+	}
+	status, err := c.readLine()
+	if err != nil {
+		return Response{}, fmt.Errorf("device: recv: %w", err)
+	}
+	switch {
+	case status == "OK":
+		return Response{OK: true}, nil
+	case strings.HasPrefix(status, "ERR "):
+		return Response{OK: false, Msg: strings.TrimPrefix(status, "ERR ")}, nil
+	case strings.HasPrefix(status, "DATA "):
+		n, err := strconv.Atoi(strings.TrimPrefix(status, "DATA "))
+		if err != nil || n < 0 {
+			return Response{}, fmt.Errorf("device: bad DATA header %q", status)
+		}
+		data := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			line, err := c.readLine()
+			if err != nil {
+				return Response{}, fmt.Errorf("device: reading dump line %d: %w", i, err)
+			}
+			data = append(data, line)
+		}
+		return Response{OK: true, Data: data}, nil
+	}
+	return Response{}, fmt.Errorf("device: unexpected status %q", status)
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.conn.Close() }

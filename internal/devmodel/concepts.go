@@ -1,0 +1,84 @@
+package devmodel
+
+import "sync"
+
+// conSpec locates a concept inside the feature library.
+type conSpec struct {
+	feature *featureSpec
+	obj     *objSpec // nil for feature-level attributes
+	attr    attrSpec
+}
+
+// phrase returns the noun phrase of the entity the attribute belongs to.
+func (s conSpec) phrase() string {
+	if s.obj != nil {
+		return s.obj.phrase
+	}
+	return s.feature.title + " feature"
+}
+
+// genericAttrsPerFeature is how many generic attributes each feature exposes
+// at feature level (timers, priorities, limits...), giving the concept space
+// enough size to cover the paper's 381 Huawei + 110 Nokia annotations.
+const genericAttrsPerFeature = 30
+
+var (
+	conceptsOnce sync.Once
+	conceptList  []Concept
+	conceptSpecs map[string]conSpec
+)
+
+// buildConcepts enumerates the vendor-independent concept space: one concept
+// per curated (feature, object, attribute) triple — including each object's
+// identifying parameter — plus a rotating selection of generic attributes at
+// feature level. The enumeration is deterministic, so every vendor model
+// shares the same concept IDs.
+func buildConcepts() {
+	conceptSpecs = map[string]conSpec{}
+	add := func(id string, c Concept, s conSpec) {
+		c.ID = id
+		conceptList = append(conceptList, c)
+		conceptSpecs[id] = s
+	}
+	for fi := range features {
+		f := &features[fi]
+		for oi := range f.objects {
+			o := &f.objects[oi]
+			add(f.name+"."+o.noun+"."+o.param.name, Concept{
+				Feature: f.name,
+				Name:    o.param.name,
+				Desc:    "The " + o.param.phrase + " of the " + o.phrase + ".",
+			}, conSpec{feature: f, obj: o, attr: o.param})
+			for _, a := range o.attrs {
+				add(f.name+"."+o.noun+"."+a.name, Concept{
+					Feature: f.name,
+					Name:    a.name,
+					Desc:    "The " + a.phrase + " of the " + o.phrase + ".",
+				}, conSpec{feature: f, obj: o, attr: a})
+			}
+		}
+		for j := 0; j < genericAttrsPerFeature; j++ {
+			a := genericAttrs[(fi+j)%len(genericAttrs)]
+			add(f.name+"."+a.name, Concept{
+				Feature: f.name,
+				Name:    a.name,
+				Desc:    "The " + a.phrase + " of the " + f.title + " feature.",
+			}, conSpec{feature: f, attr: a})
+		}
+	}
+}
+
+// Concepts returns the shared, vendor-independent concept space. The slice
+// is freshly allocated; the Concept values are immutable.
+func Concepts() []Concept {
+	conceptsOnce.Do(buildConcepts)
+	out := make([]Concept, len(conceptList))
+	copy(out, conceptList)
+	return out
+}
+
+// conceptSpec resolves a concept back to its feature-library location.
+func conceptSpec(c Concept) conSpec {
+	conceptsOnce.Do(buildConcepts)
+	return conceptSpecs[c.ID]
+}

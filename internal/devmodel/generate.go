@@ -1,0 +1,914 @@
+package devmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+)
+
+// Config sizes one generated vendor model. The paper-scale configurations
+// reproduce Table 4's "Main Statistics" exactly; tests use Scaled copies.
+type Config struct {
+	Vendor         Vendor
+	TargetCommands int
+	TargetViews    int // includes the root view
+	TargetPairs    int // CLI-View pairs; >= TargetCommands
+	TargetExamples int // example snippets (0: hierarchy explicit in manual)
+	SyntaxErrors   int // command templates the manual renderer corrupts
+	AmbiguousViews int // views sharing an enter command (Figure 7)
+	Seed           uint64
+}
+
+// PaperConfig returns the paper-scale configuration for a vendor, matching
+// the Table 4 row for Huawei/NE40E, Cisco/Nexus5500, Nokia/7750SR and
+// H3C/S3600.
+func PaperConfig(v Vendor) Config {
+	switch v {
+	case Huawei:
+		return Config{Vendor: Huawei, TargetCommands: 12874, TargetViews: 607,
+			TargetPairs: 36274, TargetExamples: 15466, SyntaxErrors: 13, AmbiguousViews: 47, Seed: 0x4e40e}
+	case Cisco:
+		return Config{Vendor: Cisco, TargetCommands: 278, TargetViews: 27,
+			TargetPairs: 366, TargetExamples: 523, SyntaxErrors: 19, AmbiguousViews: 8, Seed: 0x5500}
+	case Nokia:
+		return Config{Vendor: Nokia, TargetCommands: 14046, TargetViews: 3832,
+			TargetPairs: 22734, TargetExamples: 0, SyntaxErrors: 139, AmbiguousViews: 0, Seed: 0x7750}
+	case H3C:
+		return Config{Vendor: H3C, TargetCommands: 759, TargetViews: 28,
+			TargetPairs: 851, TargetExamples: 1147, SyntaxErrors: 13, AmbiguousViews: 4, Seed: 0x3600}
+	case Juniper:
+		// Juniper is not in the paper's Table 4; this configuration sizes
+		// the E13 new-vendor on-boarding extension.
+		return Config{Vendor: Juniper, TargetCommands: 1500, TargetViews: 60,
+			TargetPairs: 2600, TargetExamples: 1800, SyntaxErrors: 9, AmbiguousViews: 6, Seed: 0x1097}
+	}
+	panic("devmodel: no paper configuration for vendor " + string(v))
+}
+
+// Scaled shrinks the configuration by factor f (0 < f <= 1) while keeping it
+// internally consistent. Used to run the full pipeline at test scale.
+func (c Config) Scaled(f float64) Config {
+	scale := func(n, min int) int {
+		v := int(float64(n) * f)
+		if v < min {
+			v = min
+		}
+		if v > n {
+			v = n
+		}
+		return v
+	}
+	out := c
+	out.TargetViews = scale(c.TargetViews, 8)
+	out.TargetCommands = scale(c.TargetCommands, 2*out.TargetViews+30)
+	out.TargetPairs = scale(c.TargetPairs, out.TargetCommands)
+	if c.TargetExamples > 0 {
+		out.TargetExamples = scale(c.TargetExamples, out.TargetCommands)
+		if max := 2 * out.TargetCommands; out.TargetExamples > max {
+			out.TargetExamples = max
+		}
+	}
+	if c.SyntaxErrors > 0 {
+		out.SyntaxErrors = scale(c.SyntaxErrors, 2)
+	}
+	if c.AmbiguousViews > 0 {
+		out.AmbiguousViews = scale(c.AmbiguousViews, 2)
+	}
+	// Ambiguity tagging itself consumes CLI-View pairs.
+	if min := out.TargetCommands + 2*out.AmbiguousViews; out.TargetPairs < min {
+		out.TargetPairs = min
+	}
+	return out
+}
+
+// validate panics on impossible configurations: these are programming
+// errors in experiment setup, not runtime conditions.
+func (c Config) validate() {
+	if c.TargetViews < 2 {
+		panic("devmodel: need at least a root view and one feature view")
+	}
+	if c.TargetCommands < 2*(c.TargetViews-1)+12 {
+		panic(fmt.Sprintf("devmodel: %d commands cannot hold %d views (each view needs an enter command and a dedicated command)",
+			c.TargetCommands, c.TargetViews))
+	}
+	if c.TargetPairs < c.TargetCommands {
+		panic("devmodel: every command has at least one view: pairs < commands")
+	}
+	if c.TargetExamples > 2*c.TargetCommands {
+		panic("devmodel: at most two examples per command")
+	}
+}
+
+// featureEnterParam names the parameter of each feature's view-enter
+// command (e.g. `bgp <as-number>` enters the BGP view). Features not listed
+// enter their view with a bare keyword.
+var featureEnterParam = map[string]attrSpec{
+	"bgp":       {"as-number", TypeInt, 1, 4294967295, "autonomous system number"},
+	"ospf":      {"process-id", TypeInt, 1, 65535, "process identifier"},
+	"isis":      {"process-id", TypeInt, 1, 65535, "process identifier"},
+	"vlan":      {"vlan-id", TypeInt, 1, 4094, "VLAN identifier"},
+	"interface": {"interface-number", TypeInt, 1, 48, "interface number"},
+	"acl":       {"acl-number", TypeInt, 2000, 3999, "ACL number"},
+	"qos":       {"policy-name", TypeString, 0, 0, "policy name"},
+	"aaa":       {},
+	"dhcp":      {"pool-name", TypeString, 0, 0, "address pool name"},
+	"multicast": {},
+}
+
+// variantViewPatterns generates additional per-feature views beyond the base
+// one (one command commonly works under several such views, which is why
+// Table 4's CLI-View pairs exceed command counts).
+var variantViewPatterns = []struct {
+	view  string // fmt pattern over feature title
+	kw    string // extra keyword in the enter command
+	param string // parameter of the enter command
+}{
+	{"%s-VPN instance", "vpn-instance", "vpn-instance-name"},
+	{"%s multi-instance", "instance", "instance-name"},
+	{"%s IPv6 family", "ipv6-family", ""},
+	{"%s IPv4 family", "ipv4-family", ""},
+}
+
+type gen struct {
+	cfg   Config
+	r     *rand.Rand
+	m     *Model
+	seen  map[string]bool // template uniqueness
+	style viewStyle
+	verbs verbWording
+	// featureViews collects, per feature, the generated view names
+	// (index 0 is the base view).
+	featureViews map[string][]string
+	// dedicated tracks per-view dedicated commands (single parent view,
+	// never corrupted, never given extra views): they are the unambiguous
+	// evidence hierarchy derivation associates each view with.
+	dedicated map[string]bool
+}
+
+// Generate builds the ground-truth model for one vendor configuration.
+// Generation is fully deterministic in Config (including Seed).
+func Generate(cfg Config) *Model {
+	cfg.validate()
+	g := &gen{
+		cfg:          cfg,
+		r:            rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		seen:         map[string]bool{},
+		style:        vendorViewStyle[cfg.Vendor],
+		verbs:        vendorVerbs[cfg.Vendor],
+		featureViews: map[string][]string{},
+		dedicated:    map[string]bool{},
+	}
+	g.m = &Model{
+		Vendor:   cfg.Vendor,
+		RootView: g.style.root,
+		Realizes: map[string]ParamRef{},
+		Concepts: Concepts(),
+	}
+	g.m.Views = append(g.m.Views, &View{Name: g.style.root})
+
+	g.buildViews()
+	g.buildCuratedCommands()
+	g.buildConceptCommands()
+	g.buildAuxCommands()
+	g.pad()
+	g.markAmbiguous() // before extra views: ambiguity tagging adds pairs too
+	g.assignExtraViews()
+	g.buildExamples()
+	g.pickSyntaxErrors()
+	return g.m
+}
+
+// stableFrac maps (vendor, salt, token) to a deterministic fraction in
+// [0, 1), used for consistent vendor-vocabulary decisions: a vendor that
+// renames "peer" to "neighbor" does so everywhere.
+func stableFrac(v Vendor, salt, token string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(string(v)))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write([]byte(token))
+	return float64(h.Sum64()%100000) / 100000
+}
+
+// vocabToken applies the vendor's global vocabulary to one canonical
+// token: the vendor's domain dialect first, then its general-English
+// phrasing habits. Decisions hash the token alone so renamed vocabularies
+// nest across vendors (see vendorDivergence).
+func (g *gen) vocabToken(tok string) string {
+	if syn, ok := domainSynonyms[tok]; ok &&
+		stableFrac("", "dom", tok) < vendorDivergence[g.cfg.Vendor] {
+		return syn
+	}
+	if syn, ok := generalSynMap[tok]; ok &&
+		stableFrac("", "gen", tok) < vendorGeneralRate[g.cfg.Vendor] {
+		return syn
+	}
+	return tok
+}
+
+// vendorToken applies the vendor's vocabulary to a canonical keyword.
+// Hyphenated CLI keywords ("hello-interval") are mapped per segment, the
+// same way manuals name them.
+func (g *gen) vendorToken(tok string) string {
+	switch tok {
+	case "display":
+		return g.verbs.show
+	case "undo":
+		return g.verbs.delete
+	}
+	if !strings.Contains(tok, "-") {
+		return g.vocabToken(tok)
+	}
+	segs := strings.Split(tok, "-")
+	for i, s := range segs {
+		segs[i] = g.vocabToken(s)
+	}
+	return strings.Join(segs, "-")
+}
+
+// vendorPhrase rewrites a canonical description sentence into the vendor's
+// wording. Decisions are stable per (vendor, salt, token): pass a
+// per-command salt so two manual pages of the same vendor describe the
+// same fact with different wording (manuals are written by many authors
+// over years, §2.2), or "" for vendor-global wording. Three transformation
+// tiers mirror what the §7.3 models can and cannot bridge: word dropout
+// (nobody recovers), domain-vocabulary substitution (only fine-tuned
+// NetBERT), general-English substitution (SBERT-class pretraining).
+func (g *gen) vendorPhrase(salt, s string) string {
+	words := strings.Fields(s)
+	pDrop := vendorDropout[g.cfg.Vendor]
+	kept := make([]string, 0, len(words))
+	dropped := 0
+	for _, w := range words {
+		trimmed := strings.ToLower(strings.Trim(w, ".,"))
+		// Per-page dropout: this page's author simply did not write the
+		// word (unbridgeable by any model).
+		if stableFrac(g.cfg.Vendor, "ph|"+salt, trimmed) < pDrop && len(words)-dropped > 3 {
+			dropped++
+			continue
+		}
+		// Global vendor vocabulary: consistent across the whole manual.
+		if repl := g.vocabToken(trimmed); repl != trimmed {
+			kept = append(kept, strings.Replace(w, trimmed, repl, 1))
+			continue
+		}
+		kept = append(kept, w)
+	}
+	return strings.Join(kept, " ")
+}
+
+// vendorDropout is the per-vendor probability that a description word is
+// simply absent from the vendor's wording of a fact.
+var vendorDropout = map[Vendor]float64{
+	Huawei:  0.15,
+	Cisco:   0.25,
+	Nokia:   0.45,
+	H3C:     0.20,
+	Juniper: 0.25,
+}
+
+// pname maps a canonical parameter placeholder name into the vendor's
+// naming: per segment, the vendor's domain vocabulary first, then the
+// documentation abbreviations ("as-number" -> "as-num" for a vendor that
+// abbreviates). This is the §2.2 reality that "the attribute and the
+// equivalent parameter can have different names" across models. A rename
+// that would change the name-inferred value domain to something
+// incompatible with the parameter's actual type is rejected (manual
+// writers keep names that telegraph the value domain).
+func (g *gen) pname(name string, typ ParamType) string {
+	segs := strings.Split(name, "-")
+	for i, s := range segs {
+		if repl := g.vocabToken(s); repl != s {
+			segs[i] = repl
+			continue
+		}
+		if ab, ok := abbrevs[s]; ok &&
+			stableFrac(g.cfg.Vendor, "pabbr", s) < vendorAbbrevRate[g.cfg.Vendor] {
+			segs[i] = ab
+		}
+	}
+	out := strings.Join(segs, "-")
+	if inferred := InferType(out); inferred != typ && inferred != TypeString {
+		return name
+	}
+	return out
+}
+
+// paramDesc renders a parameter description in the vendor's documentation
+// style (each vendor phrases the same fact differently — Table 2's
+// heterogeneity applied to prose), then applies the vendor vocabulary.
+func (g *gen) paramDesc(salt, attrPhrase, owner string) string {
+	var s string
+	switch g.cfg.Vendor {
+	case Cisco:
+		s = fmt.Sprintf("%s of the %s.", upperFirst(attrPhrase), owner)
+	case Nokia:
+		s = fmt.Sprintf("This command configures the %s for the %s context.", attrPhrase, owner)
+	case H3C:
+		s = fmt.Sprintf("Sets the %s of the %s.", attrPhrase, owner)
+	default:
+		s = fmt.Sprintf("Specifies the %s of the %s.", attrPhrase, owner)
+	}
+	return g.vendorPhrase(salt, s)
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-('a'-'A')) + s[1:]
+	}
+	return s
+}
+
+// addCommand registers a command if its template is new and the command
+// budget allows; it reports whether the command was added.
+func (g *gen) addCommand(c *Command) bool {
+	if len(g.m.Commands) >= g.cfg.TargetCommands {
+		return false
+	}
+	c.Template = c.Tmpl.String()
+	if g.seen[c.Template] {
+		return false
+	}
+	g.seen[c.Template] = true
+	c.ID = fmt.Sprintf("%s-%04d", strings.ToLower(string(g.cfg.Vendor)), len(g.m.Commands))
+	g.m.Commands = append(g.m.Commands, c)
+	return true
+}
+
+// buildViews creates the view tree and its enter commands: one base view per
+// feature, then per-feature variant views, then numbered instance views
+// until TargetViews is met. Nokia's thousands of contexts come from the
+// numbered tier. When ambiguity injection is configured, variant-view slots
+// are reserved so consecutive same-feature variants exist to pair up.
+func (g *gen) buildViews() {
+	addView := func(v *View, enter *Command) bool {
+		if len(g.m.Views) >= g.cfg.TargetViews {
+			return false
+		}
+		if !g.addCommand(enter) {
+			return false
+		}
+		v.Enter = enter.ID
+		enter.Enters = v.Name
+		g.m.Views = append(g.m.Views, v)
+		g.featureViews[v.Feature] = append(g.featureViews[v.Feature], v.Name)
+		// Every view gets a dedicated command that works only under it; its
+		// example snippet is the evidence that unambiguously ties the view
+		// to its enter command during hierarchy derivation.
+		ded := &Command{
+			Feature: v.Feature,
+			Tmpl: Seq(Kw(g.vendorToken("description")),
+				Kw(fmt.Sprintf("tag-%d", len(g.m.Views)-1)), P("description-text")),
+			Params: []Param{{Name: "description-text", Type: TypeString,
+				Desc: g.vendorPhrase(v.Name, "Specifies the description text.")}},
+			FuncDesc: g.vendorPhrase(v.Name, fmt.Sprintf("Specifies the description text used in the %s.", v.Name)),
+			Views:    []string{v.Name},
+		}
+		if g.addCommand(ded) {
+			g.dedicated[ded.ID] = true
+		}
+		return true
+	}
+
+	slots := g.cfg.TargetViews - 1
+	reserve := 0
+	if g.cfg.AmbiguousViews > 0 {
+		reserve = g.cfg.AmbiguousViews + 2
+	}
+	baseCount := len(features)
+	if baseCount > slots-reserve {
+		baseCount = slots - reserve
+	}
+	if baseCount < 1 {
+		baseCount = 1
+	}
+
+	// Tier 1: base feature views, entered from the root view.
+	for _, f := range features[:baseCount] {
+		name := fmt.Sprintf(g.style.pattern, f.title)
+		enter := &Command{
+			Feature:  f.name,
+			FuncDesc: g.vendorPhrase(f.name, fmt.Sprintf("Enters the %s view to configure %s.", f.title, f.title)),
+			Views:    []string{g.m.RootView},
+		}
+		ep := featureEnterParam[f.name]
+		if ep.name != "" {
+			enter.Tmpl = Seq(Kw(g.vendorToken(f.name)), P(ep.name))
+			enter.Params = []Param{{Name: ep.name, Type: ep.typ, Min: ep.min, Max: ep.max,
+				Desc: g.vendorPhrase(f.name, "Specifies the "+ep.phrase+".")}}
+		} else {
+			enter.Tmpl = Seq(Kw(g.vendorToken(f.name)))
+		}
+		if !addView(&View{Name: name, Parent: g.m.RootView, Feature: f.name}, enter) {
+			return
+		}
+	}
+	// Tier 2: variant views, entered from the base feature view. Features
+	// are walked in the outer loop so a feature's variants are consecutive
+	// in featureViews — the property ambiguity pairing relies on.
+	for _, f := range features[:baseCount] {
+		for _, pat := range variantViewPatterns {
+			if len(g.m.Views) >= g.cfg.TargetViews {
+				return
+			}
+			base := g.featureViews[f.name][0]
+			name := fmt.Sprintf(g.style.pattern, fmt.Sprintf(pat.view, f.title))
+			enter := &Command{
+				Feature:  f.name,
+				FuncDesc: g.vendorPhrase(f.name+pat.kw, fmt.Sprintf("Enters the %s view of %s.", fmt.Sprintf(pat.view, f.title), f.title)),
+				Views:    []string{base},
+			}
+			// The feature keyword scopes the template: templates are unique
+			// model-wide so a CLI instance resolves to a single command.
+			kws := []*TmplNode{Kw(g.vendorToken(f.name)), Kw(g.vendorToken(pat.kw))}
+			if pat.param != "" {
+				enter.Tmpl = Seq(append(kws, P(pat.param))...)
+				enter.Params = []Param{{Name: pat.param, Type: TypeString,
+					Desc: g.vendorPhrase(f.name+pat.kw, "Specifies the name of the instance.")}}
+			} else {
+				enter.Tmpl = Seq(kws...)
+			}
+			if !addView(&View{Name: name, Parent: base, Feature: f.name}, enter) {
+				return
+			}
+		}
+	}
+	// Tier 3: numbered instance views until the target is met.
+	for k := 1; len(g.m.Views) < g.cfg.TargetViews; k++ {
+		for _, f := range features[:baseCount] {
+			if len(g.m.Views) >= g.cfg.TargetViews {
+				return
+			}
+			base := g.featureViews[f.name][0]
+			name := fmt.Sprintf(g.style.pattern, fmt.Sprintf("%s instance-%d", f.title, k))
+			enter := &Command{
+				Feature:  f.name,
+				FuncDesc: g.vendorPhrase(fmt.Sprintf("%s.t3.%d", f.name, k), fmt.Sprintf("Enters instance %d of %s.", k, f.title)),
+				Views:    []string{base},
+				Tmpl: Seq(Kw(g.vendorToken(f.name)), Kw(g.vendorToken("instance")),
+					Kw(fmt.Sprintf("slot-%d", k)), P("instance-name")),
+				Params: []Param{{Name: "instance-name", Type: TypeString,
+					Desc: g.vendorPhrase(f.name, "Specifies the name of the instance.")}},
+			}
+			if !addView(&View{Name: name, Parent: base, Feature: f.name}, enter) {
+				return
+			}
+		}
+	}
+}
+
+// baseView returns the base view name of a feature, falling back to root.
+func (g *gen) baseView(feature string) string {
+	if vs := g.featureViews[feature]; len(vs) > 0 {
+		return vs[0]
+	}
+	return g.m.RootView
+}
+
+// attrKeyword derives a command keyword from a parameter placeholder name:
+// "priority-value" configures via keyword "priority".
+func attrKeyword(name string) string {
+	for _, suf := range []string{"-value", "-count", "-string", "-text", "-number", "-id",
+		"-name", "-address", "-size", "-length", "-time", "-days", "-mode"} {
+		if strings.HasSuffix(name, suf) && len(name) > len(suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// buildCuratedCommands adds the hand-written commands used by the paper's
+// figures and by golden tests: Figure 3's BGP peer-group command and
+// Figure 6's filter-policy template.
+func (g *gen) buildCuratedCommands() {
+	peer := &Command{
+		Feature: "bgp",
+		Tmpl:    Seq(Kw(g.vendorToken("peer")), P("ipv4-address"), Kw(g.vendorToken("group")), P("group-name")),
+		Params: []Param{
+			{Name: "ipv4-address", Type: TypeIPv4, Desc: g.vendorPhrase("fig3", "Specifies the IPv4 address of a peer.")},
+			{Name: "group-name", Type: TypeString, Desc: g.vendorPhrase("fig3", "Specifies the name of a peer group.")},
+		},
+		FuncDesc: g.vendorPhrase("fig3", "Adds a peer to a peer group."),
+		Views:    []string{g.baseView("bgp")},
+	}
+	g.addCommand(peer)
+
+	filter := &Command{
+		Feature: "route-policy",
+		Tmpl: Seq(Kw("filter-policy"),
+			Sel(
+				P("acl-number"),
+				Seq(Kw("ip-prefix"), P("ip-prefix-name")),
+				Seq(Kw("acl-name"), P("acl-name")),
+			),
+			Sel(Kw("import"), Kw("export"))),
+		Params: []Param{
+			{Name: "acl-number", Type: TypeInt, Min: 2000, Max: 3999, Desc: g.vendorPhrase("fig6", "Specifies the number of a basic ACL.")},
+			{Name: "ip-prefix-name", Type: TypeString, Desc: g.vendorPhrase("fig6", "Specifies the name of an IP prefix list.")},
+			{Name: "acl-name", Type: TypeString, Desc: g.vendorPhrase("fig6", "Specifies the name of a named ACL.")},
+		},
+		FuncDesc: g.vendorPhrase("fig6", "Filters routes received or advertised based on a filter."),
+		Views:    []string{g.baseView("route-policy")},
+	}
+	g.addCommand(filter)
+}
+
+// buildConceptCommands generates, for every ground-truth concept the budget
+// allows, the vendor command whose parameter realizes it.
+func (g *gen) buildConceptCommands() {
+	// Cap concept commands so small models keep budget for display/undo
+	// forms and padding; paper-scale models realize the whole space.
+	budget := g.cfg.TargetCommands - len(g.m.Commands) - 60
+	for _, con := range g.m.Concepts {
+		if budget <= 0 {
+			break
+		}
+		spec := conceptSpec(con)
+		if spec.feature == nil {
+			continue
+		}
+		budget--
+		cmd := g.conceptCommand(con, spec)
+		if !g.addCommand(cmd) {
+			if len(g.m.Commands) >= g.cfg.TargetCommands {
+				// Budget exhausted: small models realize fewer concepts.
+				continue
+			}
+			// Template collision (the same object noun exists in several
+			// features, e.g. `network <network-address>` in BGP and OSPF):
+			// retry with a feature-scoping keyword.
+			cmd = g.conceptCommand(con, spec)
+			cmd.Tmpl = Seq(append([]*TmplNode{Kw(g.vendorToken(con.Feature))}, cmd.Tmpl.Children...)...)
+			if !g.addCommand(cmd) {
+				continue
+			}
+		}
+		// The realizing parameter is the one tagged with the concept ID
+		// (its name may be vendor-renamed or opaque).
+		for _, p := range cmd.Params {
+			if p.Concept == con.ID {
+				g.m.Realizes[con.ID] = ParamRef{CommandID: cmd.ID, Param: p.Name}
+				break
+			}
+		}
+	}
+}
+
+// conceptCommand builds the vendor command realizing one concept.
+func (g *gen) conceptCommand(con Concept, spec conSpec) *Command {
+	var tmpl *TmplNode
+	params := []Param{}
+	// An opaque concept is one the vendor documents obscurely: a numeric
+	// internal knob with an uninformative name, keyword and description.
+	// Nothing in its context links it to the UDM attribute — neither exact
+	// overlap, pretrained synonymy, nor learnable alignment — so opaque
+	// pairs form the unbridgeable tail of the recall curves (Tables 5/6
+	// never reach 100 at top-30).
+	opaque := stableFrac(g.cfg.Vendor, "opaque", con.ID) < vendorOpaqueRate[g.cfg.Vendor]
+	h := fnv.New32a()
+	h.Write([]byte(string(g.cfg.Vendor) + "|" + con.ID))
+	opaqueTag := h.Sum32()
+	attrName := g.pname(spec.attr.name, spec.attr.typ)
+	attrKw := g.vendorToken(attrKeyword(spec.attr.name))
+	if opaque {
+		attrName = fmt.Sprintf("arg-%08x", opaqueTag)
+		attrKw = fmt.Sprintf("option-%x", opaqueTag%0xffff)
+	}
+	objName := ""
+	if spec.obj != nil {
+		objName = g.pname(spec.obj.param.name, spec.obj.param.typ)
+	}
+	if spec.obj != nil {
+		objKw := Kw(g.vendorToken(spec.obj.noun))
+		if spec.attr.name == spec.obj.param.name && !opaque {
+			// Object-creation command: `peer <ipv4-address>`.
+			tmpl = Seq(objKw, P(objName))
+			attrName = objName
+		} else if spec.attr.name == spec.obj.param.name {
+			tmpl = Seq(objKw, P(attrName))
+		} else {
+			tmpl = Seq(objKw, P(objName), Kw(attrKw), P(attrName))
+			params = append(params, Param{
+				Name: objName, Type: spec.obj.param.typ,
+				Min: spec.obj.param.min, Max: spec.obj.param.max,
+				Desc: g.paramDesc(con.ID, spec.obj.param.phrase, spec.obj.phrase),
+			})
+		}
+	} else {
+		// Feature-level attribute: `timer hold <hold-time>` style.
+		tmpl = Seq(Kw(attrKw), P(attrName))
+	}
+	attrDesc := g.paramDesc(con.ID, spec.attr.phrase, spec.phrase())
+	funcDesc := attrDesc
+	if opaque {
+		// Minimally documented page: the prose says nothing useful.
+		attrDesc = g.vendorPhrase(con.ID, "Set this argument according to the configuration guide.")
+		funcDesc = g.vendorPhrase(con.ID, "Runs this command as required. See the configuration guide.")
+	}
+	params = append(params, Param{
+		Name: attrName, Type: spec.attr.typ, Min: spec.attr.min, Max: spec.attr.max,
+		Desc:    attrDesc,
+		Concept: con.ID,
+	})
+	// Give a deterministic third of concept commands extra syntax structure
+	// so the formal-syntax validator sees realistic { } and [ ] nesting.
+	switch stableIdx(con.ID, 3) {
+	case 0:
+		tmpl.Children = append(tmpl.Children, Opt(Kw(g.vendorToken("display")), Kw("verbose")))
+	case 1:
+		tmpl.Children = append(tmpl.Children, Sel(Kw("import"), Kw("export")))
+	}
+	return &Command{
+		Feature:  con.Feature,
+		Tmpl:     tmpl,
+		Params:   params,
+		FuncDesc: funcDesc,
+		Views:    []string{g.baseView(con.Feature)},
+	}
+}
+
+// stableIdx hashes a string to [0, n).
+func stableIdx(s string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32() % uint32(n))
+}
+
+// buildAuxCommands adds display and undo forms for every feature object:
+// the bulk of a real command reference.
+func (g *gen) buildAuxCommands() {
+	for _, f := range features {
+		for _, o := range f.objects {
+			objKw := g.vendorToken(o.noun)
+			objName := g.pname(o.param.name, o.param.typ)
+			disp := &Command{
+				Feature: f.name,
+				Tmpl: Seq(Kw(g.vendorToken("display")), Kw(g.vendorToken(f.name)), Kw(objKw),
+					Opt(P(objName)), Opt(Sel(Kw("brief"), Kw("verbose")))),
+				Params: []Param{{Name: objName, Type: o.param.typ, Min: o.param.min, Max: o.param.max,
+					Desc: g.paramDesc(f.name+"."+o.noun+".disp", o.param.phrase, o.phrase+" to check")}},
+				FuncDesc: g.vendorPhrase(f.name+"."+o.noun+".disp", "Displays information about the "+o.phrase+"."),
+				Views:    []string{g.m.RootView},
+			}
+			g.addCommand(disp)
+			undo := &Command{
+				Feature: f.name,
+				Tmpl:    Seq(Kw(g.vendorToken("undo")), Kw(objKw), P(objName)),
+				Params: []Param{{Name: objName, Type: o.param.typ, Min: o.param.min, Max: o.param.max,
+					Desc: g.paramDesc(f.name+"."+o.noun+".undo", o.param.phrase, o.phrase+" to delete")}},
+				FuncDesc: g.vendorPhrase(f.name+"."+o.noun+".undo", "Deletes the "+o.phrase+"."),
+				Views:    []string{g.baseView(f.name)},
+			}
+			g.addCommand(undo)
+		}
+	}
+}
+
+// pad fills the model to TargetCommands with numbered profile-style command
+// families, cycling features and the generic attribute pool.
+func (g *gen) pad() {
+	for k := 0; len(g.m.Commands) < g.cfg.TargetCommands; k++ {
+		f := features[k%len(features)]
+		attr := genericAttrs[(k/len(features))%len(genericAttrs)]
+		group := k / (len(features) * len(genericAttrs))
+		attrName := g.pname(attr.name, attr.typ)
+		tmpl := Seq(
+			Kw(g.vendorToken(f.name)),
+			Kw(fmt.Sprintf("%s-profile-%d", g.vendorToken("group"), group)),
+			Kw(g.vendorToken(attrKeyword(attr.name))),
+			P(attrName),
+		)
+		if k%5 == 0 {
+			tmpl.Children = append(tmpl.Children, Opt(Kw("verbose")))
+		}
+		cmd := &Command{
+			Feature: f.name,
+			Tmpl:    tmpl,
+			Params: []Param{{Name: attrName, Type: attr.typ, Min: attr.min, Max: attr.max,
+				Desc: g.paramDesc(fmt.Sprintf("%s.pad%d", f.name, k), attr.phrase, fmt.Sprintf("profile group %d", group))}},
+			FuncDesc: g.vendorPhrase(fmt.Sprintf("%s.pad%d", f.name, k), fmt.Sprintf("Specifies the %s of profile group %d for %s.", attr.phrase, group, f.title)),
+			Views:    []string{g.baseView(f.name)},
+		}
+		g.addCommand(cmd)
+	}
+}
+
+// assignExtraViews distributes additional view memberships round-robin over
+// non-enter commands until the CLI-View pair target is met: real commands
+// commonly work under several related views (§7.2).
+func (g *gen) assignExtraViews() {
+	pairs := g.m.CLIViewPairs()
+	if pairs >= g.cfg.TargetPairs {
+		return
+	}
+	// Per command, the candidate list is the feature's own views first
+	// (peer commands work in BGP view, BGP-VPN instance view, ...) and then,
+	// if a small model's feature has too few views, any other view.
+	all := make([]string, 0, len(g.m.Views)-1)
+	for _, v := range g.m.Views[1:] {
+		all = append(all, v.Name)
+	}
+	candidates := func(c *Command, round int) (string, bool) {
+		own := g.featureViews[c.Feature]
+		if round < len(own) {
+			return own[round], true
+		}
+		idx := round - len(own)
+		if idx < len(all) {
+			return all[idx], true
+		}
+		return "", false
+	}
+	// Round-robin passes: each pass may add one extra view per command.
+	for round := 1; pairs < g.cfg.TargetPairs; round++ {
+		added := false
+		for _, c := range g.m.Commands {
+			if pairs >= g.cfg.TargetPairs {
+				return
+			}
+			if c.Enters != "" || g.dedicated[c.ID] {
+				continue // enter and dedicated commands keep their single parent
+			}
+			extra, ok := candidates(c, round)
+			if !ok || containsStr(c.Views, extra) {
+				continue
+			}
+			c.Views = append(c.Views, extra)
+			pairs++
+			added = true
+		}
+		if !added {
+			// No more distinct views available; accept fewer pairs.
+			return
+		}
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// markAmbiguous makes the configured number of views share enter commands
+// with a sibling (Figure 7): the deriver cannot tell which of the sharing
+// views an example snippet demonstrates.
+func (g *gen) markAmbiguous() {
+	want := g.cfg.AmbiguousViews
+	if want == 0 {
+		return
+	}
+	var marked []string
+	share := func(primary, other *View) {
+		// other shares primary's enter command; other's own enter command
+		// becomes just another way into the primary view.
+		if old := g.m.CommandByID(other.Enter); old != nil {
+			old.Enters = primary.Name
+		}
+		other.Enter = primary.Enter
+		// A consistent tree needs both views under the same parent (they
+		// already are: variants of one feature hang off its base view).
+		other.Parent = primary.Parent
+	}
+	tagCommand := func(feature string, v1, v2 *View) {
+		// At least one command must list both views as parents so the
+		// ambiguity is observable downstream (Figure 7's command documents
+		// both candidate views).
+		for _, c := range g.m.Commands {
+			if c.Enters == "" && !g.dedicated[c.ID] && c.Feature == feature && len(c.Views) >= 1 {
+				if !containsStr(c.Views, v1.Name) {
+					c.Views = append(c.Views, v1.Name)
+				}
+				if !containsStr(c.Views, v2.Name) {
+					c.Views = append(c.Views, v2.Name)
+				}
+				return
+			}
+		}
+	}
+	// Walk variant views (index >= 1 in each feature's list) grouping
+	// consecutive views of the same feature. Every group of sharing views is
+	// detectable as a whole, so an odd target uses one group of three
+	// (22 pairs + 1 triple reproduce Huawei's 47).
+	for _, f := range features {
+		views := g.featureViews[f.name]
+		i := 1
+		for i+1 < len(views) && len(marked) < want {
+			group := 2
+			if want-len(marked) == 3 && i+2 < len(views) {
+				group = 3
+			}
+			if want-len(marked) < group {
+				break
+			}
+			v1 := g.m.ViewByName(views[i])
+			if v1 == nil {
+				break
+			}
+			members := []*View{v1}
+			for j := 1; j < group && i+j < len(views); j++ {
+				if v := g.m.ViewByName(views[i+j]); v != nil {
+					members = append(members, v)
+				}
+			}
+			if len(members) < 2 {
+				break
+			}
+			for _, v := range members[1:] {
+				share(v1, v)
+				tagCommand(f.name, v1, v)
+			}
+			for _, v := range members {
+				marked = append(marked, v.Name)
+			}
+			i += len(members)
+		}
+		if len(marked) >= want {
+			break
+		}
+	}
+	g.m.AmbiguousViewNames = marked
+}
+
+// enterChain returns the instantiated enter-command lines from the root view
+// down to (and including) the given view, indented one space per level.
+func (g *gen) enterChain(view string) []string {
+	var chain []*View
+	for v := g.m.ViewByName(view); v != nil && v.Enter != ""; v = g.m.ViewByName(v.Parent) {
+		chain = append(chain, v)
+	}
+	var lines []string
+	for i := len(chain) - 1; i >= 0; i-- {
+		enter := g.m.CommandByID(chain[i].Enter)
+		if enter == nil {
+			continue
+		}
+		inst := g.m.InstantiateWith(enter, g.r)
+		lines = append(lines, strings.Repeat(" ", len(lines))+inst)
+	}
+	return lines
+}
+
+// buildExamples attaches instantiated example snippets to commands until the
+// example target is met. Every command gets one example first (hierarchy
+// derivation depends on them); extras are second examples. A vendor with
+// TargetExamples == 0 (Nokia) documents hierarchy explicitly instead.
+func (g *gen) buildExamples() {
+	if g.cfg.TargetExamples == 0 {
+		return
+	}
+	total := 0
+	addExample := func(c *Command) {
+		view := c.Views[0]
+		lines := g.enterChain(view)
+		depth := len(lines)
+		lines = append(lines, strings.Repeat(" ", depth)+g.m.InstantiateWith(c, g.r))
+		c.Examples = append(c.Examples, lines)
+		total++
+	}
+	for _, c := range g.m.Commands {
+		if total >= g.cfg.TargetExamples {
+			break
+		}
+		addExample(c)
+	}
+	for _, c := range g.m.Commands {
+		if total >= g.cfg.TargetExamples {
+			break
+		}
+		addExample(c)
+	}
+}
+
+// pickSyntaxErrors selects which command templates the manual renderer will
+// corrupt. Enter commands are exempt: hierarchy examples must stay parseable
+// so the corruption is observable as a *syntax* problem, not a cascade.
+func (g *gen) pickSyntaxErrors() {
+	if g.cfg.SyntaxErrors == 0 {
+		return
+	}
+	var candidates []*Command
+	for _, c := range g.m.Commands {
+		if c.Enters == "" && !g.dedicated[c.ID] {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	stride := len(candidates) / g.cfg.SyntaxErrors
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < len(candidates) && len(g.m.SyntaxErrorIDs) < g.cfg.SyntaxErrors; i += stride {
+		g.m.SyntaxErrorIDs = append(g.m.SyntaxErrorIDs, candidates[i].ID)
+	}
+}

@@ -1,0 +1,566 @@
+package devmodel
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testConfig returns a small but fully featured configuration.
+func testConfig(v Vendor) Config {
+	return PaperConfig(v).Scaled(0.02)
+}
+
+func TestGenerateMeetsTargets(t *testing.T) {
+	for _, v := range AllVendors {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			cfg := testConfig(v)
+			m := Generate(cfg)
+			s := m.Stats()
+			if s.Commands != cfg.TargetCommands {
+				t.Errorf("commands = %d, want %d", s.Commands, cfg.TargetCommands)
+			}
+			if s.Views != cfg.TargetViews {
+				t.Errorf("views = %d, want %d", s.Views, cfg.TargetViews)
+			}
+			if s.CLIViewPairs != cfg.TargetPairs {
+				t.Errorf("pairs = %d, want %d", s.CLIViewPairs, cfg.TargetPairs)
+			}
+			if s.Examples != cfg.TargetExamples {
+				t.Errorf("examples = %d, want %d", s.Examples, cfg.TargetExamples)
+			}
+			if got := len(m.SyntaxErrorIDs); got != cfg.SyntaxErrors {
+				t.Errorf("syntax errors = %d, want %d", got, cfg.SyntaxErrors)
+			}
+			if got := len(m.AmbiguousViewNames); got != cfg.AmbiguousViews {
+				t.Errorf("ambiguous views = %d, want %d", got, cfg.AmbiguousViews)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testConfig(Huawei))
+	b := Generate(testConfig(Huawei))
+	if len(a.Commands) != len(b.Commands) {
+		t.Fatalf("command counts differ: %d vs %d", len(a.Commands), len(b.Commands))
+	}
+	for i := range a.Commands {
+		if a.Commands[i].Template != b.Commands[i].Template {
+			t.Fatalf("command %d differs: %q vs %q", i, a.Commands[i].Template, b.Commands[i].Template)
+		}
+		if !reflect.DeepEqual(a.Commands[i].Examples, b.Commands[i].Examples) {
+			t.Fatalf("examples of command %d differ", i)
+		}
+	}
+}
+
+func TestTemplatesUnique(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	seen := map[string]string{}
+	for _, c := range m.Commands {
+		if prev, ok := seen[c.Template]; ok {
+			t.Fatalf("duplicate template %q (commands %s and %s)", c.Template, prev, c.ID)
+		}
+		seen[c.Template] = c.ID
+	}
+}
+
+func TestEveryCommandHasViewAndDesc(t *testing.T) {
+	m := Generate(testConfig(H3C))
+	for _, c := range m.Commands {
+		if len(c.Views) == 0 {
+			t.Errorf("command %s has no parent views", c.ID)
+		}
+		if c.FuncDesc == "" {
+			t.Errorf("command %s has no function description", c.ID)
+		}
+		for _, v := range c.Views {
+			if m.ViewByName(v) == nil {
+				t.Errorf("command %s references unknown view %q", c.ID, v)
+			}
+		}
+	}
+}
+
+func TestViewTreeWellFormed(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	for _, v := range m.Views {
+		if v.Name == m.RootView {
+			if v.Parent != "" || v.Enter != "" {
+				t.Errorf("root view has parent %q enter %q", v.Parent, v.Enter)
+			}
+			continue
+		}
+		if m.ViewByName(v.Parent) == nil {
+			t.Errorf("view %q has unknown parent %q", v.Name, v.Parent)
+		}
+		e := m.CommandByID(v.Enter)
+		if e == nil {
+			t.Errorf("view %q has no enter command", v.Name)
+			continue
+		}
+		// The enter command must work under the view's parent.
+		if !containsStr(e.Views, v.Parent) {
+			t.Errorf("enter command %s of view %q works under %v, not parent %q",
+				e.ID, v.Name, e.Views, v.Parent)
+		}
+	}
+}
+
+func TestConceptRealization(t *testing.T) {
+	// A model with enough command budget must realize the full concept
+	// space (the paper's 381 Huawei annotations need >= 381 realized).
+	cfg := Config{Vendor: Huawei, TargetCommands: 1000, TargetViews: 40,
+		TargetPairs: 1200, TargetExamples: 1000, SyntaxErrors: 4, AmbiguousViews: 4, Seed: 1}
+	m := Generate(cfg)
+	if len(m.Realizes) < 381 {
+		t.Fatalf("realized %d concepts, want >= 381 (concept space has %d)",
+			len(m.Realizes), len(m.Concepts))
+	}
+	for id, ref := range m.Realizes {
+		c := m.CommandByID(ref.CommandID)
+		if c == nil {
+			t.Errorf("concept %s realized by unknown command %s", id, ref.CommandID)
+			continue
+		}
+		p, ok := c.Param(ref.Param)
+		if !ok {
+			t.Errorf("concept %s: command %s lacks parameter %s", id, c.ID, ref.Param)
+			continue
+		}
+		if p.Concept != id {
+			t.Errorf("concept %s: parameter back-reference = %q", id, p.Concept)
+		}
+	}
+}
+
+func TestConceptSpaceSharedAcrossVendors(t *testing.T) {
+	a := Generate(testConfig(Huawei))
+	b := Generate(testConfig(Nokia))
+	if len(a.Concepts) != len(b.Concepts) {
+		t.Fatalf("concept space differs: %d vs %d", len(a.Concepts), len(b.Concepts))
+	}
+	for i := range a.Concepts {
+		if a.Concepts[i] != b.Concepts[i] {
+			t.Fatalf("concept %d differs: %+v vs %+v", i, a.Concepts[i], b.Concepts[i])
+		}
+	}
+	if len(a.Concepts) < 381 {
+		t.Errorf("concept space %d too small for the paper's 381 Huawei annotations", len(a.Concepts))
+	}
+}
+
+func TestVendorWordingDiverges(t *testing.T) {
+	hw := Generate(testConfig(Huawei))
+	ck := Generate(testConfig(Cisco))
+	// The show verb must differ (display vs show) in display commands.
+	var hwShow, ckShow bool
+	for _, c := range hw.Commands {
+		if strings.HasPrefix(c.Template, "display ") {
+			hwShow = true
+			break
+		}
+	}
+	for _, c := range ck.Commands {
+		if strings.HasPrefix(c.Template, "show ") {
+			ckShow = true
+			break
+		}
+	}
+	if !hwShow || !ckShow {
+		t.Errorf("verb wording not vendor-specific: huaweiDisplay=%v ciscoShow=%v", hwShow, ckShow)
+	}
+}
+
+func TestNokiaHasNoExamplesAndNoAmbiguity(t *testing.T) {
+	m := Generate(testConfig(Nokia))
+	if n := m.ExampleCount(); n != 0 {
+		t.Errorf("Nokia examples = %d, want 0 (hierarchy is explicit in its manual)", n)
+	}
+	if n := len(m.AmbiguousViewNames); n != 0 {
+		t.Errorf("Nokia ambiguous views = %d, want 0", n)
+	}
+}
+
+func TestExamplesEncodeHierarchy(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	checked := 0
+	for _, c := range m.Commands {
+		for _, ex := range c.Examples {
+			if len(ex) == 0 {
+				t.Fatalf("command %s has empty example", c.ID)
+			}
+			for depth, line := range ex {
+				got := len(line) - len(strings.TrimLeft(line, " "))
+				if got != depth {
+					t.Errorf("command %s example line %d indent = %d, want %d (%q)", c.ID, depth, got, depth, line)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no examples generated")
+	}
+}
+
+func TestAmbiguousViewsShareEnterCommand(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	if len(m.AmbiguousViewNames) == 0 {
+		t.Fatal("no ambiguous views injected")
+	}
+	for _, name := range m.AmbiguousViewNames {
+		v := m.ViewByName(name)
+		if v == nil {
+			t.Fatalf("ambiguous view %q not in model", name)
+		}
+		shared := 0
+		for _, other := range m.Views {
+			if other.Enter != "" && other.Enter == v.Enter {
+				shared++
+			}
+		}
+		if shared < 2 {
+			t.Errorf("ambiguous view %q: enter command %s enables only %d views", name, v.Enter, shared)
+		}
+	}
+}
+
+func TestSyntaxErrorIDsAreNotEnterCommands(t *testing.T) {
+	m := Generate(testConfig(Cisco))
+	for _, id := range m.SyntaxErrorIDs {
+		c := m.CommandByID(id)
+		if c == nil {
+			t.Fatalf("syntax-error command %s missing", id)
+		}
+		if c.Enters != "" {
+			t.Errorf("command %s both enters view %q and is marked for corruption", id, c.Enters)
+		}
+	}
+}
+
+func TestTmplString(t *testing.T) {
+	tmpl := Seq(Kw("filter-policy"),
+		Sel(P("acl-number"), Seq(Kw("ip-prefix"), P("ip-prefix-name")), Seq(Kw("acl-name"), P("acl-name"))),
+		Sel(Kw("import"), Kw("export")))
+	want := "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }"
+	if got := tmpl.String(); got != want {
+		t.Errorf("template string:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTmplHelpers(t *testing.T) {
+	tmpl := Seq(Opt(Kw("undo")), Kw("peer"), P("ipv4-address"), Opt(Kw("group"), P("group-name")))
+	if kw := tmpl.FirstKeyword(); kw != "undo" {
+		t.Errorf("FirstKeyword = %q", kw)
+	}
+	if got := tmpl.ParamNames(); !reflect.DeepEqual(got, []string{"ipv4-address", "group-name"}) {
+		t.Errorf("ParamNames = %v", got)
+	}
+}
+
+func TestInferType(t *testing.T) {
+	cases := []struct {
+		name string
+		want ParamType
+	}{
+		{"as-number", TypeInt},
+		{"vlan-id", TypeInt},
+		{"hold-time", TypeInt},
+		{"ipv4-address", TypeIPv4},
+		{"host-address", TypeIPv4},
+		{"virtual-ip", TypeIPv4},
+		{"ipv6-address", TypeIPv6},
+		{"destination-prefix", TypePrefix},
+		{"ip-prefix-name", TypeString},
+		{"mac-address", TypeMAC},
+		{"group-name", TypeString},
+		{"duplex-mode", TypeString},
+	}
+	for _, tc := range cases {
+		if got := InferType(tc.name); got != tc.want {
+			t.Errorf("InferType(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTypeMatches(t *testing.T) {
+	cases := []struct {
+		typ   ParamType
+		tok   string
+		match bool
+	}{
+		{TypeInt, "100", true},
+		{TypeInt, "10.1.1.1", false},
+		{TypeInt, "abc", false},
+		{TypeIPv4, "10.1.1.1", true},
+		{TypeIPv4, "300.1.1.1", false},
+		{TypeIPv4, "10.1.1", false},
+		{TypePrefix, "10.1.0.0/16", true},
+		{TypePrefix, "10.1.0.0", false},
+		{TypeString, "anything", true},
+		{TypeString, "", false},
+		{TypeIPv6, "2001:db8::1", true},
+		{TypeMAC, "00:e0:fc:12:34:56", true},
+	}
+	for _, tc := range cases {
+		if got := TypeMatches(tc.typ, tc.tok); got != tc.match {
+			t.Errorf("TypeMatches(%v, %q) = %v, want %v", tc.typ, tc.tok, got, tc.match)
+		}
+	}
+}
+
+// Property: generated values always type-match their parameter spec.
+func TestValueForMatchesType(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	f := func(seed uint16) bool {
+		for _, typ := range []ParamType{TypeString, TypeInt, TypeIPv4, TypeIPv6, TypePrefix, TypeMAC} {
+			p := Param{Name: "x", Type: typ, Min: 5, Max: 10}
+			if !TypeMatches(typ, ValueFor(p, r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every instance of a command tokenizes to at least the number of
+// mandatory keywords and all its tokens are non-empty.
+func TestInstantiateProducesCleanTokens(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	r := rand.New(rand.NewPCG(3, 9))
+	sample := m.Commands
+	if len(sample) > 50 {
+		sample = sample[:50]
+	}
+	for _, c := range sample {
+		for trial := 0; trial < 5; trial++ {
+			inst := m.InstantiateWith(c, r)
+			if inst == "" {
+				t.Fatalf("command %s instantiated empty", c.ID)
+			}
+			for _, tok := range strings.Fields(inst) {
+				for _, bad := range []string{"<", ">", "{", "}", "[", "]", "|"} {
+					if strings.Contains(tok, bad) {
+						t.Fatalf("instance %q of %s contains template syntax", inst, c.ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInstantiateMinimalDeterministic(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	for _, c := range m.Commands[:20] {
+		a := m.InstantiateMinimal(c)
+		b := m.InstantiateMinimal(c)
+		if a != b {
+			t.Errorf("minimal instance of %s not deterministic: %q vs %q", c.ID, a, b)
+		}
+	}
+}
+
+func TestPaperConfigsAreConsistent(t *testing.T) {
+	for _, v := range AllVendors {
+		cfg := PaperConfig(v)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s paper config invalid: %v", v, r)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		for _, v := range []Vendor{Cisco, Huawei, Juniper} {
+			if row.Commands[v] == "" {
+				t.Errorf("intent %q missing wording for %s", row.Intent, v)
+			}
+		}
+	}
+	// Spot-check the distinguishing verbs of Table 2.
+	if !strings.HasPrefix(rows[0].Commands[Huawei], "display") {
+		t.Errorf("Huawei check-vlan = %q, want display prefix", rows[0].Commands[Huawei])
+	}
+	if !strings.HasPrefix(rows[0].Commands[Cisco], "show") {
+		t.Errorf("Cisco check-vlan = %q, want show prefix", rows[0].Commands[Cisco])
+	}
+}
+
+func TestGeneralAndDomainSynonymsDisjoint(t *testing.T) {
+	// The mapper evaluation depends on domain synonyms being invisible to
+	// the general-English table: check no overlap.
+	dom := DomainSynonyms()
+	for _, pair := range GeneralSynonyms() {
+		if _, ok := dom[pair[0]]; ok {
+			t.Errorf("token %q is both a general and a domain synonym source", pair[0])
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Commands: 1, Views: 2, CLIViewPairs: 3, Examples: 4}
+	if got := s.String(); !strings.Contains(got, "commands=1") || !strings.Contains(got, "examples=4") {
+		t.Errorf("Stats.String() = %q", got)
+	}
+}
+
+// Property: vendor dialects NEST — a lower-divergence vendor's renamed
+// vocabulary is a subset of a higher-divergence vendor's. Cross-vendor
+// fine-tuning transfer (§7.3) relies on this: alignments learned on the
+// training vendor apply to the evaluation vendor's renames.
+func TestVendorDialectsNest(t *testing.T) {
+	hw := &gen{cfg: Config{Vendor: Huawei}}
+	nk := &gen{cfg: Config{Vendor: Nokia}}
+	checked := 0
+	for tok := range domainSynonyms {
+		if hw.vocabToken(tok) != tok {
+			checked++
+			if nk.vocabToken(tok) == tok {
+				t.Errorf("token %q renamed by Huawei but not by Nokia", tok)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("Huawei renames no domain token at all")
+	}
+	// And Nokia renames strictly more.
+	hwCount, nkCount := 0, 0
+	for tok := range domainSynonyms {
+		if hw.vocabToken(tok) != tok {
+			hwCount++
+		}
+		if nk.vocabToken(tok) != tok {
+			nkCount++
+		}
+	}
+	if nkCount <= hwCount {
+		t.Errorf("Nokia renames %d domain tokens, Huawei %d: divergence ordering broken", nkCount, hwCount)
+	}
+}
+
+// Property: vocabulary decisions are deterministic and self-consistent
+// between keyword renaming and phrase rewriting.
+func TestVocabConsistencyAcrossContexts(t *testing.T) {
+	g := &gen{cfg: Config{Vendor: Nokia}}
+	for tok := range domainSynonyms {
+		kw := g.vendorToken(tok)
+		phrase := g.vendorPhrase("", "the "+tok+" value")
+		if kw != tok && !strings.Contains(phrase, kw) {
+			t.Errorf("token %q renamed to %q in keywords but phrase = %q", tok, kw, phrase)
+		}
+		if kw == tok && !strings.Contains(phrase, tok) {
+			t.Errorf("token %q kept in keywords but dropped from phrase %q", tok, phrase)
+		}
+	}
+}
+
+// Property: pname never changes a parameter's inferred value domain to
+// something incompatible with its actual type (matching safety).
+func TestPnamePreservesTypeCompatibility(t *testing.T) {
+	for _, vendor := range AllVendors {
+		g := &gen{cfg: Config{Vendor: vendor}}
+		for _, f := range features {
+			for _, o := range f.objects {
+				all := append([]attrSpec{o.param}, o.attrs...)
+				for _, a := range all {
+					renamed := g.pname(a.name, a.typ)
+					inferred := InferType(renamed)
+					if inferred != a.typ && inferred != TypeString {
+						t.Errorf("%s: %s -> %s infers %v, actual %v",
+							vendor, a.name, renamed, inferred, a.typ)
+					}
+				}
+			}
+		}
+		for _, a := range genericAttrs {
+			renamed := g.pname(a.name, a.typ)
+			inferred := InferType(renamed)
+			if inferred != a.typ && inferred != TypeString {
+				t.Errorf("%s: %s -> %s infers %v, actual %v", vendor, a.name, renamed, inferred, a.typ)
+			}
+		}
+	}
+}
+
+func TestParamTypeString(t *testing.T) {
+	want := map[ParamType]string{
+		TypeString: "string", TypeInt: "int", TypeIPv4: "ipv4-address",
+		TypeIPv6: "ipv6-address", TypePrefix: "ip-prefix", TypeMAC: "mac-address",
+		ParamType(99): "unknown",
+	}
+	for typ, s := range want {
+		if got := typ.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", typ, got, s)
+		}
+	}
+}
+
+func TestParamRefStringAndFeatures(t *testing.T) {
+	r := ParamRef{CommandID: "huawei-0001", Param: "as-number"}
+	if got := r.String(); got != "huawei-0001#as-number" {
+		t.Errorf("String = %q", got)
+	}
+	m := Generate(testConfig(H3C))
+	fs := m.Features()
+	if len(fs) == 0 {
+		t.Fatal("no features")
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1] >= fs[i] {
+			t.Errorf("features not sorted: %v", fs)
+		}
+	}
+}
+
+func TestConfigValidatePanics(t *testing.T) {
+	cases := []Config{
+		{Vendor: Huawei, TargetViews: 1, TargetCommands: 100, TargetPairs: 100},
+		{Vendor: Huawei, TargetViews: 50, TargetCommands: 20, TargetPairs: 20},
+		{Vendor: Huawei, TargetViews: 5, TargetCommands: 100, TargetPairs: 50},
+		{Vendor: Huawei, TargetViews: 5, TargetCommands: 100, TargetPairs: 100, TargetExamples: 300},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestMinimalValues(t *testing.T) {
+	m := Generate(testConfig(Huawei))
+	cases := []Param{
+		{Name: "x", Type: TypeIPv4}, {Name: "x", Type: TypeIPv6},
+		{Name: "x", Type: TypePrefix}, {Name: "x", Type: TypeMAC},
+		{Name: "x", Type: TypeString}, {Name: "x", Type: TypeInt, Min: 5, Max: 9},
+	}
+	for _, p := range cases {
+		c := &Command{Tmpl: Seq(Kw("set"), P("x")), Params: []Param{p}}
+		inst := m.InstantiateMinimal(c)
+		tok := strings.Fields(inst)[1]
+		if !TypeMatches(p.Type, tok) {
+			t.Errorf("minimal value %q does not match %v", tok, p.Type)
+		}
+	}
+}

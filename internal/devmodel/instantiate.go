@@ -1,0 +1,198 @@
+package devmodel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// InferType guesses a parameter's value domain from its placeholder name.
+// The CGM matcher uses this for the paper's "type matching" of parameter
+// nodes (§5.2): keyword nodes need exact text, parameter nodes need only a
+// type-compatible token. The inference is deliberately conservative — when
+// a name does not clearly announce a stricter domain it falls back to
+// TypeString, which accepts any token.
+func InferType(name string) ParamType {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "ipv6"):
+		return TypeIPv6
+	case strings.Contains(n, "mac-address"):
+		return TypeMAC
+	case (strings.HasSuffix(n, "prefix") || strings.Contains(n, "prefix/")) && !strings.Contains(n, "name"):
+		return TypePrefix
+	case strings.Contains(n, "address") || strings.Contains(n, "addr") || strings.HasSuffix(n, "-ip") || n == "ip":
+		return TypeIPv4
+	}
+	for _, suf := range []string{
+		"-number", "-id", "-value", "-count", "-length", "-time", "-level",
+		"-port", "-days", "-size", "-multiplier", "-interval", "-cost",
+		"-priority", "-weight", "-rate", "-limit", "-index", "-preference",
+		// vendor documentation abbreviations of the same suffixes
+		"-num", "-val", "-prio", "-mult", "-intvl", "-metric", "-distance",
+	} {
+		if strings.HasSuffix(n, suf) {
+			return TypeInt
+		}
+	}
+	return TypeString
+}
+
+// TypeMatches reports whether a concrete token is acceptable for a value
+// domain. This is the type-fit predicate of Algorithm 4 (is_type_fit).
+func TypeMatches(t ParamType, token string) bool {
+	switch t {
+	case TypeString:
+		return token != ""
+	case TypeInt:
+		return isUint(token)
+	case TypeIPv4:
+		return isIPv4(token)
+	case TypeIPv6:
+		return strings.Count(token, ":") >= 2
+	case TypePrefix:
+		slash := strings.IndexByte(token, '/')
+		return slash > 0 && isIPv4(token[:slash]) && isUint(token[slash+1:])
+	case TypeMAC:
+		return strings.Count(token, ":") == 5 || strings.Count(token, "-") == 2
+	}
+	return false
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isIPv4(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if !isUint(p) || len(p) > 3 {
+			return false
+		}
+		v := 0
+		for i := 0; i < len(p); i++ {
+			v = v*10 + int(p[i]-'0')
+		}
+		if v > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+var namePool = []string{"test", "main", "core", "edge", "lab", "prod", "blue", "green", "gold", "spine"}
+
+// ValueFor produces a concrete token for a parameter. Bounds come from the
+// Param spec when available; otherwise the type's natural range is used.
+func ValueFor(p Param, r *rand.Rand) string {
+	switch p.Type {
+	case TypeInt:
+		lo, hi := p.Min, p.Max
+		if hi <= lo {
+			lo, hi = 1, 100
+		}
+		span := hi - lo + 1
+		if span <= 0 || span > 1_000_000 {
+			span = 1_000_000
+		}
+		return fmt.Sprintf("%d", lo+r.Int64N(span))
+	case TypeIPv4:
+		return fmt.Sprintf("10.%d.%d.%d", r.IntN(255), r.IntN(255), 1+r.IntN(254))
+	case TypeIPv6:
+		return fmt.Sprintf("2001:db8:%x::%x", r.IntN(0xffff), 1+r.IntN(0xfffe))
+	case TypePrefix:
+		return fmt.Sprintf("10.%d.%d.0/24", r.IntN(255), r.IntN(255))
+	case TypeMAC:
+		return fmt.Sprintf("00:e0:fc:%02x:%02x:%02x", r.IntN(256), r.IntN(256), r.IntN(256))
+	default:
+		return fmt.Sprintf("%s%d", namePool[r.IntN(len(namePool))], 1+r.IntN(99))
+	}
+}
+
+// InstantiateWith renders one concrete CLI instance of the command: branch
+// choices and optional inclusion are random (from r), and parameter values
+// are drawn from the command's Param specs (falling back to name-inferred
+// types for placeholders without a spec). Used for example snippets,
+// empirical configuration generation and live-device instance testing.
+func (m *Model) InstantiateWith(c *Command, r *rand.Rand) string {
+	var b strings.Builder
+	instantiate(c, c.Tmpl, r, &b, false)
+	return b.String()
+}
+
+// InstantiateMinimal renders the shortest deterministic instance: first
+// branch of every selection, optional parts omitted.
+func (m *Model) InstantiateMinimal(c *Command) string {
+	var b strings.Builder
+	instantiate(c, c.Tmpl, nil, &b, true)
+	return b.String()
+}
+
+func instantiate(c *Command, n *TmplNode, r *rand.Rand, b *strings.Builder, minimal bool) {
+	switch n.Kind {
+	case TmplKw:
+		pad(b)
+		b.WriteString(n.Text)
+	case TmplParam:
+		pad(b)
+		p, ok := c.Param(n.Text)
+		if !ok {
+			p = Param{Name: n.Text, Type: InferType(n.Text)}
+		}
+		if minimal {
+			b.WriteString(minimalValue(p))
+		} else {
+			b.WriteString(ValueFor(p, r))
+		}
+	case TmplSeq:
+		for _, ch := range n.Children {
+			instantiate(c, ch, r, b, minimal)
+		}
+	case TmplSelect:
+		idx := 0
+		if !minimal && len(n.Children) > 1 {
+			idx = r.IntN(len(n.Children))
+		}
+		instantiate(c, n.Children[idx], r, b, minimal)
+	case TmplOption:
+		if minimal || r.IntN(2) == 0 {
+			return
+		}
+		for _, ch := range n.Children {
+			instantiate(c, ch, r, b, minimal)
+		}
+	}
+}
+
+// minimalValue is the deterministic value used by InstantiateMinimal.
+func minimalValue(p Param) string {
+	switch p.Type {
+	case TypeInt:
+		lo := p.Min
+		if p.Max <= p.Min {
+			lo = 1
+		}
+		return fmt.Sprintf("%d", lo)
+	case TypeIPv4:
+		return "10.0.0.1"
+	case TypeIPv6:
+		return "2001:db8::1"
+	case TypePrefix:
+		return "10.0.0.0/24"
+	case TypeMAC:
+		return "00:e0:fc:00:00:01"
+	default:
+		return "test1"
+	}
+}

@@ -1,0 +1,40 @@
+package devmodel
+
+// IntentRow is one row of the paper's Table 2: the same operational intent
+// expressed in each vendor's configuration syntax.
+type IntentRow struct {
+	Intent   string
+	Commands map[Vendor]string
+}
+
+// Table2Rows reproduces the Table 2 syntax comparison across Cisco, Huawei
+// and Juniper: even simple intents use visibly different wording per vendor,
+// which is the model-heterogeneity challenge the Mapper addresses.
+func Table2Rows() []IntentRow {
+	return []IntentRow{
+		{
+			Intent: "check vlan",
+			Commands: map[Vendor]string{
+				Cisco:   "show vlan [vlanid]",
+				Huawei:  "display vlan [vlanid]",
+				Juniper: "show vlan-id/vlans [vlanid]/[vlanname]",
+			},
+		},
+		{
+			Intent: "add/delete vlan",
+			Commands: map[Vendor]string{
+				Cisco:   "vlan [vlanid]/no vlan [vlanid]",
+				Huawei:  "vlan branch [vlanid]/undo vlan branch [vlanid]",
+				Juniper: "set vlan-id [vlanid]/delete vlan-id [vlanid]",
+			},
+		},
+		{
+			Intent: "configure spanning tree root bridge",
+			Commands: map[Vendor]string{
+				Cisco:   "spanning tree vlan [vlanid] root primary",
+				Huawei:  "stp instance [vlanid] root primary",
+				Juniper: "spanning-tree vlan-id [vlanid] root primary",
+			},
+		},
+	}
+}

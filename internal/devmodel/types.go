@@ -1,0 +1,357 @@
+// Package devmodel generates ground-truth vendor device models. The paper
+// evaluated NAssim on four proprietary vendor manuals (Huawei NE40E, Cisco
+// Nexus 5500, Nokia 7750 SR, H3C S3600); those documents are not
+// redistributable, so this package synthesizes device models with the same
+// statistical shape (command counts, view counts, CLI-View pairs, example
+// densities from Table 4) and the same linguistic structure (vendor-specific
+// wording of commands and parameter descriptions). Everything downstream —
+// manual rendering, configuration generation, the simulated device, the UDM
+// and the mapper's annotated ground truth — derives from one Model, so
+// end-to-end correctness is checkable against it.
+package devmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vendor identifies one of the device vendors studied in the paper.
+type Vendor string
+
+// The four vendors of Table 1/Table 4, plus Juniper which appears only in
+// the Table 2 syntax comparison.
+const (
+	Huawei  Vendor = "Huawei"
+	Cisco   Vendor = "Cisco"
+	Nokia   Vendor = "Nokia"
+	H3C     Vendor = "H3C"
+	Juniper Vendor = "Juniper"
+)
+
+// AllVendors lists the vendors with full manuals, in Table 4 order.
+var AllVendors = []Vendor{Huawei, Cisco, Nokia, H3C}
+
+// ParamType is the value domain of a placeholder parameter. The CGM matcher
+// uses it for type matching of parameter nodes (§5.2).
+type ParamType int
+
+// Parameter value domains.
+const (
+	TypeString ParamType = iota
+	TypeInt
+	TypeIPv4
+	TypeIPv6
+	TypePrefix // ipv4 address with /length
+	TypeMAC
+)
+
+func (t ParamType) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeIPv4:
+		return "ipv4-address"
+	case TypeIPv6:
+		return "ipv6-address"
+	case TypePrefix:
+		return "ip-prefix"
+	case TypeMAC:
+		return "mac-address"
+	}
+	return "unknown"
+}
+
+// Param describes one placeholder parameter of a command template.
+type Param struct {
+	Name    string    // placeholder name as written in the template, e.g. "as-number"
+	Type    ParamType // value domain
+	Min     int64     // inclusive lower bound for TypeInt
+	Max     int64     // inclusive upper bound for TypeInt
+	Desc    string    // vendor-worded description ('ParaDef' Info text)
+	Concept string    // ground-truth UDM concept ID this parameter configures ("" if none)
+}
+
+// TmplKind is the node kind in a structured command template.
+type TmplKind int
+
+// Template node kinds.
+const (
+	TmplSeq    TmplKind = iota // ordered sequence of children
+	TmplKw                     // literal keyword
+	TmplParam                  // placeholder parameter
+	TmplSelect                 // exactly one child branch: { a | b }
+	TmplOption                 // zero or one of the child content: [ x ]
+)
+
+// TmplNode is a node of the structured template tree. The manual renderer
+// serializes this tree into the styling convention of Figure 4 (curly braces
+// for selected branches, brackets for optional branches); the formal-syntax
+// validator (internal/clisyntax) parses that text back into an equivalent
+// structure, so the two packages can be round-trip tested against each other.
+type TmplNode struct {
+	Kind     TmplKind
+	Text     string // keyword text (TmplKw) or parameter name (TmplParam)
+	Children []*TmplNode
+}
+
+// Kw builds a keyword node.
+func Kw(text string) *TmplNode { return &TmplNode{Kind: TmplKw, Text: text} }
+
+// P builds a parameter node.
+func P(name string) *TmplNode { return &TmplNode{Kind: TmplParam, Text: name} }
+
+// Seq builds a sequence node.
+func Seq(children ...*TmplNode) *TmplNode {
+	return &TmplNode{Kind: TmplSeq, Children: children}
+}
+
+// Sel builds a selection node; each child is one branch.
+func Sel(branches ...*TmplNode) *TmplNode {
+	return &TmplNode{Kind: TmplSelect, Children: branches}
+}
+
+// Opt builds an optional node wrapping the given content.
+func Opt(children ...*TmplNode) *TmplNode {
+	return &TmplNode{Kind: TmplOption, Children: children}
+}
+
+// String renders the template in the vendor manuals' common styling
+// convention (Figure 4): space-separated tokens, <param> placeholders,
+// { a | b } selections and [ x ] options.
+func (n *TmplNode) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *TmplNode) render(b *strings.Builder) {
+	switch n.Kind {
+	case TmplKw:
+		pad(b)
+		b.WriteString(n.Text)
+	case TmplParam:
+		pad(b)
+		b.WriteString("<" + n.Text + ">")
+	case TmplSeq:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case TmplSelect:
+		pad(b)
+		b.WriteString("{")
+		for i, c := range n.Children {
+			if i > 0 {
+				pad(b)
+				b.WriteString("|")
+			}
+			c.render(b)
+		}
+		pad(b)
+		b.WriteString("}")
+	case TmplOption:
+		pad(b)
+		b.WriteString("[")
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		pad(b)
+		b.WriteString("]")
+	}
+}
+
+func pad(b *strings.Builder) {
+	if b.Len() > 0 {
+		b.WriteByte(' ')
+	}
+}
+
+// FirstKeyword returns the leading keyword of the template, the primary
+// lookup key for instance matching.
+func (n *TmplNode) FirstKeyword() string {
+	switch n.Kind {
+	case TmplKw:
+		return n.Text
+	case TmplSeq, TmplSelect, TmplOption:
+		for _, c := range n.Children {
+			if kw := c.FirstKeyword(); kw != "" {
+				return kw
+			}
+		}
+	}
+	return ""
+}
+
+// ParamNames returns the parameter placeholders in template order.
+func (n *TmplNode) ParamNames() []string {
+	var out []string
+	var walk func(m *TmplNode)
+	walk = func(m *TmplNode) {
+		if m.Kind == TmplParam {
+			out = append(out, m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Command is one CLI command of the ground-truth device model.
+type Command struct {
+	ID       string    // stable identifier, unique within a model
+	Feature  string    // protocol/feature area, e.g. "bgp"
+	Tmpl     *TmplNode // structured template
+	Template string    // Tmpl rendered to the manual styling convention
+	Params   []Param   // placeholder descriptions, in template order
+	FuncDesc string    // vendor-worded function description ('FuncDef')
+	Views    []string  // parent views the command works under ('ParentViews')
+	Enters   string    // view this command enables ("" if none)
+	Examples [][]string
+	// Examples are instantiated configuration snippets, one per example,
+	// each a list of lines where leading spaces encode view depth —
+	// exactly the 'Examples' field shape of the corpus format (Figure 3).
+}
+
+// Param returns the parameter with the given placeholder name.
+func (c *Command) Param(name string) (Param, bool) {
+	for _, p := range c.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// View is one working view (command mode / context) of the model.
+type View struct {
+	Name    string // vendor-worded view name, e.g. "BGP view"
+	Parent  string // name of the parent view ("" for the root view)
+	Enter   string // ID of the command that enables this view ("" for root)
+	Feature string
+}
+
+// Concept is a ground-truth configuration concept: a UDM attribute and the
+// vendor parameters that realize it. The mapper's annotated ground truth
+// (381 Huawei pairs, 110 Nokia pairs in the paper) is drawn from these.
+type Concept struct {
+	ID      string // stable identifier, e.g. "bgp.peer.remote-as"
+	Feature string
+	Name    string // canonical attribute name used in the UDM
+	Desc    string // canonical expert annotation used in the UDM
+}
+
+// ParamRef addresses one parameter of one command.
+type ParamRef struct {
+	CommandID string
+	Param     string
+}
+
+// String implements fmt.Stringer.
+func (r ParamRef) String() string { return r.CommandID + "#" + r.Param }
+
+// Model is a complete ground-truth device model for one vendor.
+type Model struct {
+	Vendor   Vendor
+	RootView string
+	Commands []*Command
+	Views    []*View
+
+	// Realizes maps ground-truth concept IDs to the vendor parameter that
+	// realizes each concept (the mapping the Mapper must recover).
+	Realizes map[string]ParamRef
+
+	// Concepts is the shared concept space (identical across vendors).
+	Concepts []Concept
+
+	// SyntaxErrorIDs lists the commands whose manual-rendered templates the
+	// renderer corrupts with human-writing errors (unbalanced brackets and
+	// the like); their count is Table 4's "#Invalid CLI Commands" ground
+	// truth, which the Validator must recover exactly.
+	SyntaxErrorIDs []string
+	// AmbiguousViewNames lists views that share their enter command with a
+	// sibling view (Figure 7), so example-based hierarchy derivation cannot
+	// disambiguate them; their count is Table 4's "#Ambiguous Views".
+	AmbiguousViewNames []string
+}
+
+// ViewByName returns the named view, or nil.
+func (m *Model) ViewByName(name string) *View {
+	for _, v := range m.Views {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// CommandByID returns the command with the given ID, or nil.
+func (m *Model) CommandByID(id string) *Command {
+	for _, c := range m.Commands {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// CLIViewPairs counts (command, view) pairs — the paper's measure of VDM
+// size (Table 4), since one command may work under multiple views.
+func (m *Model) CLIViewPairs() int {
+	n := 0
+	for _, c := range m.Commands {
+		n += len(c.Views)
+	}
+	return n
+}
+
+// ExampleCount counts example snippets across all commands.
+func (m *Model) ExampleCount() int {
+	n := 0
+	for _, c := range m.Commands {
+		n += len(c.Examples)
+	}
+	return n
+}
+
+// Features returns the sorted set of feature areas present in the model.
+func (m *Model) Features() []string {
+	set := map[string]bool{}
+	for _, c := range m.Commands {
+		set[c.Feature] = true
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes the model in Table 4's "Main Statistics" terms.
+type Stats struct {
+	Commands     int
+	Views        int
+	CLIViewPairs int
+	Examples     int
+}
+
+// Stats computes the model's summary statistics.
+func (m *Model) Stats() Stats {
+	return Stats{
+		Commands:     len(m.Commands),
+		Views:        len(m.Views),
+		CLIViewPairs: m.CLIViewPairs(),
+		Examples:     m.ExampleCount(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("commands=%d views=%d cli-view-pairs=%d examples=%d",
+		s.Commands, s.Views, s.CLIViewPairs, s.Examples)
+}

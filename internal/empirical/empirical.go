@@ -1,0 +1,353 @@
+// Package empirical implements the Validator's third stage (§5.3):
+// validation of the derived VDM against empirical device configurations.
+// The Figure 8 workflow checks, for every CLI instance in a configuration
+// file, that (a) a validated command template matches it and (b) the
+// matched template and the template of its parent instance form a
+// parent-child relationship on the derived CLI hierarchy. Commands unused
+// by any running device are then exercised directly: CGM paths are
+// enumerated, instantiated, issued to a (simulated) device over the
+// network, and verified through the device's show command.
+package empirical
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"nassim/internal/cgm"
+	"nassim/internal/configgen"
+	"nassim/internal/device"
+	"nassim/internal/devmodel"
+	"nassim/internal/vdm"
+)
+
+// Failure records one configuration line the workflow could not validate,
+// with the reason the experts will audit (§5.3: "not found matched CLI
+// template", "unmatched hierarchy").
+type Failure struct {
+	File   string
+	LineNo int // zero-based within the file
+	Line   string
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (f Failure) String() string {
+	return fmt.Sprintf("%s:%d: %q: %s", f.File, f.LineNo, f.Line, f.Reason)
+}
+
+// Report summarizes a configuration-validation run (the Table 4 "Device
+// Configuration Validation" rows).
+type Report struct {
+	Files        int
+	TotalLines   int
+	UniqueLines  int
+	MatchedLines int
+	UsedCorpora  map[int]bool // corpus indices matched at least once
+	Failures     []Failure
+}
+
+// MatchingRatio is the fraction of configuration lines matched to the
+// validated model — 100% in the paper's evaluation.
+func (r *Report) MatchingRatio() float64 {
+	if r.TotalLines == 0 {
+		return 0
+	}
+	return float64(r.MatchedLines) / float64(r.TotalLines)
+}
+
+// UsedTemplates counts distinct command templates exercised by the corpus
+// (the paper: 153 of Huawei's 12 874).
+func (r *Report) UsedTemplates() int { return len(r.UsedCorpora) }
+
+// String implements fmt.Stringer.
+func (r *Report) String() string {
+	return fmt.Sprintf("files=%d lines=%d unique=%d matched=%d ratio=%.2f%% templates=%d failures=%d",
+		r.Files, r.TotalLines, r.UniqueLines, r.MatchedLines,
+		100*r.MatchingRatio(), r.UsedTemplates(), len(r.Failures))
+}
+
+// indentOf measures leading-space depth.
+func indentOf(line string) int {
+	return len(line) - len(strings.TrimLeft(line, " "))
+}
+
+// frame is one level of the stanza stack while walking a file.
+type frame struct {
+	indent     int
+	candidates []int // corpus indices the line at this level matched
+}
+
+// ValidateConfigs runs the Figure 8 workflow over a configuration corpus.
+func ValidateConfigs(v *vdm.VDM, files []configgen.File) *Report {
+	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
+	unique := map[string]bool{}
+	for _, f := range files {
+		var stack []frame
+		for lineNo, raw := range f.Lines {
+			line := strings.TrimSpace(raw)
+			if line == "" {
+				continue
+			}
+			rep.TotalLines++
+			unique[line] = true
+			indent := indentOf(raw)
+			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+				stack = stack[:len(stack)-1]
+			}
+
+			var cands []int
+			for _, id := range v.Index.Match(line) {
+				if i, err := vdm.ParseCorpusID(id); err == nil {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) == 0 {
+				rep.Failures = append(rep.Failures, Failure{
+					File: f.Name, LineNo: lineNo, Line: line,
+					Reason: "not found matched CLI template"})
+				// Leave the stack level open so children still get a
+				// parent context from higher up.
+				continue
+			}
+
+			ok := false
+			var survivors []int
+			if len(stack) == 0 {
+				// Top-level instance: the template must work under the
+				// root view.
+				for _, c := range cands {
+					if containsStr(v.Corpora[c].ParentViews, v.RootView) {
+						ok = true
+						survivors = append(survivors, c)
+					}
+				}
+			} else {
+				parent := stack[len(stack)-1]
+				for _, p := range parent.candidates {
+					enters := v.Enters(p)
+					if len(enters) == 0 {
+						continue
+					}
+					for _, c := range cands {
+						for _, w := range enters {
+							if containsStr(v.Corpora[c].ParentViews, w) {
+								ok = true
+								survivors = appendUnique(survivors, c)
+							}
+						}
+					}
+				}
+			}
+			if !ok {
+				rep.Failures = append(rep.Failures, Failure{
+					File: f.Name, LineNo: lineNo, Line: line,
+					Reason: "unmatched hierarchy"})
+				continue
+			}
+			rep.MatchedLines++
+			for _, c := range survivors {
+				rep.UsedCorpora[c] = true
+			}
+			stack = append(stack, frame{indent: indent, candidates: survivors})
+		}
+	}
+	rep.UniqueLines = len(unique)
+	return rep
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(ss []int, x int) []int {
+	for _, y := range ss {
+		if y == x {
+			return ss
+		}
+	}
+	return append(ss, x)
+}
+
+// LiveResult records the outcome of exercising one unused command against
+// a live device.
+type LiveResult struct {
+	Corpus   int
+	Instance string
+	Accepted bool
+	Verified bool // confirmed via the show command
+	Err      string
+}
+
+// LiveReport summarizes a generated-instance testing run (§5.3).
+type LiveReport struct {
+	Tested   int
+	Accepted int
+	Verified int
+	Results  []LiveResult
+	// NewConfigLines are the verified instances: per the paper they become
+	// empirical configurations for the next round of Figure 8 validation.
+	NewConfigLines []string
+}
+
+// Executor issues one CLI line to a device and reports the outcome; it is
+// satisfied by *device.Client (over TCP) and by sessionExecutor below.
+type Executor interface {
+	Exec(line string) (device.Response, error)
+}
+
+// sessionExecutor adapts an in-process device session to Executor.
+type sessionExecutor struct{ s *device.Session }
+
+// Exec implements Executor.
+func (se sessionExecutor) Exec(line string) (device.Response, error) {
+	return se.s.Exec(line), nil
+}
+
+// SessionExecutor wraps an in-process device session as an Executor, for
+// running the live-testing workflow without the TCP transport.
+func SessionExecutor(s *device.Session) Executor { return sessionExecutor{s: s} }
+
+// EnterChain derives, from the validated VDM, the instantiated enter
+// commands that navigate from the root view into the given view. Both the
+// live-testing workflow and the SDN controller use it to reach a command's
+// working view.
+func EnterChain(v *vdm.VDM, view string, r *rand.Rand) ([]string, error) {
+	var chain []int
+	cur := view
+	for cur != v.RootView {
+		info := v.Views[cur]
+		if info == nil {
+			return nil, fmt.Errorf("empirical: unknown view %q", cur)
+		}
+		if info.EnterCorpus < 0 {
+			return nil, fmt.Errorf("empirical: view %q has no derived enter command", cur)
+		}
+		chain = append([]int{info.EnterCorpus}, chain...)
+		cur = info.Parent
+		if len(chain) > len(v.Views) {
+			return nil, fmt.Errorf("empirical: view chain for %q does not reach the root", view)
+		}
+	}
+	var lines []string
+	for _, c := range chain {
+		inst, err := instantiateCorpus(v, c, r)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, inst)
+	}
+	return lines, nil
+}
+
+// instantiateCorpus renders one concrete instance of a corpus's template by
+// enumerating a CGM path and filling parameter values by inferred type.
+func instantiateCorpus(v *vdm.VDM, corpusIdx int, r *rand.Rand) (string, error) {
+	g := v.Index.Graph(vdm.CorpusID(corpusIdx))
+	if g == nil {
+		return "", fmt.Errorf("empirical: corpus %d has no validated template", corpusIdx)
+	}
+	paths := g.Paths(1)
+	if len(paths) == 0 {
+		return "", fmt.Errorf("empirical: corpus %d has no root-terminal path", corpusIdx)
+	}
+	return InstantiatePath(paths[0], r), nil
+}
+
+// InstantiatePath renders a CGM path into a CLI instance, drawing
+// parameter values by inferred type.
+func InstantiatePath(path []cgm.PathElem, r *rand.Rand) string {
+	toks := make([]string, 0, len(path))
+	for _, el := range path {
+		if el.IsParam {
+			toks = append(toks, devmodel.ValueFor(devmodel.Param{Name: el.Text, Type: el.Type}, r))
+		} else {
+			toks = append(toks, el.Text)
+		}
+	}
+	return strings.Join(toks, " ")
+}
+
+// TestUnusedCommands exercises every corpus not covered by the empirical
+// configurations (§5.3): enumerate up to pathsPerCommand CGM paths,
+// instantiate them, navigate the device into one of the command's working
+// views, issue the instance, and verify it by re-reading the running
+// configuration with showCmd. Verified instances are returned as new
+// empirical configuration lines for the next Figure 8 round.
+func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd string,
+	pathsPerCommand int, seed uint64) (*LiveReport, error) {
+	if pathsPerCommand <= 0 {
+		pathsPerCommand = 1
+	}
+	r := rand.New(rand.NewPCG(seed, 0x11fe))
+	rep := &LiveReport{}
+	for i := range v.Corpora {
+		if used[i] {
+			continue
+		}
+		g := v.Index.Graph(vdm.CorpusID(i))
+		if g == nil {
+			continue // invalid template: already reported by syntax validation
+		}
+		views := v.Corpora[i].ParentViews
+		if len(views) == 0 {
+			continue
+		}
+		chain, err := EnterChain(v, views[0], r)
+		if err != nil {
+			rep.Results = append(rep.Results, LiveResult{Corpus: i, Err: err.Error()})
+			continue
+		}
+		for _, path := range g.Paths(pathsPerCommand) {
+			inst := InstantiatePath(path, r)
+			rep.Tested++
+			res := LiveResult{Corpus: i, Instance: inst}
+			if _, err := exec.Exec("return"); err != nil {
+				return nil, err
+			}
+			failed := false
+			for _, line := range chain {
+				resp, err := exec.Exec(line)
+				if err != nil {
+					return nil, err
+				}
+				if !resp.OK {
+					res.Err = "navigation rejected: " + resp.Msg
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				resp, err := exec.Exec(inst)
+				if err != nil {
+					return nil, err
+				}
+				if resp.OK {
+					res.Accepted = true
+					rep.Accepted++
+					show, err := exec.Exec(showCmd)
+					if err != nil {
+						return nil, err
+					}
+					for _, line := range show.Data {
+						if strings.TrimSpace(line) == inst {
+							res.Verified = true
+							rep.Verified++
+							rep.NewConfigLines = append(rep.NewConfigLines, inst)
+							break
+						}
+					}
+				} else {
+					res.Err = resp.Msg
+				}
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"nassim"
+	"nassim/internal/devmodel"
+	"nassim/internal/mapper"
+	"nassim/internal/nlp"
+	"nassim/internal/udm"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out:
+//
+//	A1  Equation 2 weight vector: uniform vs grid-searched (§6.2 says w
+//	    "can be manually specified or automatically generated via grid
+//	    search")
+//	A2  context sources: recall with each of §6.1's five context rows
+//	    removed
+//	A3  fine-tuning epochs: the paper observes one epoch suffices and more
+//	    overfit
+//	A4  negative-sampling ratio: the paper uses 1:10
+//
+// cmd/evalbench -ablate prints all four.
+
+// AblationReport bundles the four studies for one vendor setting.
+type AblationReport struct {
+	Vendor string
+	Ks     []int
+
+	GridSearch *mapper.GridSearchResult
+
+	ContextBaseline map[int]float64
+	ContextDropped  []map[int]float64
+
+	Epochs       []int
+	EpochRecall  []map[int]float64
+	NegRatios    []int
+	NegRecall    []map[int]float64
+	TrainVendor  string
+	TrainedPairs int
+}
+
+// Ablate runs the four ablation studies: A1/A2 on the given vendor's
+// unsupervised SBERT mapping, A3/A4 on cross-vendor NetBERT fine-tuning.
+func Ablate(vendor string, scale float64, seed uint64, ks []int) (*AblationReport, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 5, 10}
+	}
+	rep := &AblationReport{Vendor: vendor, Ks: ks}
+
+	m, err := nassim.SyntheticModel(vendor, scale)
+	if err != nil {
+		return nil, err
+	}
+	asr, err := nassim.AssimilateModel(m)
+	if err != nil {
+		return nil, err
+	}
+	tree := udm.Build(devmodel.Concepts())
+	anns := nassim.GroundTruthAnnotations(m, nassim.AnnotationCount(vendor), seed)
+
+	// A1 + A2 share the precomputed evaluation state.
+	enc := nlp.NewSBERT(nassim.EncoderDim, devmodel.GeneralSynonyms())
+	we := mapper.BuildWeightEvals(tree, enc, asr.VDM, anns, 50)
+	gs, err := mapper.GridSearchWeights(we, []float64{0.25, 1, 4}, 1, ks)
+	if err != nil {
+		return nil, err
+	}
+	rep.GridSearch = gs
+	base, dropped, err := mapper.AblateContextRows(we, ks)
+	if err != nil {
+		return nil, err
+	}
+	rep.ContextBaseline = base
+	rep.ContextDropped = dropped
+
+	// A3 + A4: cross-vendor fine-tuning, varying epochs and neg ratio.
+	trainVendor := "Nokia"
+	if vendor == "Nokia" {
+		trainVendor = "Huawei"
+	}
+	tm, err := nassim.SyntheticModel(trainVendor, scale)
+	if err != nil {
+		return nil, err
+	}
+	tasr, err := nassim.AssimilateModel(tm)
+	if err != nil {
+		return nil, err
+	}
+	trainAnns := nassim.GroundTruthAnnotations(tm, nassim.AnnotationCount(trainVendor), seed)
+	rep.TrainVendor = trainVendor
+	rep.TrainedPairs = len(trainAnns)
+
+	u := nassim.BuildUDM()
+	evalTuned := func(negRatio, epochs int) (map[int]float64, error) {
+		mp, err := nassim.NewMapper(u, nassim.ModelNetBERT)
+		if err != nil {
+			return nil, err
+		}
+		if negRatio >= 0 {
+			if _, err := mp.FineTune(tasr.VDM, u, trainAnns, negRatio, epochs, seed); err != nil {
+				return nil, err
+			}
+		}
+		res := nassim.Evaluate(mp, asr.VDM, u, anns, ks)
+		return res.Recall, nil
+	}
+	rep.Epochs = []int{1, 2, 4}
+	for _, e := range rep.Epochs {
+		rec, err := evalTuned(10, e)
+		if err != nil {
+			return nil, err
+		}
+		rep.EpochRecall = append(rep.EpochRecall, rec)
+	}
+	rep.NegRatios = []int{1, 5, 10, 30}
+	for _, nr := range rep.NegRatios {
+		rec, err := evalTuned(nr, 1)
+		if err != nil {
+			return nil, err
+		}
+		rep.NegRecall = append(rep.NegRecall, rec)
+	}
+	return rep, nil
+}
+
+// FormatAblation renders the four studies.
+func FormatAblation(r *AblationReport) string {
+	var b strings.Builder
+	recallCols := func(rec map[int]float64) string {
+		var cols []string
+		for _, k := range r.Ks {
+			cols = append(cols, fmt.Sprintf("r@%d=%5.1f", k, rec[k]))
+		}
+		return strings.Join(cols, "  ")
+	}
+	fmt.Fprintf(&b, "Ablations on the %s-UDM mapping (SBERT / NetBERT tiers)\n\n", r.Vendor)
+
+	fmt.Fprintf(&b, "A1. Equation 2 weights (grid search over %d combinations, optimized for recall@1):\n", r.GridSearch.Tried)
+	fmt.Fprintf(&b, "    uniform        %s\n", recallCols(r.GridSearch.Uniform))
+	fmt.Fprintf(&b, "    grid-searched  %s   rows=%v\n\n", recallCols(r.GridSearch.BestRecall), r.GridSearch.BestRows)
+
+	fmt.Fprintf(&b, "A2. Context-source ablation (one §6.1 row removed at a time):\n")
+	fmt.Fprintf(&b, "    %-24s %s\n", "all rows", recallCols(r.ContextBaseline))
+	for i, rec := range r.ContextDropped {
+		fmt.Fprintf(&b, "    %-24s %s\n", "- "+mapper.ContextRowNames[i], recallCols(rec))
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "A3. Fine-tuning epochs (NetBERT trained on %d %s pairs, 1:10 negatives):\n",
+		r.TrainedPairs, r.TrainVendor)
+	for i, e := range r.Epochs {
+		fmt.Fprintf(&b, "    epochs=%d       %s\n", e, recallCols(r.EpochRecall[i]))
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "A4. Negative-sampling ratio (1 epoch):\n")
+	for i, nr := range r.NegRatios {
+		fmt.Fprintf(&b, "    1:%-12d %s\n", nr, recallCols(r.NegRecall[i]))
+	}
+	return b.String()
+}

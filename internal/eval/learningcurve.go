@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"nassim"
+)
+
+// LearningCurvePoint is one point of the E11 continuous-improvement curve:
+// holdout mapping quality after the engineer confirmed the given number of
+// pairs through the feedback loop (§3.2).
+type LearningCurvePoint struct {
+	Confirmed int
+	Recall    map[int]float64
+	MRR       float64
+}
+
+// LearningCurve simulates §3.2's continuous improvement on one vendor: a
+// NetBERT mapper starts untrained, the engineer confirms ground-truth
+// mappings in batches of step, and after each retrain the holdout recall
+// is measured. The curve quantifies how quickly accumulated expert
+// feedback pays off.
+func LearningCurve(vendor string, scale float64, seed uint64, step int, ks []int) ([]LearningCurvePoint, error) {
+	if step <= 0 {
+		step = 20
+	}
+	if len(ks) == 0 {
+		ks = []int{1, 10}
+	}
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate(vendor, scale)
+	if err != nil {
+		return nil, err
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, nassim.AnnotationCount(vendor), seed)
+	holdStart := len(anns) * 7 / 10
+	review, holdout := anns[:holdStart], anns[holdStart:]
+	if len(holdout) == 0 {
+		return nil, fmt.Errorf("eval: not enough annotations for a holdout at scale %.2f", scale)
+	}
+
+	mp, err := nassim.NewMapper(u, nassim.ModelNetBERT)
+	if err != nil {
+		return nil, err
+	}
+	loop := nassim.NewFeedbackLoop(mp, asr.VDM, u, nil, 10, 1, seed)
+
+	measure := func(confirmed int) LearningCurvePoint {
+		res := nassim.Evaluate(mp, asr.VDM, u, holdout, ks)
+		return LearningCurvePoint{Confirmed: confirmed, Recall: res.Recall, MRR: res.MRR}
+	}
+	points := []LearningCurvePoint{measure(0)}
+	for i, ann := range review {
+		if err := loop.Confirm(ann.Param, ann.AttrID); err != nil {
+			return nil, err
+		}
+		if (i+1)%step == 0 || i == len(review)-1 {
+			if _, err := loop.Retrain(); err != nil {
+				return nil, err
+			}
+			points = append(points, measure(i+1))
+		}
+	}
+	return points, nil
+}
+
+// FormatLearningCurve renders E11.
+func FormatLearningCurve(vendor string, points []LearningCurvePoint, ks []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension E11 (§3.2): continuous improvement on %s — holdout quality vs confirmed pairs\n", vendor)
+	fmt.Fprintf(&b, "%-10s", "confirmed")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "  r@%-4d", k)
+	}
+	b.WriteString("    MRR\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10d", p.Confirmed)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "  %5.1f ", p.Recall[k])
+		}
+		fmt.Fprintf(&b, " %.4f\n", p.MRR)
+	}
+	return b.String()
+}

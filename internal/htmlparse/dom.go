@@ -1,0 +1,258 @@
+package htmlparse
+
+import (
+	"strings"
+)
+
+// NodeType distinguishes the kinds of DOM nodes.
+type NodeType int
+
+// DOM node kinds.
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Node is a node in the parsed DOM tree.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag name (lower case), empty otherwise
+	Data     string // text content for TextNode/CommentNode
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == name {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Classes returns the element's CSS classes.
+func (n *Node) Classes() []string {
+	v, ok := n.Attr("class")
+	if !ok {
+		return nil
+	}
+	return strings.Fields(v)
+}
+
+// HasClass reports whether the element carries the given CSS class.
+func (n *Node) HasClass(class string) bool {
+	for _, c := range n.Classes() {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Text returns the concatenation of all text beneath the node with runs of
+// whitespace collapsed to single spaces and the result trimmed. This mirrors
+// how a human reads the rendered manual page.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return CollapseSpace(b.String())
+}
+
+// RawText returns the concatenation of all text beneath the node without
+// whitespace normalization. Useful for <pre> blocks where the manuals encode
+// configuration-snippet indentation that the hierarchy deriver depends on.
+func (n *Node) RawText() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(n.Data)
+	case ElementNode, DocumentNode:
+		if n.Tag == "br" {
+			b.WriteByte('\n')
+		}
+		for _, c := range n.Children {
+			c.appendText(b)
+		}
+	}
+}
+
+// CollapseSpace replaces runs of whitespace with single spaces and trims.
+func CollapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Walk visits the node and all its descendants in document order. The visit
+// function returning false prunes the subtree below the visited node.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// FindAll returns all descendant elements (document order) matched by pred.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m != n && m.Type == ElementNode && pred(m) {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first descendant element matched by pred, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if found != nil {
+			return false
+		}
+		if m != n && m.Type == ElementNode && pred(m) {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ByTag returns all descendant elements with the given tag name.
+func (n *Node) ByTag(tag string) []*Node {
+	return n.FindAll(func(m *Node) bool { return m.Tag == tag })
+}
+
+// ByClass returns all descendant elements carrying the given CSS class.
+func (n *Node) ByClass(class string) []*Node {
+	return n.FindAll(func(m *Node) bool { return m.HasClass(class) })
+}
+
+// ByTagClass returns descendant elements with the tag name and CSS class.
+func (n *Node) ByTagClass(tag, class string) []*Node {
+	return n.FindAll(func(m *Node) bool { return m.Tag == tag && m.HasClass(class) })
+}
+
+// ByAnyClass returns descendant elements carrying any of the CSS classes.
+// Vendor manuals use several interchangeable class names for one concept
+// (§2.2), so parsers routinely query a candidate set.
+func (n *Node) ByAnyClass(classes ...string) []*Node {
+	set := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		set[c] = true
+	}
+	return n.FindAll(func(m *Node) bool {
+		for _, c := range m.Classes() {
+			if set[c] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// NextSibling returns the node's following sibling, or nil.
+func (n *Node) NextSibling() *Node {
+	if n.Parent == nil {
+		return nil
+	}
+	sib := n.Parent.Children
+	for i, c := range sib {
+		if c == n && i+1 < len(sib) {
+			return sib[i+1]
+		}
+	}
+	return nil
+}
+
+// NextSiblingElement returns the following sibling element, skipping text.
+func (n *Node) NextSiblingElement() *Node {
+	for s := n.NextSibling(); s != nil; s = s.NextSibling() {
+		if s.Type == ElementNode {
+			return s
+		}
+	}
+	return nil
+}
+
+// impliedEndTags lists, per element, the open elements an incoming start tag
+// implicitly closes (a pragmatic subset of the HTML5 tree-builder rules that
+// covers the constructs in vendor manuals).
+var impliedEndTags = map[string][]string{
+	"li": {"li"}, "p": {"p"}, "tr": {"tr", "td", "th"},
+	"td": {"td", "th"}, "th": {"td", "th"},
+	"dt": {"dt", "dd"}, "dd": {"dt", "dd"},
+	"option": {"option"},
+}
+
+// Parse builds a DOM tree from an HTML document. It never fails: malformed
+// markup degrades to text or is repaired with implied end tags, matching the
+// tolerance needed for real vendor manuals.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	z := NewTokenizer(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if tok.Data == "" {
+				continue
+			}
+			top().Children = append(top().Children, &Node{Type: TextNode, Data: tok.Data, Parent: top()})
+		case CommentToken:
+			top().Children = append(top().Children, &Node{Type: CommentNode, Data: tok.Data, Parent: top()})
+		case DoctypeToken:
+			// Ignored: the DOM does not model doctypes.
+		case SelfClosingToken:
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Parent: top()}
+			top().Children = append(top().Children, el)
+		case StartTagToken:
+			if closes, ok := impliedEndTags[tok.Data]; ok {
+				for len(stack) > 1 {
+					t := top().Tag
+					closed := false
+					for _, c := range closes {
+						if t == c {
+							stack = stack[:len(stack)-1]
+							closed = true
+							break
+						}
+					}
+					if !closed {
+						break
+					}
+				}
+			}
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Parent: top()}
+			top().Children = append(top().Children, el)
+			stack = append(stack, el)
+		case EndTagToken:
+			// Pop to the nearest matching open element; ignore stray closes.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}

@@ -1,0 +1,237 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePage = `
+<!DOCTYPE html>
+<html><head><title>bgp</title></head>
+<body>
+  <div class="sectiontitle">Format</div>
+  <pre class="cli">peer &lt;ipv4-address&gt; group &lt;group-name&gt;</pre>
+  <div class="sectiontitle">Views</div>
+  <p class="view">BGP view</p>
+  <div class="sectiontitle">Parameters</div>
+  <table>
+    <tr><td>ipv4-address</td><td>Specifies the IPv4 address of a peer.</td></tr>
+    <tr><td>group-name</td><td>Specifies the name of a peer group.</td></tr>
+  </table>
+  <div class="sectiontitle">Examples</div>
+  <pre class="example">bgp 100
+ peer 10.1.1.1 group test</pre>
+</body></html>`
+
+func TestParseBasicStructure(t *testing.T) {
+	doc := Parse(samplePage)
+	titles := doc.ByClass("sectiontitle")
+	if len(titles) != 4 {
+		t.Fatalf("sectiontitle count = %d, want 4", len(titles))
+	}
+	wantTitles := []string{"Format", "Views", "Parameters", "Examples"}
+	for i, n := range titles {
+		if got := n.Text(); got != wantTitles[i] {
+			t.Errorf("title %d = %q, want %q", i, got, wantTitles[i])
+		}
+	}
+}
+
+func TestParseEntityDecodingInText(t *testing.T) {
+	doc := Parse(samplePage)
+	clis := doc.ByClass("cli")
+	if len(clis) != 1 {
+		t.Fatalf("cli count = %d", len(clis))
+	}
+	want := "peer <ipv4-address> group <group-name>"
+	if got := clis[0].Text(); got != want {
+		t.Errorf("cli text = %q, want %q", got, want)
+	}
+}
+
+func TestRawTextPreservesIndentation(t *testing.T) {
+	doc := Parse(samplePage)
+	ex := doc.ByClass("example")[0]
+	raw := ex.RawText()
+	if !strings.Contains(raw, "\n peer 10.1.1.1") {
+		t.Errorf("indentation lost: %q", raw)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	doc := Parse(samplePage)
+	rows := doc.ByTag("tr")
+	if len(rows) != 2 {
+		t.Fatalf("tr count = %d, want 2", len(rows))
+	}
+	cells := rows[0].ByTag("td")
+	if len(cells) != 2 {
+		t.Fatalf("td count = %d, want 2", len(cells))
+	}
+	if got := cells[0].Text(); got != "ipv4-address" {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+func TestImpliedEndTags(t *testing.T) {
+	doc := Parse("<ul><li>one<li>two<li>three</ul>")
+	items := doc.ByTag("li")
+	if len(items) != 3 {
+		t.Fatalf("li count = %d, want 3", len(items))
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := items[i].Text(); got != want {
+			t.Errorf("li %d = %q, want %q", i, got, want)
+		}
+	}
+	// Items must be siblings, not nested.
+	if items[1].Parent != items[0].Parent {
+		t.Error("li elements nested instead of siblings")
+	}
+}
+
+func TestImpliedEndTagsTable(t *testing.T) {
+	doc := Parse("<table><tr><td>a<td>b<tr><td>c</table>")
+	rows := doc.ByTag("tr")
+	if len(rows) != 2 {
+		t.Fatalf("tr count = %d, want 2", len(rows))
+	}
+	if got := len(rows[0].ByTag("td")); got != 2 {
+		t.Errorf("row 0 td count = %d, want 2", got)
+	}
+}
+
+func TestStrayEndTagIgnored(t *testing.T) {
+	doc := Parse("<div>a</span>b</div>")
+	divs := doc.ByTag("div")
+	if len(divs) != 1 {
+		t.Fatalf("div count = %d", len(divs))
+	}
+	if got := divs[0].Text(); got != "ab" {
+		t.Errorf("text = %q, want ab", got)
+	}
+}
+
+func TestByAnyClass(t *testing.T) {
+	doc := Parse(`<span class="cKeyword">show</span> <span class="cBold">vlan</span> <span class="cOther">x</span>`)
+	got := doc.ByAnyClass("cKeyword", "cBold", "cCN_CmdName")
+	if len(got) != 2 {
+		t.Fatalf("matched %d, want 2", len(got))
+	}
+	if got[0].Text() != "show" || got[1].Text() != "vlan" {
+		t.Errorf("matched texts = %q, %q", got[0].Text(), got[1].Text())
+	}
+}
+
+func TestNextSiblingElement(t *testing.T) {
+	doc := Parse(`<div class="a">x</div> text <div class="b">y</div>`)
+	a := doc.ByClass("a")[0]
+	sib := a.NextSiblingElement()
+	if sib == nil || !sib.HasClass("b") {
+		t.Fatalf("NextSiblingElement = %+v", sib)
+	}
+	b := doc.ByClass("b")[0]
+	if b.NextSiblingElement() != nil {
+		t.Error("expected nil sibling after last element")
+	}
+}
+
+func TestFindPrunesAfterMatch(t *testing.T) {
+	doc := Parse("<div><p>first</p><p>second</p></div>")
+	n := doc.Find(func(m *Node) bool { return m.Tag == "p" })
+	if n == nil || n.Text() != "first" {
+		t.Fatalf("Find = %v", n)
+	}
+}
+
+func TestBrBecomesNewline(t *testing.T) {
+	doc := Parse("<pre>line1<br>line2</pre>")
+	raw := doc.ByTag("pre")[0].RawText()
+	if raw != "line1\nline2" {
+		t.Errorf("raw = %q", raw)
+	}
+}
+
+func TestTextCollapsesWhitespace(t *testing.T) {
+	doc := Parse("<p>  a \n\t b   c </p>")
+	if got := doc.ByTag("p")[0].Text(); got != "a b c" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+// Property: parsing arbitrary strings never panics, and every non-document
+// node has a consistent parent pointer.
+func TestParseRobustnessAndParentLinks(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		ok := true
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all text content of a well-formed document survives parsing.
+func TestParsePreservesEscapedText(t *testing.T) {
+	f := func(words []string) bool {
+		var src strings.Builder
+		var want strings.Builder
+		for _, w := range words {
+			src.WriteString("<p>" + EscapeText(w) + "</p>")
+			want.WriteString(w)
+		}
+		doc := Parse(src.String())
+		var got strings.Builder
+		doc.Walk(func(n *Node) bool {
+			if n.Type == TextNode {
+				got.WriteString(n.Data)
+			}
+			return true
+		})
+		return got.String() == want.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByTagClass(t *testing.T) {
+	doc := Parse(`<tr><td class="x">a</td><td class="y">b</td></tr><div class="x">c</div>`)
+	got := doc.ByTagClass("td", "x")
+	if len(got) != 1 || got[0].Text() != "a" {
+		t.Errorf("ByTagClass = %v", got)
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	want := map[TokenType]string{
+		TextToken: "Text", StartTagToken: "StartTag", EndTagToken: "EndTag",
+		SelfClosingToken: "SelfClosing", CommentToken: "Comment",
+		DoctypeToken: "Doctype", TokenType(42): "Unknown",
+	}
+	for typ, s := range want {
+		if got := typ.String(); got != s {
+			t.Errorf("%d.String() = %q", typ, got)
+		}
+	}
+}
+
+func TestUnterminatedTagsAtEOF(t *testing.T) {
+	// Unterminated doctype and end tag degrade gracefully.
+	for _, src := range []string{"<!DOCTYPE html", "</div"} {
+		doc := Parse(src)
+		if doc == nil {
+			t.Fatalf("Parse(%q) = nil", src)
+		}
+	}
+}

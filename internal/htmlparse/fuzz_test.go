@@ -1,0 +1,27 @@
+package htmlparse
+
+import "testing"
+
+// FuzzParse feeds arbitrary bytes to the HTML parser: it must never panic
+// and must always produce a tree with consistent parent links.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		samplePage,
+		"<div class='x'>a<b>c</div>",
+		"<!-- open", "<script>if(a<b){}</script>", "< no tag >", "",
+		"<ul><li>a<li>b</ul>", "&amp;&#x41;&bogus;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("inconsistent parent link")
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,198 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collectTokens(t *testing.T, src string) []Token {
+	t.Helper()
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokenizerSimpleElement(t *testing.T) {
+	toks := collectTokens(t, `<p class="pCE_CmdEnv">neighbor <b>ip</b></p>`)
+	want := []struct {
+		typ  TokenType
+		data string
+	}{
+		{StartTagToken, "p"},
+		{TextToken, "neighbor "},
+		{StartTagToken, "b"},
+		{TextToken, "ip"},
+		{EndTagToken, "b"},
+		{EndTagToken, "p"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.typ || toks[i].Data != w.data {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Type, toks[i].Data, w.typ, w.data)
+		}
+	}
+}
+
+func TestTokenizerAttributes(t *testing.T) {
+	toks := collectTokens(t, `<div class="sectiontitle" id=x data-v='q uoted'>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens, want 1", len(toks))
+	}
+	tok := toks[0]
+	for _, tc := range []struct{ key, want string }{
+		{"class", "sectiontitle"},
+		{"id", "x"},
+		{"data-v", "q uoted"},
+	} {
+		got, ok := tok.Attr(tc.key)
+		if !ok || got != tc.want {
+			t.Errorf("attr %q = %q (present=%v), want %q", tc.key, got, ok, tc.want)
+		}
+	}
+	if _, ok := tok.Attr("missing"); ok {
+		t.Error("missing attribute reported present")
+	}
+}
+
+func TestTokenizerSelfClosingAndVoid(t *testing.T) {
+	toks := collectTokens(t, `<br><img src="a.png"/><hr />`)
+	for i, tok := range toks {
+		if tok.Type != SelfClosingToken {
+			t.Errorf("token %d type = %v, want SelfClosing", i, tok.Type)
+		}
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3", len(toks))
+	}
+}
+
+func TestTokenizerCommentAndDoctype(t *testing.T) {
+	toks := collectTokens(t, "<!DOCTYPE html><!-- note -->text")
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %+v", len(toks), toks)
+	}
+	if toks[0].Type != DoctypeToken {
+		t.Errorf("token 0 = %v, want Doctype", toks[0].Type)
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " note " {
+		t.Errorf("token 1 = (%v, %q), want comment %q", toks[1].Type, toks[1].Data, " note ")
+	}
+	if toks[2].Type != TextToken || toks[2].Data != "text" {
+		t.Errorf("token 2 = (%v, %q)", toks[2].Type, toks[2].Data)
+	}
+}
+
+func TestTokenizerEntities(t *testing.T) {
+	toks := collectTokens(t, "peer &lt;ipv4-address&gt; &amp; group &#65;&#x42;")
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens, want 1", len(toks))
+	}
+	want := "peer <ipv4-address> & group AB"
+	if toks[0].Data != want {
+		t.Errorf("text = %q, want %q", toks[0].Data, want)
+	}
+}
+
+func TestTokenizerScriptRawText(t *testing.T) {
+	toks := collectTokens(t, `<script>if (a<b) { x("</p>"); }</script><p>hi</p>`)
+	var tags []string
+	for _, tok := range toks {
+		if tok.Type == StartTagToken {
+			tags = append(tags, tok.Data)
+		}
+	}
+	// The '<b' inside script must not become a tag.
+	for _, tag := range tags {
+		if tag == "b" {
+			t.Fatalf("script content leaked into tag stream: %v", tags)
+		}
+	}
+}
+
+func TestTokenizerStrayBracket(t *testing.T) {
+	toks := collectTokens(t, "a < b and c > d")
+	var all strings.Builder
+	for _, tok := range toks {
+		if tok.Type != TextToken {
+			t.Fatalf("unexpected token %v %q", tok.Type, tok.Data)
+		}
+		all.WriteString(tok.Data)
+	}
+	if got := all.String(); got != "a < b and c > d" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestTokenizerUppercaseTags(t *testing.T) {
+	toks := collectTokens(t, "<DIV CLASS='X'>t</DIV>")
+	if toks[0].Data != "div" {
+		t.Errorf("tag = %q, want div", toks[0].Data)
+	}
+	if v, _ := toks[0].Attr("class"); v != "X" {
+		t.Errorf("class = %q, want X (values keep case)", v)
+	}
+	if toks[2].Data != "div" {
+		t.Errorf("end tag = %q, want div", toks[2].Data)
+	}
+}
+
+func TestTokenizerUnterminatedComment(t *testing.T) {
+	toks := collectTokens(t, "<!-- never closed")
+	if len(toks) != 1 || toks[0].Type != CommentToken {
+		t.Fatalf("got %+v", toks)
+	}
+}
+
+func TestUnescapeEntitiesPassThrough(t *testing.T) {
+	for _, s := range []string{"", "plain", "a&b", "&unknown;", "&#xZZ;", "&;"} {
+		if got := UnescapeEntities(s); got != s {
+			t.Errorf("UnescapeEntities(%q) = %q, want unchanged", s, got)
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeEntities(EscapeText(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeAttrRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeEntities(EscapeAttr(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing arbitrary input never panics and always terminates.
+func TestTokenizerRobustness(t *testing.T) {
+	f := func(s string) bool {
+		z := NewTokenizer(s)
+		for i := 0; ; i++ {
+			_, ok := z.Next()
+			if !ok {
+				return true
+			}
+			if i > len(s)+16 {
+				return false // failed to make progress
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package manualgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+// Golden snapshots pin the exact rendered-page format per vendor: any
+// unintended change to the CSS conventions or section layout — which the
+// four vendor parsers depend on — fails here first. Regenerate after an
+// intentional format change with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/manualgen -run TestGoldenPages
+func TestGoldenPages(t *testing.T) {
+	update := os.Getenv("GOLDEN_UPDATE") != ""
+	for _, vendor := range devmodel.AllVendors {
+		vendor := vendor
+		t.Run(string(vendor), func(t *testing.T) {
+			m := devmodel.Generate(devmodel.PaperConfig(vendor).Scaled(0.02))
+			man := Render(m)
+			// Page 30 is a stable concept command with parameters and (for
+			// example-bearing vendors) an example snippet.
+			page := man.Pages[30]
+			path := filepath.Join("testdata", strings.ToLower(string(vendor))+"-page.html")
+			if update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(page.HTML), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1): %v", err)
+			}
+			if string(want) != page.HTML {
+				t.Errorf("rendered page diverges from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, page.HTML, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,332 @@
+// Package manualgen renders a ground-truth device model into per-vendor
+// online user manuals (HTML), the input NAssim's Parser Framework consumes.
+// The paper worked from the proprietary manuals of Huawei, Cisco, Nokia and
+// H3C; this renderer reproduces their documented structure instead:
+//
+//   - the per-vendor CSS-class conventions of Table 1 (sectiontitle/Format
+//     for Huawei, pCE_CmdEnv/pCRCM_CmdRefCmdModes for Cisco,
+//     SyntaxHeader/ContextHeader for Nokia, Command-classed headings for
+//     H3C);
+//   - the intra-vendor inconsistencies of §2.2 and Appendix B (Cisco pages
+//     interchangeably stylize keywords with cKeyword, cBold and
+//     cCN_CmdName and commands with pCE_CmdEnv vs pCENB_CmdEnv_NoBold;
+//     Huawei interchangeably uses cmdname and strong);
+//   - human-writing errors: the model's designated commands are rendered
+//     with corrupted templates (unbalanced or mismatched brackets), which
+//     the Validator must later catch (Table 4 "#Invalid CLI Commands");
+//   - Nokia's explicit hierarchy: its pages carry a Context path instead of
+//     example snippets.
+package manualgen
+
+import (
+	"fmt"
+	"strings"
+
+	"nassim/internal/clisyntax"
+	"nassim/internal/devmodel"
+	"nassim/internal/htmlparse"
+)
+
+// Page is one rendered manual page documenting one CLI command.
+type Page struct {
+	CommandID string // ground-truth command the page documents
+	URL       string // synthetic external link (used in violation reports)
+	HTML      string
+}
+
+// Manual is a complete rendered vendor manual.
+type Manual struct {
+	Vendor devmodel.Vendor
+	Pages  []Page
+}
+
+// Render produces the vendor manual for a model. Rendering is deterministic.
+func Render(m *devmodel.Model) *Manual {
+	corrupt := map[string]bool{}
+	for _, id := range m.SyntaxErrorIDs {
+		corrupt[id] = true
+	}
+	man := &Manual{Vendor: m.Vendor}
+	for i, c := range m.Commands {
+		tmpl := c.Template
+		if corrupt[c.ID] {
+			tmpl = corruptTemplate(tmpl, i)
+		}
+		var html string
+		switch m.Vendor {
+		case devmodel.Huawei:
+			html = renderHuawei(m, c, tmpl, i)
+		case devmodel.Cisco:
+			html = renderCisco(m, c, tmpl, i)
+		case devmodel.Nokia:
+			html = renderNokia(m, c, tmpl)
+		case devmodel.H3C:
+			html = renderH3C(m, c, tmpl)
+		case devmodel.Juniper:
+			html = renderJuniper(m, c, tmpl)
+		default:
+			html = renderHuawei(m, c, tmpl, i)
+		}
+		man.Pages = append(man.Pages, Page{
+			CommandID: c.ID,
+			URL: fmt.Sprintf("https://docs.%s.example/cmdref/%s.html",
+				strings.ToLower(string(m.Vendor)), c.ID),
+			HTML: html,
+		})
+	}
+	return man
+}
+
+// corruptTemplate injects a human-writing syntax error. The corruption
+// styles rotate (mirroring §2.2's unpaired-bracket example) and the result
+// is guaranteed to fail formal syntax validation.
+func corruptTemplate(tmpl string, salt int) string {
+	candidates := []func(string) string{
+		func(s string) string { // drop the last closing symbol
+			if i := strings.LastIndexAny(s, "]}"); i >= 0 {
+				return s[:i] + s[i+1:]
+			}
+			return s + " ["
+		},
+		func(s string) string { // insert an unpaired left bracket mid-command
+			toks := strings.Fields(s)
+			if len(toks) > 1 {
+				mid := len(toks) / 2
+				toks = append(toks[:mid], append([]string{"["}, toks[mid:]...)...)
+				return strings.Join(toks, " ")
+			}
+			return s + " ["
+		},
+		func(s string) string { // mismatch a closing symbol
+			if i := strings.LastIndexByte(s, '}'); i >= 0 {
+				return s[:i] + "]" + s[i+1:]
+			}
+			if i := strings.LastIndexByte(s, ']'); i >= 0 {
+				return s[:i] + "}" + s[i+1:]
+			}
+			return s + " }"
+		},
+	}
+	for off := 0; off < len(candidates); off++ {
+		out := candidates[(salt+off)%len(candidates)](tmpl)
+		if clisyntax.Validate(out) != nil {
+			return out
+		}
+	}
+	// Unconditionally invalid fallback.
+	return tmpl + " {"
+}
+
+// tmplTokens splits a rendered template into tokens, preserving the group
+// symbols as standalone tokens so renderers can stylize keyword and
+// parameter tokens individually (the RTF discrimination of Appendix B).
+func tmplTokens(tmpl string) []string {
+	return strings.Fields(tmpl)
+}
+
+func isParamToken(tok string) bool {
+	return strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">")
+}
+
+func isGroupSymbol(tok string) bool {
+	switch tok {
+	case "{", "}", "[", "]", "|":
+		return true
+	}
+	return false
+}
+
+// styledTemplate renders a template with per-token span styling. Parameter
+// names are emitted WITHOUT angle brackets (the manuals mark them by font;
+// the parser must reconstruct the brackets from the CSS class, which is the
+// self-check test's whole reason to exist). kwClass may vary per call site
+// to model the intra-vendor inconsistency.
+func styledTemplate(tmpl, kwClass, paramClass string) string {
+	var b strings.Builder
+	for i, tok := range tmplTokens(tmpl) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case isGroupSymbol(tok):
+			b.WriteString(htmlparse.EscapeText(tok))
+		case isParamToken(tok):
+			fmt.Fprintf(&b, `<span class="%s">%s</span>`, paramClass,
+				htmlparse.EscapeText(strings.Trim(tok, "<>")))
+		default:
+			fmt.Fprintf(&b, `<span class="%s">%s</span>`, kwClass,
+				htmlparse.EscapeText(tok))
+		}
+	}
+	return b.String()
+}
+
+// huaweiKeywordClasses rotate per page: Appendix B reports Huawei manuals
+// interchangeably use 'cmdname' and 'strong'.
+var huaweiKeywordClasses = []string{"cmdname", "cmdname", "cmdname", "strong"}
+
+func renderHuawei(m *devmodel.Model, c *devmodel.Command, tmpl string, idx int) string {
+	kwClass := huaweiKeywordClasses[idx%len(huaweiKeywordClasses)]
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", htmlparse.EscapeText(c.Tmpl.FirstKeyword()))
+	b.WriteString(`<div class="sectiontitle">Format</div>` + "\n")
+	fmt.Fprintf(&b, `<div class="cmdfmt">%s</div>`+"\n", styledTemplate(tmpl, kwClass, "parmvalue"))
+	b.WriteString(`<div class="sectiontitle">Function</div>` + "\n")
+	fmt.Fprintf(&b, `<p class="funcdesc">%s</p>`+"\n", htmlparse.EscapeText(c.FuncDesc))
+	b.WriteString(`<div class="sectiontitle">Views</div>` + "\n")
+	for _, v := range c.Views {
+		fmt.Fprintf(&b, `<p class="viewname">%s</p>`+"\n", htmlparse.EscapeText(v))
+	}
+	b.WriteString(`<div class="sectiontitle">Parameters</div>` + "\n")
+	b.WriteString("<table class=\"paratab\">\n")
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, `<tr><td class="paraname">%s</td><td class="parainfo">%s</td></tr>`+"\n",
+			htmlparse.EscapeText(p.Name), htmlparse.EscapeText(p.Desc))
+	}
+	b.WriteString("</table>\n")
+	b.WriteString(`<div class="sectiontitle">Examples</div>` + "\n")
+	for _, ex := range c.Examples {
+		fmt.Fprintf(&b, `<pre class="screen">%s</pre>`+"\n", htmlparse.EscapeText(strings.Join(ex, "\n")))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// ciscoCmdClasses / ciscoKeywordClasses rotate per page (§2.2: most pages
+// use pCE_CmdEnv, some pCENB_CmdEnv_NoBold; keywords use one of cKeyword,
+// cBold, cCN_CmdName).
+var (
+	ciscoCmdClasses     = []string{"pCE_CmdEnv", "pCE_CmdEnv", "pCE_CmdEnv", "pCE_CmdEnv", "pCE_CmdEnv", "pCE_CmdEnv", "pCENB_CmdEnv_NoBold"}
+	ciscoKeywordClasses = []string{"cKeyword", "cBold", "cCN_CmdName"}
+)
+
+func renderCisco(m *devmodel.Model, c *devmodel.Command, tmpl string, idx int) string {
+	cmdClass := ciscoCmdClasses[idx%len(ciscoCmdClasses)]
+	kwClass := ciscoKeywordClasses[idx%len(ciscoKeywordClasses)]
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", htmlparse.EscapeText(c.Tmpl.FirstKeyword()))
+	fmt.Fprintf(&b, `<p class="%s">%s</p>`+"\n", cmdClass, styledTemplate(tmpl, kwClass, "cIArg"))
+	fmt.Fprintf(&b, `<p class="pB1_Body1">%s</p>`+"\n", htmlparse.EscapeText(c.FuncDesc))
+	b.WriteString(`<p class="pCRH2_CmdRefHead2">Command Modes</p>` + "\n")
+	for _, v := range c.Views {
+		fmt.Fprintf(&b, `<p class="pCRCM_CmdRefCmdModes">%s</p>`+"\n", htmlparse.EscapeText(v))
+	}
+	b.WriteString(`<p class="pCRH2_CmdRefHead2">Syntax Description</p>` + "\n")
+	b.WriteString("<table>\n")
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, `<tr><td class="pCRSD_CmdRefSynDesc">%s</td><td class="pCRSD_CmdRefSynDesc">%s</td></tr>`+"\n",
+			htmlparse.EscapeText(p.Name), htmlparse.EscapeText(p.Desc))
+	}
+	b.WriteString("</table>\n")
+	for _, ex := range c.Examples {
+		fmt.Fprintf(&b, `<pre class="pCRE_CmdRefExample">%s</pre>`+"\n", htmlparse.EscapeText(strings.Join(ex, "\n")))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// nokiaContextPath renders the explicit hierarchy Nokia manuals publish: the
+// full chain of contexts from the root down to the parent view.
+func nokiaContextPath(m *devmodel.Model, viewName string) string {
+	var chain []string
+	for v := m.ViewByName(viewName); v != nil; {
+		chain = append([]string{v.Name}, chain...)
+		if v.Parent == "" {
+			break
+		}
+		v = m.ViewByName(v.Parent)
+	}
+	return strings.Join(chain, " > ")
+}
+
+func renderNokia(m *devmodel.Model, c *devmodel.Command, tmpl string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n<dl>\n", htmlparse.EscapeText(c.Tmpl.FirstKeyword()))
+	b.WriteString(`<dt class="SyntaxHeader">Syntax</dt>` + "\n")
+	fmt.Fprintf(&b, `<dd class="SyntaxText">%s</dd>`+"\n", styledTemplate(tmpl, "Keyword", "Argument"))
+	b.WriteString(`<dt class="ContextHeader">Context</dt>` + "\n")
+	for _, v := range c.Views {
+		fmt.Fprintf(&b, `<dd class="ContextPath">%s</dd>`+"\n", htmlparse.EscapeText(nokiaContextPath(m, v)))
+	}
+	if c.Enters != "" {
+		// Nokia documents its context tree explicitly: structural commands
+		// name the context they open.
+		b.WriteString(`<dt class="EnablesHeader">Enables</dt>` + "\n")
+		fmt.Fprintf(&b, `<dd class="ContextEnables">%s</dd>`+"\n", htmlparse.EscapeText(c.Enters))
+	}
+	b.WriteString(`<dt class="DescriptionHeader">Description</dt>` + "\n")
+	fmt.Fprintf(&b, `<dd class="DescriptionText">%s</dd>`+"\n", htmlparse.EscapeText(c.FuncDesc))
+	b.WriteString(`<dt class="ParametersHeader">Parameters</dt>` + "\n")
+	b.WriteString("<dd><dl>\n")
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, `<dt class="ParamName">%s</dt><dd class="ParamText">%s</dd>`+"\n",
+			htmlparse.EscapeText(p.Name), htmlparse.EscapeText(p.Desc))
+	}
+	b.WriteString("</dl></dd>\n</dl>\n</body></html>\n")
+	return b.String()
+}
+
+// h3cSections renders the H3C layout: every section heading carries the
+// 'Command' class and the section is identified only by its heading text
+// (Table 1's "<class=\"Command\">Syntax" etc.).
+func renderH3C(m *devmodel.Model, c *devmodel.Command, tmpl string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", htmlparse.EscapeText(c.Tmpl.FirstKeyword()))
+	section := func(title string) {
+		fmt.Fprintf(&b, `<h3 class="Command">%s</h3>`+"\n", title)
+	}
+	section("Syntax")
+	fmt.Fprintf(&b, `<pre class="cmdsyntax">%s</pre>`+"\n", styledTemplate(tmpl, "cmdkw", "cmdarg"))
+	section("View")
+	for _, v := range c.Views {
+		fmt.Fprintf(&b, "<p>%s</p>\n", htmlparse.EscapeText(v))
+	}
+	section("Parameters")
+	b.WriteString("<ul>\n")
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, "<li><em class=\"cmdarg\">%s</em>: %s</li>\n",
+			htmlparse.EscapeText(p.Name), htmlparse.EscapeText(p.Desc))
+	}
+	b.WriteString("</ul>\n")
+	section("Description")
+	fmt.Fprintf(&b, "<p>%s</p>\n", htmlparse.EscapeText(c.FuncDesc))
+	section("Examples")
+	for _, ex := range c.Examples {
+		fmt.Fprintf(&b, "<pre class=\"example\">%s</pre>\n", htmlparse.EscapeText(strings.Join(ex, "\n")))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// renderJuniper models the Junos-reference layout (the E13 new-vendor
+// on-boarding extension): 'topic-title'-classed headings for Syntax /
+// Hierarchy Level / Description / Options / Sample Configuration, with
+// keywords in 'literal' spans and placeholders in 'variable' spans.
+func renderJuniper(m *devmodel.Model, c *devmodel.Command, tmpl string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", htmlparse.EscapeText(c.Tmpl.FirstKeyword()))
+	section := func(title string) {
+		fmt.Fprintf(&b, `<h2 class="topic-title">%s</h2>`+"\n", title)
+	}
+	section("Syntax")
+	fmt.Fprintf(&b, `<div class="jweb-syntax">%s</div>`+"\n", styledTemplate(tmpl, "literal", "variable"))
+	section("Hierarchy Level")
+	for _, v := range c.Views {
+		fmt.Fprintf(&b, `<p class="hier-level">%s</p>`+"\n", htmlparse.EscapeText(v))
+	}
+	section("Description")
+	fmt.Fprintf(&b, `<p class="jweb-body">%s</p>`+"\n", htmlparse.EscapeText(c.FuncDesc))
+	section("Options")
+	b.WriteString("<dl class=\"options\">\n")
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, `<dt class="variable">%s</dt><dd>%s</dd>`+"\n",
+			htmlparse.EscapeText(p.Name), htmlparse.EscapeText(p.Desc))
+	}
+	b.WriteString("</dl>\n")
+	section("Sample Configuration")
+	for _, ex := range c.Examples {
+		fmt.Fprintf(&b, `<pre class="sample">%s</pre>`+"\n", htmlparse.EscapeText(strings.Join(ex, "\n")))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

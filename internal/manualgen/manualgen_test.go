@@ -1,0 +1,172 @@
+package manualgen
+
+import (
+	"strings"
+	"testing"
+
+	"nassim/internal/clisyntax"
+	"nassim/internal/devmodel"
+)
+
+func testModel(t *testing.T, v devmodel.Vendor) *devmodel.Model {
+	t.Helper()
+	return devmodel.Generate(devmodel.PaperConfig(v).Scaled(0.02))
+}
+
+func TestRenderOnePagePerCommand(t *testing.T) {
+	for _, v := range devmodel.AllVendors {
+		m := testModel(t, v)
+		man := Render(m)
+		if len(man.Pages) != len(m.Commands) {
+			t.Errorf("%s: pages = %d, want %d", v, len(man.Pages), len(m.Commands))
+		}
+		for i, p := range man.Pages {
+			if p.CommandID != m.Commands[i].ID {
+				t.Fatalf("%s: page %d documents %s, want %s", v, i, p.CommandID, m.Commands[i].ID)
+			}
+			if p.URL == "" || !strings.Contains(p.URL, strings.ToLower(string(v))) {
+				t.Errorf("%s: page %d has URL %q", v, i, p.URL)
+			}
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	m := testModel(t, devmodel.Huawei)
+	a := Render(m)
+	b := Render(m)
+	for i := range a.Pages {
+		if a.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("page %d differs between renders", i)
+		}
+	}
+}
+
+func TestTable1CSSConventions(t *testing.T) {
+	cases := []struct {
+		vendor devmodel.Vendor
+		frags  []string
+	}{
+		{devmodel.Huawei, []string{`class="sectiontitle">Format`, `class="sectiontitle">Function`,
+			`class="sectiontitle">Views`, `class="sectiontitle">Parameters`, `class="sectiontitle">Examples`}},
+		{devmodel.Cisco, []string{`class="pCE_CmdEnv"`, `class="pB1_Body1"`,
+			`class="pCRCM_CmdRefCmdModes"`, `class="pCRSD_CmdRefSynDesc"`, `class="pCRE_CmdRefExample"`}},
+		{devmodel.Nokia, []string{`class="SyntaxHeader"`, `class="DescriptionHeader"`,
+			`class="ContextHeader"`, `class="ParametersHeader"`}},
+		{devmodel.H3C, []string{`class="Command">Syntax`, `class="Command">Description`,
+			`class="Command">View`, `class="Command">Parameters`, `class="Command">Examples`}},
+	}
+	for _, tc := range cases {
+		m := testModel(t, tc.vendor)
+		man := Render(m)
+		var all strings.Builder
+		for _, p := range man.Pages {
+			all.WriteString(p.HTML)
+		}
+		for _, frag := range tc.frags {
+			if !strings.Contains(all.String(), frag) {
+				t.Errorf("%s manual lacks Table 1 fragment %q", tc.vendor, frag)
+			}
+		}
+	}
+}
+
+// §2.2 / Appendix B: the same attribute's class name must be inconsistent
+// within one manual — Cisco cycles cKeyword/cBold/cCN_CmdName and
+// pCE_CmdEnv/pCENB_CmdEnv_NoBold; Huawei cycles cmdname/strong.
+func TestIntraVendorClassInconsistency(t *testing.T) {
+	ciscoman := Render(testModel(t, devmodel.Cisco))
+	var cisco strings.Builder
+	for _, p := range ciscoman.Pages {
+		cisco.WriteString(p.HTML)
+	}
+	for _, frag := range []string{`class="cKeyword"`, `class="cBold"`, `class="cCN_CmdName"`, `class="pCENB_CmdEnv_NoBold"`} {
+		if !strings.Contains(cisco.String(), frag) {
+			t.Errorf("Cisco manual never uses variant %q", frag)
+		}
+	}
+	huaweiman := Render(testModel(t, devmodel.Huawei))
+	var huawei strings.Builder
+	for _, p := range huaweiman.Pages {
+		huawei.WriteString(p.HTML)
+	}
+	for _, frag := range []string{`class="cmdname"`, `class="strong"`} {
+		if !strings.Contains(huawei.String(), frag) {
+			t.Errorf("Huawei manual never uses variant %q", frag)
+		}
+	}
+}
+
+func TestCorruptedTemplatesAreInvalid(t *testing.T) {
+	m := testModel(t, devmodel.Cisco)
+	for i, c := range m.Commands {
+		bad := corruptTemplate(c.Template, i)
+		if bad == c.Template {
+			t.Errorf("command %s: corruption left template unchanged", c.ID)
+		}
+		if clisyntax.Validate(bad) == nil {
+			t.Errorf("command %s: corrupted template still valid: %q", c.ID, bad)
+		}
+	}
+}
+
+func TestCorruptionStylesRotate(t *testing.T) {
+	tmpl := "display vlan [ <vlan-id> ] { brief | verbose }"
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		seen[corruptTemplate(tmpl, i)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("corruption produced only %d distinct outputs", len(seen))
+	}
+}
+
+func TestNokiaContextPath(t *testing.T) {
+	m := testModel(t, devmodel.Nokia)
+	// A variant view's context path must include its parent chain.
+	for _, v := range m.Views {
+		if v.Parent == "" || m.ViewByName(v.Parent).Parent == "" {
+			continue // want a depth-2 view
+		}
+		path := nokiaContextPath(m, v.Name)
+		if !strings.Contains(path, " > ") {
+			t.Fatalf("context path %q has no hierarchy", path)
+		}
+		if !strings.HasSuffix(path, v.Name) {
+			t.Fatalf("context path %q does not end at %q", path, v.Name)
+		}
+		if !strings.HasPrefix(path, m.RootView) {
+			t.Fatalf("context path %q does not start at root %q", path, m.RootView)
+		}
+		return
+	}
+	t.Skip("no depth-2 view in scaled model")
+}
+
+func TestExamplesPreserveIndentation(t *testing.T) {
+	m := testModel(t, devmodel.Huawei)
+	man := Render(m)
+	found := false
+	for _, p := range man.Pages {
+		if strings.Contains(p.HTML, "<pre class=\"screen\">") && strings.Contains(p.HTML, "\n ") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no Huawei example retains indented child lines")
+	}
+}
+
+func TestParamsRenderedWithoutAngleBrackets(t *testing.T) {
+	m := testModel(t, devmodel.Huawei)
+	man := Render(m)
+	// The manuals stylize parameters by font, not by literal angle
+	// brackets; the parser must reconstruct them. A parameter span must not
+	// contain &lt;.
+	for _, p := range man.Pages[:10] {
+		if strings.Contains(p.HTML, `class="parmvalue">&lt;`) {
+			t.Fatalf("parameter rendered with literal angle bracket:\n%s", p.HTML)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nassim/internal/nlp"
+	"nassim/internal/udm"
+	"nassim/internal/vdm"
+)
+
+// Annotation is one expert-labelled ground-truth pair: a VDM parameter and
+// the UDM attribute it configures (§7.3's 381 Huawei / 110 Nokia labels).
+type Annotation struct {
+	Param  vdm.Parameter
+	AttrID string
+}
+
+// EvalResult holds recall@top-k and MRR for one model on one mapping task
+// (the rows of Tables 5 and 6).
+type EvalResult struct {
+	Model  string
+	Ks     []int
+	Recall map[int]float64 // percentage per k
+	MRR    float64
+	N      int // evaluated annotations
+}
+
+// String renders one table row.
+func (r EvalResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", r.Model)
+	for _, k := range r.Ks {
+		fmt.Fprintf(&b, " r@%d=%5.1f", k, r.Recall[k])
+	}
+	fmt.Fprintf(&b, " mrr=%.4f n=%d", r.MRR, r.N)
+	return b.String()
+}
+
+// Evaluate measures a mapper against annotations: recall@top-k is the
+// fraction of cases whose correct attribute appears in the top k
+// recommendations; MRR averages the reciprocal rank of the first correct
+// answer (Appendix D).
+func Evaluate(m *Mapper, v *vdm.VDM, tree *udm.Tree, annotations []Annotation, ks []int) EvalResult {
+	if len(ks) == 0 {
+		ks = []int{1, 3, 5, 10}
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	res := EvalResult{Model: m.Name(), Ks: append([]int(nil), ks...), Recall: map[int]float64{}}
+	hits := map[int]int{}
+	mrr := 0.0
+	for _, ann := range annotations {
+		want := tree.IndexOf(ann.AttrID)
+		if want < 0 {
+			continue
+		}
+		res.N++
+		recs := m.Recommend(ExtractContext(v, ann.Param), maxK)
+		rank := 0
+		for i, r := range recs {
+			if r.AttrIndex == want {
+				rank = i + 1
+				break
+			}
+		}
+		if rank > 0 {
+			mrr += 1.0 / float64(rank)
+			for _, k := range ks {
+				if rank <= k {
+					hits[k]++
+				}
+			}
+		}
+	}
+	if res.N > 0 {
+		for _, k := range ks {
+			res.Recall[k] = 100 * float64(hits[k]) / float64(res.N)
+		}
+		res.MRR = mrr / float64(res.N)
+	}
+	sort.Ints(res.Ks)
+	return res
+}
+
+// BuildTrainExamples converts annotations into NetBERT fine-tuning pairs:
+// the VDM parameter's context tokens against the UDM attribute's context
+// tokens (§6.3's training corpus generation).
+func BuildTrainExamples(v *vdm.VDM, tree *udm.Tree, annotations []Annotation) []nlp.TrainExample {
+	var out []nlp.TrainExample
+	for _, ann := range annotations {
+		idx := tree.IndexOf(ann.AttrID)
+		if idx < 0 {
+			continue
+		}
+		ctx := ExtractContext(v, ann.Param)
+		out = append(out, nlp.TrainExample{
+			Query:  nlp.Tokenize(strings.Join(ctx.Sequences, " . ")),
+			Target: nlp.Tokenize(strings.Join(tree.Context(idx), " . ")),
+		})
+	}
+	return out
+}
+
+// AccelerationFactor converts a recall@k into the paper's headline speedup
+// (§7.3): if experts find the correct pair within the top-k list recall%
+// of the time, they consult the manual only (100-recall)% of the time, so
+// the mapping phase accelerates by 100/(100-recall). Recall of 100 returns
+// +Inf; callers cap for display.
+func AccelerationFactor(recallPercent float64) float64 {
+	miss := 100 - recallPercent
+	if miss <= 0 {
+		return 1e9
+	}
+	return 100 / miss
+}

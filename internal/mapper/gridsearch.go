@@ -1,0 +1,274 @@
+package mapper
+
+import (
+	"fmt"
+	"strings"
+
+	"nassim/internal/nlp"
+	"nassim/internal/udm"
+	"nassim/internal/vdm"
+)
+
+// The paper (§6.2): "The weight matrix w is a hyper-parameter, which can
+// be manually specified or automatically generated via grid search." This
+// file implements that grid search, plus the context-row ablation that
+// justifies §6.1's choice of context sequences. Both precompute the
+// KV x KU pairwise row cosines per (parameter, candidate attribute) once,
+// so trying a weight combination is a cheap dot product.
+
+// WeightEvals is the precomputed evaluation state for weight search over a
+// fixed annotation set.
+type WeightEvals struct {
+	tree  *udm.Tree
+	evals []weightEval
+}
+
+type weightEval struct {
+	want  int   // target attribute index
+	cands []int // candidate attribute indices (IR shortlist)
+	cos   [][]float64
+}
+
+// BuildWeightEvals precomputes row cosines for every annotation against an
+// IR shortlist of candidate attributes (shortlist <= 0 scores the full
+// tree).
+func BuildWeightEvals(tree *udm.Tree, enc nlp.Encoder, v *vdm.VDM,
+	annotations []Annotation, shortlist int) *WeightEvals {
+	udmEmb := make([][]nlp.Vec, tree.Len())
+	for i := range udmEmb {
+		ctx := tree.Context(i)
+		udmEmb[i] = make([]nlp.Vec, len(ctx))
+		for j, s := range ctx {
+			udmEmb[i][j] = enc.Encode(s)
+		}
+	}
+	var ir *nlp.TFIDF
+	if shortlist > 0 {
+		docs := make([][]string, tree.Len())
+		for i := range docs {
+			docs[i] = nlp.Tokenize(strings.Join(tree.Context(i), " "))
+		}
+		ir = nlp.NewTFIDF(docs)
+	}
+	we := &WeightEvals{tree: tree}
+	for _, ann := range annotations {
+		want := tree.IndexOf(ann.AttrID)
+		if want < 0 {
+			continue
+		}
+		ctx := ExtractContext(v, ann.Param)
+		paramEmb := make([]nlp.Vec, len(ctx.Sequences))
+		for i, s := range ctx.Sequences {
+			paramEmb[i] = enc.Encode(s)
+		}
+		var cands []int
+		if ir != nil {
+			for _, s := range ir.Rank(nlp.Tokenize(strings.Join(ctx.Sequences, " ")), shortlist) {
+				cands = append(cands, s.Doc)
+			}
+			// The target must be scoreable even when IR misses it, else
+			// weight search optimizes against an unreachable label.
+			found := false
+			for _, c := range cands {
+				if c == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				cands = append(cands, want)
+			}
+		} else {
+			for i := 0; i < tree.Len(); i++ {
+				cands = append(cands, i)
+			}
+		}
+		ev := weightEval{want: want, cands: cands}
+		for _, a := range cands {
+			row := make([]float64, 0, KV*KU)
+			for i := range paramEmb {
+				for j := range udmEmb[a] {
+					row = append(row, nlp.Cosine(paramEmb[i], udmEmb[a][j]))
+				}
+			}
+			ev.cos = append(ev.cos, row)
+		}
+		we.evals = append(we.evals, ev)
+	}
+	return we
+}
+
+// N returns the number of evaluable annotations.
+func (we *WeightEvals) N() int { return len(we.evals) }
+
+// Recall evaluates a weight vector (length KV*KU) and returns recall@k for
+// the requested ks.
+func (we *WeightEvals) Recall(w []float64, ks []int) map[int]float64 {
+	out := map[int]float64{}
+	if len(we.evals) == 0 {
+		return out
+	}
+	hits := map[int]int{}
+	for _, ev := range we.evals {
+		wantScore := 0.0
+		better := 0
+		var wantIdx = -1
+		scores := make([]float64, len(ev.cands))
+		for ci, row := range ev.cos {
+			s := 0.0
+			for t, c := range row {
+				s += w[t] * c
+			}
+			scores[ci] = s
+			if ev.cands[ci] == ev.want {
+				wantIdx = ci
+				wantScore = s
+			}
+		}
+		if wantIdx < 0 {
+			continue
+		}
+		for ci, s := range scores {
+			if ci == wantIdx {
+				continue
+			}
+			if s > wantScore || (s == wantScore && ev.cands[ci] < ev.want) {
+				better++
+			}
+		}
+		rank := better + 1
+		for _, k := range ks {
+			if rank <= k {
+				hits[k]++
+			}
+		}
+	}
+	for _, k := range ks {
+		out[k] = 100 * float64(hits[k]) / float64(len(we.evals))
+	}
+	return out
+}
+
+// RowWeights expands per-VDM-row weights (length KV) into a full KV*KU
+// weight vector with UDM rows uniform, normalized to sum 1.
+func RowWeights(rows []float64) ([]float64, error) {
+	if len(rows) != KV {
+		return nil, fmt.Errorf("mapper: need %d row weights, got %d", KV, len(rows))
+	}
+	w := make([]float64, KV*KU)
+	sum := 0.0
+	for i, rw := range rows {
+		if rw < 0 {
+			return nil, fmt.Errorf("mapper: negative row weight %f", rw)
+		}
+		for j := 0; j < KU; j++ {
+			w[i*KU+j] = rw
+			sum += rw
+		}
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("mapper: zero-mass row weights")
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, nil
+}
+
+// GridSearchResult is the outcome of a weight grid search.
+type GridSearchResult struct {
+	BestRows   []float64 // per-VDM-row weights
+	BestRecall map[int]float64
+	Uniform    map[int]float64 // baseline: uniform weights
+	Tried      int
+}
+
+// GridSearchWeights searches per-VDM-row weights over the given levels
+// (e.g. {0.25, 1, 4}), optimizing recall@optimizeK, and reports the best
+// combination against the uniform baseline.
+func GridSearchWeights(we *WeightEvals, levels []float64, optimizeK int, ks []int) (*GridSearchResult, error) {
+	if len(levels) == 0 {
+		levels = []float64{0.25, 1, 4}
+	}
+	if optimizeK <= 0 {
+		optimizeK = 1
+	}
+	hasK := false
+	for _, k := range ks {
+		if k == optimizeK {
+			hasK = true
+		}
+	}
+	if !hasK {
+		ks = append(append([]int{}, ks...), optimizeK)
+	}
+	uniformRows := []float64{1, 1, 1, 1, 1}
+	uw, err := RowWeights(uniformRows)
+	if err != nil {
+		return nil, err
+	}
+	res := &GridSearchResult{
+		Uniform:    we.Recall(uw, ks),
+		BestRows:   uniformRows,
+		BestRecall: we.Recall(uw, ks),
+	}
+	rows := make([]float64, KV)
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == KV {
+			res.Tried++
+			w, err := RowWeights(rows)
+			if err != nil {
+				return err
+			}
+			rec := we.Recall(w, ks)
+			if rec[optimizeK] > res.BestRecall[optimizeK] {
+				res.BestRecall = rec
+				res.BestRows = append([]float64{}, rows...)
+			}
+			return nil
+		}
+		for _, lv := range levels {
+			rows[i] = lv
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ContextRowNames labels the KV context sequences of §6.1, for ablation
+// reports.
+var ContextRowNames = [KV]string{
+	"parameter name",
+	"parameter description",
+	"CLI template",
+	"function description",
+	"parent views",
+}
+
+// AblateContextRows measures recall with each context row removed (its
+// weights zeroed) against the all-rows baseline — §6.1's justification
+// that every listed context source is "valuable for the mapping tasks".
+func AblateContextRows(we *WeightEvals, ks []int) (baseline map[int]float64, dropped []map[int]float64, err error) {
+	uw, err := RowWeights([]float64{1, 1, 1, 1, 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline = we.Recall(uw, ks)
+	for r := 0; r < KV; r++ {
+		rows := []float64{1, 1, 1, 1, 1}
+		rows[r] = 0
+		w, err := RowWeights(rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		dropped = append(dropped, we.Recall(w, ks))
+	}
+	return baseline, dropped, nil
+}

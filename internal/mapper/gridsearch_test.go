@@ -1,0 +1,133 @@
+package mapper
+
+import (
+	"math"
+	"testing"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/nlp"
+	"nassim/internal/udm"
+	"nassim/internal/vdm"
+)
+
+func weightEvalFixture(t *testing.T) (*WeightEvals, []Annotation, *udm.Tree, *vdm.VDM) {
+	t.Helper()
+	tree := testTree()
+	v := miniVDM()
+	anns := []Annotation{
+		{Param: vdm.Parameter{Corpus: 0, Name: "as-number"}, AttrID: "bgp.peer.as-number"},
+		{Param: vdm.Parameter{Corpus: 0, Name: "ipv4-address"}, AttrID: "bgp.peer.ipv4-address"},
+		{Param: vdm.Parameter{Corpus: 1, Name: "vlan-id"}, AttrID: "vlan.vlan.vlan-id"},
+		{Param: vdm.Parameter{Corpus: 1, Name: "vlan-id"}, AttrID: "not.a.concept"}, // dropped
+	}
+	enc := nlp.NewSBERT(48, devmodel.GeneralSynonyms())
+	we := BuildWeightEvals(tree, enc, v, anns, 20)
+	return we, anns, tree, v
+}
+
+func TestBuildWeightEvalsSkipsUnknownAttrs(t *testing.T) {
+	we, _, _, _ := weightEvalFixture(t)
+	if we.N() != 3 {
+		t.Fatalf("N = %d, want 3", we.N())
+	}
+}
+
+func TestRowWeights(t *testing.T) {
+	w, err := RowWeights([]float64{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != KV*KU {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %f", sum)
+	}
+	if _, err := RowWeights([]float64{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := RowWeights([]float64{0, 0, 0, 0, 0}); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := RowWeights([]float64{-1, 1, 1, 1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWeightEvalsRecallMatchesMapper(t *testing.T) {
+	// Uniform weights through the precomputed path must reproduce the
+	// mapper's own evaluation (same encoder, full-tree candidates).
+	tree := testTree()
+	v := miniVDM()
+	anns := []Annotation{
+		{Param: vdm.Parameter{Corpus: 0, Name: "as-number"}, AttrID: "bgp.peer.as-number"},
+		{Param: vdm.Parameter{Corpus: 1, Name: "vlan-id"}, AttrID: "vlan.vlan.vlan-id"},
+	}
+	enc := nlp.NewSBERT(48, devmodel.GeneralSynonyms())
+	we := BuildWeightEvals(tree, enc, v, anns, 0) // full tree
+	uw, _ := RowWeights([]float64{1, 1, 1, 1, 1})
+	got := we.Recall(uw, []int{1, 10})
+
+	m, err := New(tree, enc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Evaluate(m, v, tree, anns, []int{1, 10})
+	for _, k := range []int{1, 10} {
+		if math.Abs(got[k]-want.Recall[k]) > 1e-9 {
+			t.Errorf("recall@%d = %f via precompute, %f via mapper", k, got[k], want.Recall[k])
+		}
+	}
+}
+
+func TestGridSearchNeverWorseThanUniform(t *testing.T) {
+	we, _, _, _ := weightEvalFixture(t)
+	res, err := GridSearchWeights(we, []float64{0.5, 1, 2}, 1, []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tried != 3*3*3*3*3 {
+		t.Errorf("tried = %d, want 243", res.Tried)
+	}
+	if res.BestRecall[1] < res.Uniform[1] {
+		t.Errorf("grid search best %f < uniform %f", res.BestRecall[1], res.Uniform[1])
+	}
+	if len(res.BestRows) != KV {
+		t.Errorf("best rows = %v", res.BestRows)
+	}
+}
+
+func TestGridSearchDefaults(t *testing.T) {
+	we, _, _, _ := weightEvalFixture(t)
+	res, err := GridSearchWeights(we, nil, 0, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// optimizeK defaulted to 1 and was added to ks.
+	if _, ok := res.BestRecall[1]; !ok {
+		t.Errorf("recall@1 missing: %v", res.BestRecall)
+	}
+}
+
+func TestAblateContextRows(t *testing.T) {
+	we, _, _, _ := weightEvalFixture(t)
+	base, dropped, err := AblateContextRows(we, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != KV {
+		t.Fatalf("dropped = %d rows", len(dropped))
+	}
+	if base[1] < 0 || base[1] > 100 {
+		t.Errorf("baseline = %v", base)
+	}
+	for i, rec := range dropped {
+		if rec[1] < 0 || rec[1] > 100 {
+			t.Errorf("row %d (%s) recall = %v", i, ContextRowNames[i], rec)
+		}
+	}
+}

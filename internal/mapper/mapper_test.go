@@ -1,0 +1,228 @@
+package mapper
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nassim/internal/corpus"
+	"nassim/internal/devmodel"
+	"nassim/internal/nlp"
+	"nassim/internal/udm"
+	"nassim/internal/vdm"
+)
+
+// miniVDM builds a small hand-written VDM whose parameters map 1:1 onto
+// concepts of the shared space.
+func miniVDM() *vdm.VDM {
+	return &vdm.VDM{
+		Vendor: "Test",
+		Corpora: []corpus.Corpus{
+			{
+				CLIs:        []string{"peer <ipv4-address> as-number <as-number>"},
+				FuncDef:     "Specifies the autonomous system number of the BGP peer.",
+				ParentViews: []string{"BGP view"},
+				ParaDef: []corpus.ParaDef{
+					{Paras: "ipv4-address", Info: "Specifies the IPv4 address of the BGP peer."},
+					{Paras: "as-number", Info: "Specifies the autonomous system number of the BGP peer."},
+				},
+			},
+			{
+				CLIs:        []string{"vlan <vlan-id>"},
+				FuncDef:     "Creates a VLAN.",
+				ParentViews: []string{"system view"},
+				ParaDef: []corpus.ParaDef{
+					{Paras: "vlan-id", Info: "Specifies the VLAN identifier of the VLAN."},
+				},
+			},
+		},
+	}
+}
+
+func testTree() *udm.Tree { return udm.Build(devmodel.Concepts()) }
+
+func TestExtractContext(t *testing.T) {
+	v := miniVDM()
+	ctx := ExtractContext(v, vdm.Parameter{Corpus: 0, Name: "as-number"})
+	if len(ctx.Sequences) != KV {
+		t.Fatalf("sequences = %d, want %d", len(ctx.Sequences), KV)
+	}
+	if ctx.Sequences[0] != "as number" {
+		t.Errorf("name seq = %q", ctx.Sequences[0])
+	}
+	if !strings.Contains(ctx.Sequences[1], "autonomous system number") {
+		t.Errorf("paradef seq = %q", ctx.Sequences[1])
+	}
+	if !strings.Contains(ctx.Sequences[2], "peer <ipv4-address>") {
+		t.Errorf("cli seq = %q", ctx.Sequences[2])
+	}
+	if ctx.Sequences[4] != "BGP view" {
+		t.Errorf("views seq = %q", ctx.Sequences[4])
+	}
+	// A parameter without a ParaDef entry yields an empty description row.
+	ctx2 := ExtractContext(v, vdm.Parameter{Corpus: 0, Name: "unknown-param"})
+	if ctx2.Sequences[1] != "" {
+		t.Errorf("missing-param desc = %q", ctx2.Sequences[1])
+	}
+}
+
+func TestIRMapperFindsExactMatch(t *testing.T) {
+	tree := testTree()
+	m, err := New(tree, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "IR" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	v := miniVDM()
+	recs := m.Recommend(ExtractContext(v, vdm.Parameter{Corpus: 1, Name: "vlan-id"}), 5)
+	if len(recs) != 5 {
+		t.Fatalf("recs = %d", len(recs))
+	}
+	if recs[0].Attr.ID != "vlan.vlan.vlan-id" {
+		t.Errorf("top rec = %s (score %.3f)", recs[0].Attr.ID, recs[0].Score)
+	}
+}
+
+func TestDLMapperFindsExactMatch(t *testing.T) {
+	tree := testTree()
+	enc := nlp.NewSBERT(128, devmodel.GeneralSynonyms())
+	m, err := New(tree, enc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "SBERT" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	v := miniVDM()
+	recs := m.Recommend(ExtractContext(v, vdm.Parameter{Corpus: 0, Name: "as-number"}), 10)
+	found := false
+	for _, r := range recs {
+		if r.Attr.ID == "bgp.peer.as-number" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("bgp.peer.as-number not in top 10: %v", recs)
+	}
+}
+
+func TestCompositeShortlists(t *testing.T) {
+	tree := testTree()
+	enc := nlp.NewSBERT(64, devmodel.GeneralSynonyms())
+	m, err := New(tree, enc, true, WithShortlist(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "IR+SBERT" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	v := miniVDM()
+	recs := m.Recommend(ExtractContext(v, vdm.Parameter{Corpus: 1, Name: "vlan-id"}), 10)
+	// Shortlist of 5 caps the output even when k is larger.
+	if len(recs) != 5 {
+		t.Errorf("recs = %d, want 5 (shortlist)", len(recs))
+	}
+}
+
+func TestNewMapperValidation(t *testing.T) {
+	tree := testTree()
+	if _, err := New(tree, nil, false); err == nil {
+		t.Error("mapper without model accepted")
+	}
+	enc := nlp.NewSBERT(16, nil)
+	if _, err := New(tree, enc, false, WithWeights([]float64{1, 2})); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if _, err := New(tree, enc, false, WithWeights(make([]float64, KV*KU))); err == nil {
+		t.Error("zero-mass weights accepted")
+	}
+	w := make([]float64, KV*KU)
+	for i := range w {
+		w[i] = 2
+	}
+	if _, err := New(tree, enc, false, WithWeights(w)); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+}
+
+func TestEvaluateRecallAndMRR(t *testing.T) {
+	tree := testTree()
+	m, err := New(tree, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := miniVDM()
+	anns := []Annotation{
+		{Param: vdm.Parameter{Corpus: 0, Name: "as-number"}, AttrID: "bgp.peer.as-number"},
+		{Param: vdm.Parameter{Corpus: 0, Name: "ipv4-address"}, AttrID: "bgp.peer.ipv4-address"},
+		{Param: vdm.Parameter{Corpus: 1, Name: "vlan-id"}, AttrID: "vlan.vlan.vlan-id"},
+		{Param: vdm.Parameter{Corpus: 1, Name: "vlan-id"}, AttrID: "not.a.concept"}, // skipped
+	}
+	res := Evaluate(m, v, tree, anns, []int{1, 5, 10})
+	if res.N != 3 {
+		t.Fatalf("N = %d, want 3 (unknown attr skipped)", res.N)
+	}
+	if res.Recall[10] < res.Recall[5] || res.Recall[5] < res.Recall[1] {
+		t.Errorf("recall not monotone: %v", res.Recall)
+	}
+	if res.MRR < 0 || res.MRR > 1 {
+		t.Errorf("MRR = %f", res.MRR)
+	}
+	if s := res.String(); !strings.Contains(s, "mrr=") || !strings.Contains(s, "r@10=") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBuildTrainExamples(t *testing.T) {
+	tree := testTree()
+	v := miniVDM()
+	anns := []Annotation{
+		{Param: vdm.Parameter{Corpus: 0, Name: "as-number"}, AttrID: "bgp.peer.as-number"},
+		{Param: vdm.Parameter{Corpus: 0, Name: "x"}, AttrID: "missing.id"},
+	}
+	ex := BuildTrainExamples(v, tree, anns)
+	if len(ex) != 1 {
+		t.Fatalf("examples = %d, want 1", len(ex))
+	}
+	if len(ex[0].Query) == 0 || len(ex[0].Target) == 0 {
+		t.Error("empty example sides")
+	}
+}
+
+func TestAccelerationFactor(t *testing.T) {
+	if got := AccelerationFactor(89); math.Abs(got-9.0909) > 0.01 {
+		t.Errorf("AccelerationFactor(89) = %f, want ~9.09 (the paper's 9.1x)", got)
+	}
+	if got := AccelerationFactor(100); got < 1e8 {
+		t.Errorf("AccelerationFactor(100) = %f", got)
+	}
+	if got := AccelerationFactor(0); got != 1 {
+		t.Errorf("AccelerationFactor(0) = %f", got)
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	tree := testTree()
+	m, _ := New(tree, nil, true)
+	v := miniVDM()
+	ctx := ExtractContext(v, vdm.Parameter{Corpus: 1, Name: "vlan-id"})
+	s := Explain(ctx, m.Recommend(ctx, 3))
+	for _, frag := range []string{"corpus-1#vlan-id", "1.", "vlan"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRecommendDefaultK(t *testing.T) {
+	tree := testTree()
+	m, _ := New(tree, nil, true)
+	v := miniVDM()
+	recs := m.Recommend(ExtractContext(v, vdm.Parameter{Corpus: 0, Name: "as-number"}), 0)
+	if len(recs) != 10 {
+		t.Errorf("default k recs = %d, want 10", len(recs))
+	}
+}

@@ -1,0 +1,36 @@
+package netconf
+
+import (
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/yang"
+)
+
+// FuzzDispatch feeds arbitrary frames to the server's RPC dispatcher: it
+// must never panic and must always answer with a well-formed rpc-reply.
+func FuzzDispatch(f *testing.F) {
+	f.Add(`<rpc message-id="1"><get-config><source><running/></source></get-config></rpc>`)
+	f.Add(`<rpc><edit-config><target><running/></target><config><x xmlns="urn:none"><y>1</y></x></config></edit-config></rpc>`)
+	f.Add("not xml")
+	f.Add("<hello/>")
+	f.Add("")
+	model := devmodel.Generate(devmodel.PaperConfig(devmodel.H3C).Scaled(0.02))
+	var modules []*yang.Module
+	for _, src := range yang.Generate(model) {
+		if m, err := yang.Parse(src.Text); err == nil {
+			modules = append(modules, m)
+		}
+	}
+	srv := &Server{store: NewStore(modules)}
+	f.Fuzz(func(t *testing.T, frame string) {
+		reply := srv.dispatch(frame)
+		if !strings.Contains(reply, "rpc-reply") {
+			t.Fatalf("reply %q is not an rpc-reply", reply)
+		}
+		if _, err := parseXML(reply); err != nil {
+			t.Fatalf("reply is not well-formed XML: %v\n%s", err, reply)
+		}
+	})
+}

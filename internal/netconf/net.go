@@ -1,0 +1,324 @@
+package netconf
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"nassim/internal/yang"
+)
+
+// frameDelim is NETCONF 1.0's end-of-message delimiter.
+const frameDelim = "]]>]]>"
+
+const baseNS = "urn:ietf:params:xml:ns:netconf:base:1.0"
+
+// readFrame reads one ]]>]]>-delimited message.
+func readFrame(r io.Reader, buf *strings.Builder, tmp []byte) (string, error) {
+	for {
+		if i := strings.Index(buf.String(), frameDelim); i >= 0 {
+			all := buf.String()
+			frame := all[:i]
+			rest := all[i+len(frameDelim):]
+			buf.Reset()
+			buf.WriteString(rest)
+			return strings.TrimSpace(frame), nil
+		}
+		n, err := r.Read(tmp)
+		if n > 0 {
+			buf.Write(tmp[:n])
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+func writeFrame(w io.Writer, doc string) error {
+	_, err := io.WriteString(w, doc+"\n"+frameDelim+"\n")
+	return err
+}
+
+func helloDoc(sessionID string) string {
+	var b strings.Builder
+	hello := &xmlNode{Name: "hello", NS: baseNS, Children: []*xmlNode{
+		{Name: "capabilities", Children: []*xmlNode{
+			{Name: "capability", Text: baseNS},
+		}},
+	}}
+	if sessionID != "" {
+		hello.Children = append(hello.Children, &xmlNode{Name: "session-id", Text: sessionID})
+	}
+	writeXML(&b, hello)
+	return b.String()
+}
+
+// Server serves the datastore over the NETCONF-style protocol.
+type Server struct {
+	store *Store
+	l     net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	sessions int
+	wg       sync.WaitGroup
+}
+
+// Serve starts the server ("127.0.0.1:0" picks an ephemeral port).
+func Serve(store *Store, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netconf: listen: %w", err)
+	}
+	s := &Server{store: store, l: l, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.sessions++
+		id := s.sessions
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn, id)
+	}
+}
+
+func (s *Server) handle(conn net.Conn, sessionID int) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	if err := writeFrame(conn, helloDoc(fmt.Sprint(sessionID))); err != nil {
+		return
+	}
+	var buf strings.Builder
+	tmp := make([]byte, 4096)
+	// The client's hello.
+	if _, err := readFrame(conn, &buf, tmp); err != nil {
+		return
+	}
+	for {
+		frame, err := readFrame(conn, &buf, tmp)
+		if err != nil {
+			return
+		}
+		reply := s.dispatch(frame)
+		if err := writeFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one <rpc> frame and renders the <rpc-reply>.
+func (s *Server) dispatch(frame string) string {
+	rpc, err := parseXML(frame)
+	respond := func(messageID string, body *xmlNode) string {
+		reply := &xmlNode{Name: "rpc-reply", NS: baseNS, Attrs: map[string]string{}}
+		if messageID != "" {
+			reply.Attrs["message-id"] = messageID
+		}
+		reply.Children = append(reply.Children, body)
+		var b strings.Builder
+		writeXML(&b, reply)
+		return b.String()
+	}
+	rpcError := func(messageID, msg string) string {
+		return respond(messageID, &xmlNode{Name: "rpc-error", Children: []*xmlNode{
+			{Name: "error-message", Text: msg},
+		}})
+	}
+	if err != nil {
+		return rpcError("", err.Error())
+	}
+	if rpc.Name != "rpc" {
+		return rpcError("", fmt.Sprintf("expected rpc, got %s", rpc.Name))
+	}
+	messageID := rpc.Attrs["message-id"]
+	switch {
+	case rpc.child("edit-config") != nil:
+		ec := rpc.child("edit-config")
+		config := ec.child("config")
+		if config == nil {
+			return rpcError(messageID, "edit-config without config")
+		}
+		edits, err := leafEdits(s.store.ModuleByNamespace, config)
+		if err != nil {
+			return rpcError(messageID, err.Error())
+		}
+		// Validate everything before applying anything (all-or-nothing, as
+		// NETCONF's error semantics intend).
+		for _, e := range edits {
+			spec, ok := s.store.leaves[e.key()]
+			if !ok {
+				return rpcError(messageID, fmt.Sprintf("schema has no leaf %s", e.key()))
+			}
+			if err := validateValue(spec, e.Value); err != nil {
+				return rpcError(messageID, err.Error())
+			}
+		}
+		for _, e := range edits {
+			if err := s.store.Set(e.Module, e.Path, e.Leaf, e.Value); err != nil {
+				return rpcError(messageID, err.Error())
+			}
+		}
+		return respond(messageID, &xmlNode{Name: "ok"})
+	case rpc.child("get-config") != nil:
+		return respond(messageID, configTree(s.store, s.store.Entries()))
+	default:
+		return rpcError(messageID, "unsupported operation")
+	}
+}
+
+// Close stops the server and in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a NETCONF session.
+type Client struct {
+	conn      net.Conn
+	buf       strings.Builder
+	tmp       []byte
+	msgID     int
+	SessionID string
+}
+
+// Dial connects and performs the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netconf: dial: %w", err)
+	}
+	c := &Client{conn: conn, tmp: make([]byte, 4096)}
+	frame, err := readFrame(conn, &c.buf, c.tmp)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: reading hello: %w", err)
+	}
+	hello, err := parseXML(frame)
+	if err != nil || hello.Name != "hello" {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: unexpected greeting %q", frame)
+	}
+	if sid := hello.child("session-id"); sid != nil {
+		c.SessionID = sid.Text
+	}
+	if err := writeFrame(conn, helloDoc("")); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// rpc sends one operation and decodes the reply.
+func (c *Client) rpc(body *xmlNode) (*xmlNode, error) {
+	c.msgID++
+	rpc := &xmlNode{Name: "rpc", NS: baseNS,
+		Attrs:    map[string]string{"message-id": fmt.Sprint(c.msgID)},
+		Children: []*xmlNode{body}}
+	var b strings.Builder
+	writeXML(&b, rpc)
+	if err := writeFrame(c.conn, b.String()); err != nil {
+		return nil, fmt.Errorf("netconf: send: %w", err)
+	}
+	frame, err := readFrame(c.conn, &c.buf, c.tmp)
+	if err != nil {
+		return nil, fmt.Errorf("netconf: recv: %w", err)
+	}
+	reply, err := parseXML(frame)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Name != "rpc-reply" {
+		return nil, fmt.Errorf("netconf: unexpected reply %s", reply.Name)
+	}
+	if e := reply.child("rpc-error"); e != nil {
+		msg := ""
+		if em := e.child("error-message"); em != nil {
+			msg = em.Text
+		}
+		return nil, fmt.Errorf("netconf: rpc-error: %s", msg)
+	}
+	return reply, nil
+}
+
+// EditConfig sets one leaf: the module's namespace wraps the container
+// path down to the leaf.
+func (c *Client) EditConfig(namespace string, path []string, leaf, value string) error {
+	if len(path) == 0 {
+		return fmt.Errorf("netconf: empty path")
+	}
+	leafNode := &xmlNode{Name: leaf, Text: value}
+	cur := leafNode
+	for i := len(path) - 1; i >= 0; i-- {
+		cur = &xmlNode{Name: path[i], Children: []*xmlNode{cur}}
+	}
+	cur.NS = namespace
+	body := &xmlNode{Name: "edit-config", Children: []*xmlNode{
+		{Name: "target", Children: []*xmlNode{{Name: "running"}}},
+		{Name: "config", Children: []*xmlNode{cur}},
+	}}
+	_, err := c.rpc(body)
+	return err
+}
+
+// GetConfig pulls the running datastore as flattened entries, resolving
+// namespaces against the client's own copy of the vendor modules.
+func (c *Client) GetConfig(modules []*yang.Module) ([]Entry, error) {
+	body := &xmlNode{Name: "get-config", Children: []*xmlNode{
+		{Name: "source", Children: []*xmlNode{{Name: "running"}}},
+	}}
+	reply, err := c.rpc(body)
+	if err != nil {
+		return nil, err
+	}
+	data := reply.child("data")
+	if data == nil {
+		return nil, fmt.Errorf("netconf: reply without data")
+	}
+	byNS := map[string]*yang.Module{}
+	for _, m := range modules {
+		byNS[m.Namespace] = m
+	}
+	return leafEdits(func(ns string) *yang.Module { return byNS[ns] }, data)
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,241 @@
+package netconf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/yang"
+)
+
+func testModules(t *testing.T) []*yang.Module {
+	t.Helper()
+	model := devmodel.Generate(devmodel.PaperConfig(devmodel.Huawei).Scaled(0.02))
+	var modules []*yang.Module
+	for _, src := range yang.Generate(model) {
+		m, err := yang.Parse(src.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modules = append(modules, m)
+	}
+	return modules
+}
+
+// firstLeaf returns a convenient (module, leaf) pair for tests, preferring
+// a uint32 leaf with a range.
+func firstLeaf(t *testing.T, modules []*yang.Module) (*yang.Module, yang.LeafPath) {
+	t.Helper()
+	for _, m := range modules {
+		for _, leaf := range m.Leaves() {
+			if leaf.Type == "uint32" && leaf.Range != "" {
+				return m, leaf
+			}
+		}
+	}
+	t.Fatal("no ranged uint32 leaf in modules")
+	return nil, yang.LeafPath{}
+}
+
+func TestStoreSetValidation(t *testing.T) {
+	modules := testModules(t)
+	s := NewStore(modules)
+	m, leaf := firstLeaf(t, modules)
+
+	if err := s.Set(m.Name, leaf.Path, leaf.Name, "7"); err != nil {
+		t.Fatalf("valid set: %v", err)
+	}
+	if got, ok := s.Get(m.Name, leaf.Path, leaf.Name); !ok || got != "7" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if err := s.Set(m.Name, leaf.Path, leaf.Name, "notanumber"); err == nil {
+		t.Error("non-numeric value accepted for uint32 leaf")
+	}
+	if err := s.Set(m.Name, leaf.Path, leaf.Name, "99999999999"); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if err := s.Set(m.Name, []string{"nonexistent"}, "ghost", "1"); err == nil {
+		t.Error("unknown leaf accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Entries(); len(got) != 1 || got[0].Value != "7" {
+		t.Errorf("Entries = %v", got)
+	}
+	if str := s.Entries()[0].String(); !strings.Contains(str, "= 7") {
+		t.Errorf("Entry.String = %q", str)
+	}
+}
+
+func TestValidateValueTypes(t *testing.T) {
+	cases := []struct {
+		typ, rng, val string
+		ok            bool
+	}{
+		{"uint32", "", "42", true},
+		{"uint32", "1..10", "10", true},
+		{"uint32", "1..10", "11", false},
+		{"inet:ipv4-address", "", "10.0.0.1", true},
+		{"inet:ipv4-address", "", "hello", false},
+		{"inet:ipv4-prefix", "", "10.0.0.0/8", true},
+		{"inet:ipv4-prefix", "", "10.0.0.0", false},
+		{"inet:ipv6-address", "", "2001:db8::1", true},
+		{"yang:mac-address", "", "00:e0:fc:00:00:01", true},
+		{"string", "", "anything", true},
+	}
+	for _, tc := range cases {
+		err := validateValue(yang.LeafPath{Type: tc.typ, Range: tc.rng}, tc.val)
+		if (err == nil) != tc.ok {
+			t.Errorf("validate(%s %q, %q) error=%v, want ok=%v", tc.typ, tc.rng, tc.val, err, tc.ok)
+		}
+	}
+}
+
+func TestEditConfigGetConfigOverTCP(t *testing.T) {
+	modules := testModules(t)
+	store := NewStore(modules)
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.SessionID == "" {
+		t.Error("no session id in hello")
+	}
+
+	m, leaf := firstLeaf(t, modules)
+	if err := cl.EditConfig(m.Namespace, leaf.Path, leaf.Name, "5"); err != nil {
+		t.Fatalf("edit-config: %v", err)
+	}
+	// Server-side state updated.
+	if got, ok := store.Get(m.Name, leaf.Path, leaf.Name); !ok || got != "5" {
+		t.Fatalf("store after edit: %q %v", got, ok)
+	}
+	// Pull it back over the wire.
+	entries, err := cl.GetConfig(modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Module == m.Name && e.Leaf == leaf.Name && e.Value == "5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("get-config missing the edit: %v", entries)
+	}
+}
+
+func TestEditConfigErrorsOverTCP(t *testing.T) {
+	modules := testModules(t)
+	store := NewStore(modules)
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	m, leaf := firstLeaf(t, modules)
+	if err := cl.EditConfig(m.Namespace, leaf.Path, leaf.Name, "notanumber"); err == nil {
+		t.Error("type-invalid edit accepted")
+	}
+	if err := cl.EditConfig("urn:unknown:ns", []string{"x"}, "y", "1"); err == nil {
+		t.Error("unknown namespace accepted")
+	}
+	if err := cl.EditConfig(m.Namespace, nil, leaf.Name, "1"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if store.Len() != 0 {
+		t.Errorf("failed edits mutated the store: %d entries", store.Len())
+	}
+	// The session survives errors.
+	if err := cl.EditConfig(m.Namespace, leaf.Path, leaf.Name, "5"); err != nil {
+		t.Fatalf("session broken after rpc-error: %v", err)
+	}
+}
+
+func TestConcurrentNetconfSessions(t *testing.T) {
+	modules := testModules(t)
+	store := NewStore(modules)
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m, leaf := firstLeaf(t, modules)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 5; i++ {
+				if err := cl.EditConfig(m.Namespace, leaf.Path, leaf.Name, "6"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, ok := store.Get(m.Name, leaf.Path, leaf.Name); !ok || got != "6" {
+		t.Fatalf("store = %q %v", got, ok)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	// A frame carries exactly one document; trailing content after the root
+	// closes is ignored by design.
+	for _, doc := range []string{"", "<a><b></a>", "not xml"} {
+		if _, err := parseXML(doc); err == nil {
+			t.Errorf("parseXML(%q) succeeded", doc)
+		}
+	}
+	n, err := parseXML(`<a x="1"><b>t</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Attrs["x"] != "1" || n.child("b").Text != "t" {
+		t.Errorf("parsed = %+v", n)
+	}
+	if n.child("missing") != nil {
+		t.Error("child(missing) != nil")
+	}
+}
+
+func TestServerRejectsGarbageRPC(t *testing.T) {
+	store := NewStore(testModules(t))
+	srv := &Server{store: store}
+	for _, frame := range []string{"not xml at all", "<hello/>", "<rpc><unknown-op/></rpc>"} {
+		reply := srv.dispatch(frame)
+		if !strings.Contains(reply, "rpc-error") {
+			t.Errorf("dispatch(%q) = %q, want rpc-error", frame, reply)
+		}
+	}
+}

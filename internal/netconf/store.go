@@ -1,0 +1,151 @@
+// Package netconf implements the configuration-protocol side of the §8.1
+// discussion: YANG "is a data modeling language for the NETCONF
+// configuration management protocol", which pushes and pulls structured
+// configuration. The package provides a YANG-backed datastore, a
+// NETCONF-style XML-RPC server over TCP (hello exchange, edit-config,
+// get-config, ]]>]]> framing), and a client — the structured counterpart
+// of the CLI device simulator, so YANG-assimilated devices can be
+// configured and verified end to end.
+package netconf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/yang"
+)
+
+// Entry is one datastore leaf value.
+type Entry struct {
+	Module string   // module name
+	Path   []string // container path inside the module
+	Leaf   string
+	Value  string
+}
+
+// key renders the entry address as a stable string.
+func (e Entry) key() string {
+	return e.Module + ":" + strings.Join(append(append([]string{}, e.Path...), e.Leaf), "/")
+}
+
+// String implements fmt.Stringer.
+func (e Entry) String() string { return e.key() + " = " + e.Value }
+
+// Store is a YANG-schema-validated configuration datastore: edits must
+// address a leaf the schema defines and carry a type-valid value.
+type Store struct {
+	byNamespace map[string]*yang.Module
+	byName      map[string]*yang.Module
+	leaves      map[string]yang.LeafPath // key() without value
+
+	mu   sync.Mutex
+	data map[string]Entry
+}
+
+// NewStore builds a datastore over the device's YANG modules.
+func NewStore(modules []*yang.Module) *Store {
+	s := &Store{
+		byNamespace: map[string]*yang.Module{},
+		byName:      map[string]*yang.Module{},
+		leaves:      map[string]yang.LeafPath{},
+		data:        map[string]Entry{},
+	}
+	for _, m := range modules {
+		s.byNamespace[m.Namespace] = m
+		s.byName[m.Name] = m
+		for _, leaf := range m.Leaves() {
+			e := Entry{Module: m.Name, Path: leaf.Path, Leaf: leaf.Name}
+			s.leaves[e.key()] = leaf
+		}
+	}
+	return s
+}
+
+// ModuleByNamespace resolves an XML namespace to its module.
+func (s *Store) ModuleByNamespace(ns string) *yang.Module { return s.byNamespace[ns] }
+
+// validate checks a value against the leaf's YANG type.
+func validateValue(leaf yang.LeafPath, value string) error {
+	switch {
+	case leaf.Type == "uint32":
+		n, err := strconv.ParseUint(value, 10, 32)
+		if err != nil {
+			return fmt.Errorf("netconf: %q is not a uint32", value)
+		}
+		if leaf.Range != "" {
+			lo, hi, ok := strings.Cut(leaf.Range, "..")
+			if ok {
+				loV, err1 := strconv.ParseUint(lo, 10, 64)
+				hiV, err2 := strconv.ParseUint(hi, 10, 64)
+				if err1 == nil && err2 == nil && (uint64(n) < loV || uint64(n) > hiV) {
+					return fmt.Errorf("netconf: %d outside range %s", n, leaf.Range)
+				}
+			}
+		}
+	case strings.Contains(leaf.Type, "ipv4-address"):
+		if !devmodel.TypeMatches(devmodel.TypeIPv4, value) {
+			return fmt.Errorf("netconf: %q is not an ipv4-address", value)
+		}
+	case strings.Contains(leaf.Type, "ipv4-prefix"):
+		if !devmodel.TypeMatches(devmodel.TypePrefix, value) {
+			return fmt.Errorf("netconf: %q is not an ipv4-prefix", value)
+		}
+	case strings.Contains(leaf.Type, "ipv6-address"):
+		if !devmodel.TypeMatches(devmodel.TypeIPv6, value) {
+			return fmt.Errorf("netconf: %q is not an ipv6-address", value)
+		}
+	case strings.Contains(leaf.Type, "mac-address"):
+		if !devmodel.TypeMatches(devmodel.TypeMAC, value) {
+			return fmt.Errorf("netconf: %q is not a mac-address", value)
+		}
+	}
+	return nil
+}
+
+// Set validates and stores one leaf value.
+func (s *Store) Set(module string, path []string, leaf, value string) error {
+	e := Entry{Module: module, Path: append([]string{}, path...), Leaf: leaf, Value: value}
+	spec, ok := s.leaves[e.key()]
+	if !ok {
+		return fmt.Errorf("netconf: schema has no leaf %s", e.key())
+	}
+	if err := validateValue(spec, value); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[e.key()] = e
+	return nil
+}
+
+// Get returns one leaf's value.
+func (s *Store) Get(module string, path []string, leaf string) (string, bool) {
+	e := Entry{Module: module, Path: path, Leaf: leaf}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	got, ok := s.data[e.key()]
+	return got.Value, ok
+}
+
+// Entries snapshots the datastore, sorted by address.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.data))
+	for _, e := range s.data {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].key() < out[b].key() })
+	return out
+}
+
+// Len returns the number of configured leaves.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

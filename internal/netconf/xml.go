@@ -1,0 +1,176 @@
+package netconf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"nassim/internal/yang"
+)
+
+// xmlNode is a lightweight generic XML element tree, enough for NETCONF
+// payloads.
+type xmlNode struct {
+	Name     string
+	NS       string
+	Attrs    map[string]string
+	Text     string
+	Children []*xmlNode
+}
+
+// child returns the first child with the local name, or nil.
+func (n *xmlNode) child(name string) *xmlNode {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// parseXML decodes one XML document into a node tree.
+func parseXML(doc string) (*xmlNode, error) {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var stack []*xmlNode
+	var root *xmlNode
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if root != nil && len(stack) == 0 {
+				return root, nil
+			}
+			return nil, fmt.Errorf("netconf: malformed XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &xmlNode{Name: t.Name.Local, NS: t.Name.Space, Attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("netconf: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("netconf: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				return root, nil
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += strings.TrimSpace(string(t))
+			}
+		}
+	}
+}
+
+// writeXML renders a node tree.
+func writeXML(b *strings.Builder, n *xmlNode) {
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	if n.NS != "" {
+		fmt.Fprintf(b, " xmlns=%q", n.NS)
+	}
+	for k, v := range n.Attrs {
+		fmt.Fprintf(b, " %s=%q", k, v)
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		xml.EscapeText(b, []byte(n.Text))
+	}
+	for _, c := range n.Children {
+		writeXML(b, c)
+	}
+	fmt.Fprintf(b, "</%s>", n.Name)
+}
+
+// leafEdits flattens a <config> subtree into datastore edits: every top
+// element carries the module namespace; descent through containers ends at
+// leaves (elements with character data and no children).
+func leafEdits(resolve func(ns string) *yang.Module, config *xmlNode) ([]Entry, error) {
+	var out []Entry
+	for _, top := range config.Children {
+		mod := resolve(top.NS)
+		if mod == nil {
+			return nil, fmt.Errorf("netconf: unknown namespace %q", top.NS)
+		}
+		var walk func(n *xmlNode, path []string) error
+		walk = func(n *xmlNode, path []string) error {
+			for _, c := range n.Children {
+				if len(c.Children) == 0 {
+					out = append(out, Entry{
+						Module: mod.Name,
+						Path:   append([]string{}, path...),
+						Leaf:   c.Name,
+						Value:  c.Text,
+					})
+					continue
+				}
+				if err := walk(c, append(path, c.Name)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(top, []string{top.Name}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// configTree builds the <data> subtree for a get-config reply from the
+// datastore snapshot.
+func configTree(s *Store, entries []Entry) *xmlNode {
+	data := &xmlNode{Name: "data"}
+	// Group per module, then nest along the path.
+	type dirKey struct{ module, path string }
+	nodes := map[dirKey]*xmlNode{}
+	ensure := func(module string, path []string) *xmlNode {
+		mod := s.byName[module]
+		cur := ""
+		var parent *xmlNode
+		for i, seg := range path {
+			cur += "/" + seg
+			k := dirKey{module, cur}
+			n, ok := nodes[k]
+			if !ok {
+				n = &xmlNode{Name: seg}
+				if i == 0 && mod != nil {
+					n.NS = mod.Namespace
+				}
+				if parent == nil {
+					data.Children = append(data.Children, n)
+				} else {
+					parent.Children = append(parent.Children, n)
+				}
+				nodes[k] = n
+			}
+			parent = n
+		}
+		return parent
+	}
+	for _, e := range entries {
+		parent := ensure(e.Module, e.Path)
+		leaf := &xmlNode{Name: e.Leaf, Text: e.Value}
+		if parent == nil {
+			data.Children = append(data.Children, leaf)
+		} else {
+			parent.Children = append(parent.Children, leaf)
+		}
+	}
+	return data
+}

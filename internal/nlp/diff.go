@@ -1,0 +1,59 @@
+package nlp
+
+// segment is one substituted region between shared anchors of two token
+// sequences: the source tokens q were replaced by the target tokens t.
+type segment struct {
+	q, t []string
+}
+
+// diffSegments computes the substituted segments between two token
+// sequences via a longest-common-subsequence alignment. Expert-annotated
+// VDM/UDM description pairs are near-identical modulo vendor-vocabulary
+// substitutions, so the segments isolate exactly the token replacements
+// domain adaptation must learn.
+func diffSegments(a, b []string) []segment {
+	// LCS dynamic program.
+	n, m := len(a), len(b)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var out []segment
+	var cur segment
+	flush := func() {
+		if len(cur.q) > 0 && len(cur.t) > 0 {
+			out = append(out, cur)
+		}
+		cur = segment{}
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			flush()
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			cur.q = append(cur.q, a[i])
+			i++
+		default:
+			cur.t = append(cur.t, b[j])
+			j++
+		}
+	}
+	cur.q = append(cur.q, a[i:]...)
+	cur.t = append(cur.t, b[j:]...)
+	flush()
+	return out
+}

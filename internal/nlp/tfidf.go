@@ -1,0 +1,115 @@
+package nlp
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseVec is a sparse term-weight vector.
+type SparseVec map[string]float64
+
+// Norm returns the Euclidean norm.
+func (v SparseVec) Norm() float64 {
+	s := 0.0
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSparse computes the cosine similarity of two sparse vectors.
+func CosineSparse(a, b SparseVec) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	dot := 0.0
+	for t, w := range a {
+		if w2, ok := b[t]; ok {
+			dot += w * w2
+		}
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// TFIDF is the information-retrieval baseline of §7.3: documents are
+// indexed with tf-idf weights and queries are scored by cosine similarity.
+type TFIDF struct {
+	df   map[string]int
+	n    int
+	docs []SparseVec
+}
+
+// NewTFIDF indexes a document collection (each document pre-tokenized).
+func NewTFIDF(docs [][]string) *TFIDF {
+	t := &TFIDF{df: map[string]int{}, n: len(docs)}
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		for _, tok := range doc {
+			if IsStopword(tok) {
+				continue
+			}
+			if !seen[tok] {
+				seen[tok] = true
+				t.df[tok]++
+			}
+		}
+	}
+	t.docs = make([]SparseVec, len(docs))
+	for i, doc := range docs {
+		t.docs[i] = t.Vector(doc)
+	}
+	return t
+}
+
+// idf returns the smoothed inverse document frequency of a term.
+func (t *TFIDF) idf(tok string) float64 {
+	return math.Log(float64(1+t.n) / float64(1+t.df[tok]))
+}
+
+// Vector computes the tf-idf vector of a tokenized text against the index.
+func (t *TFIDF) Vector(tokens []string) SparseVec {
+	tf := map[string]int{}
+	for _, tok := range tokens {
+		if IsStopword(tok) {
+			continue
+		}
+		tf[tok]++
+	}
+	v := SparseVec{}
+	for tok, n := range tf {
+		v[tok] = (1 + math.Log(float64(n))) * t.idf(tok)
+	}
+	return v
+}
+
+// Scored is one ranked document.
+type Scored struct {
+	Doc   int
+	Score float64
+}
+
+// Rank scores the query against all indexed documents and returns the top
+// k (k <= 0 ranks everything). Ties break toward the lower document index
+// so ranking is deterministic.
+func (t *TFIDF) Rank(query []string, k int) []Scored {
+	qv := t.Vector(query)
+	out := make([]Scored, len(t.docs))
+	for i, dv := range t.docs {
+		out[i] = Scored{Doc: i, Score: CosineSparse(qv, dv)}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len returns the number of indexed documents.
+func (t *TFIDF) Len() int { return len(t.docs) }

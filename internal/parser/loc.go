@@ -1,0 +1,48 @@
+package parser
+
+import (
+	_ "embed"
+	"strings"
+)
+
+//go:embed vendors.go
+var vendorsSource string
+
+// AdaptionCost quantifies the one-time effort of supporting a vendor
+// (Table 4 "Adaption Cost"): the lines of its parsing() method and of its
+// get_cli_parser() configuration. Measured from the embedded source between
+// the BEGIN/END markers, excluding blank lines and comments, so the
+// reported numbers are the real ones for this implementation.
+type AdaptionCost struct {
+	ParsingLOC      int
+	GetCLIParserLOC int
+}
+
+// countLOC measures non-blank, non-comment lines between the named markers.
+func countLOC(section, vendor string) int {
+	begin := "// BEGIN " + section + " " + vendor
+	end := "// END " + section + " " + vendor
+	src := vendorsSource
+	i := strings.Index(src, begin)
+	j := strings.Index(src, end)
+	if i < 0 || j < 0 || j < i {
+		return 0
+	}
+	count := 0
+	for _, line := range strings.Split(src[i+len(begin):j], "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// MeasureAdaptionCost reports the adaptation cost for a vendor.
+func MeasureAdaptionCost(vendor string) AdaptionCost {
+	return AdaptionCost{
+		ParsingLOC:      countLOC("parsing", vendor),
+		GetCLIParserLOC: countLOC("cliparser", vendor),
+	}
+}

@@ -1,0 +1,253 @@
+// Package parser implements NAssim's Parser Framework (§4): the base
+// Parser that turns vendor manual pages into the vendor-independent corpus
+// format, the four vendor-specific parsers (Huawei, Cisco, Nokia, H3C), and
+// the Test-Driven-Development workflow — parsing a batch, running the
+// Appendix B completeness tests inherited from the base parser, and
+// producing the violation report the developer iterates against.
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nassim/internal/corpus"
+	"nassim/internal/htmlparse"
+)
+
+// Page is one manual page to parse: the HTML body plus the external link
+// used in violation reports.
+type Page struct {
+	URL  string
+	HTML string
+}
+
+// ViewEdge is an explicit parent/child relationship between two views.
+// Most vendors leave the hierarchy implicit in example snippets; Nokia
+// manuals publish it as a context path, and Parser_<nokia> extracts it
+// through this side channel (Table 4's footnote).
+type ViewEdge struct {
+	Parent string
+	Child  string
+}
+
+// Result is the outcome of parsing one manual: the preliminary VDM corpus
+// plus any explicit hierarchy edges the vendor publishes.
+type Result struct {
+	Corpora   []corpus.Corpus
+	Hierarchy []ViewEdge
+}
+
+// parsePageFunc is the vendor-specific parsing() method: one manual page in,
+// one corpus (and optional explicit hierarchy edges) out.
+type parsePageFunc func(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge)
+
+// Parser is the base parser class. Vendor parsers differ only in their
+// parsing() function; Parse and Validate are inherited behaviour.
+type Parser struct {
+	vendor    string
+	parsePage parsePageFunc
+}
+
+// New returns the built-in parser for a vendor ("Huawei", "Cisco", "Nokia",
+// "H3C"; case-insensitive).
+func New(vendor string) (*Parser, error) {
+	switch strings.ToLower(vendor) {
+	case "huawei":
+		return &Parser{vendor: "Huawei", parsePage: parseHuaweiPage}, nil
+	case "cisco":
+		return &Parser{vendor: "Cisco", parsePage: parseCiscoPage}, nil
+	case "nokia":
+		return &Parser{vendor: "Nokia", parsePage: parseNokiaPage}, nil
+	case "h3c":
+		return &Parser{vendor: "H3C", parsePage: parseH3CPage}, nil
+	case "juniper":
+		// The E13 new-vendor on-boarding extension (not in Table 4).
+		return &Parser{vendor: "Juniper", parsePage: parseJuniperPage}, nil
+	}
+	return nil, fmt.Errorf("parser: no parser registered for vendor %q", vendor)
+}
+
+// Vendor returns the vendor this parser handles.
+func (p *Parser) Vendor() string { return p.vendor }
+
+// Parse runs the vendor parsing() over a batch of manual pages, producing
+// the preliminary VDM corpus. It never fails: malformed pages yield
+// incomplete corpora that the completeness tests flag.
+func (p *Parser) Parse(pages []Page) *Result {
+	res := &Result{}
+	edgeSeen := map[ViewEdge]bool{}
+	for _, page := range pages {
+		doc := htmlparse.Parse(page.HTML)
+		c, edges := p.parsePage(doc)
+		c.Vendor = p.vendor
+		c.SourceURL = page.URL
+		res.Corpora = append(res.Corpora, c)
+		for _, e := range edges {
+			if !edgeSeen[e] {
+				edgeSeen[e] = true
+				res.Hierarchy = append(res.Hierarchy, e)
+			}
+		}
+	}
+	return res
+}
+
+// Validate is the base-class validating() method: it runs the Appendix B
+// completeness tests plus the vendor's additional constraints (§4 step 0)
+// over parsed corpora and returns the combined violation report.
+func (p *Parser) Validate(corpora []corpus.Corpus) *corpus.Report {
+	rep := corpus.RunTests(corpora)
+	rep.Merge(corpus.RunConstraintTests(corpus.VendorConstraints(p.vendor), corpora))
+	return rep
+}
+
+// ParseAndValidate runs one TDD iteration: parse the batch, test it, return
+// both. The developer samples the most problematic corpora from the report,
+// amends the parsing logic, and repeats until the report passes (§4).
+func (p *Parser) ParseAndValidate(pages []Page) (*Result, *corpus.Report) {
+	res := p.Parse(pages)
+	return res, p.Validate(res.Corpora)
+}
+
+// Vendors lists the vendors with built-in parsers, in Table 4 order.
+func Vendors() []string { return []string{"Huawei", "Cisco", "Nokia", "H3C"} }
+
+// --- shared parsing helpers -------------------------------------------------
+
+// styledCLI reconstructs the plain-text command template from a styled
+// container: spans carrying a keyword class become literal tokens, spans
+// carrying a parameter class become <angle-bracketed> placeholders, and
+// plain text (the { | } [ ] convention symbols) passes through. Class-name
+// variants discovered through the TDD loop are all listed (§2.2, Appendix
+// B: one manual interchangeably uses several classes for one concept).
+func styledCLI(container *htmlparse.Node, kwClasses, paramClasses []string) string {
+	kw := map[string]bool{}
+	for _, c := range kwClasses {
+		kw[c] = true
+	}
+	param := map[string]bool{}
+	for _, c := range paramClasses {
+		param[c] = true
+	}
+	var toks []string
+	container.Walk(func(n *htmlparse.Node) bool {
+		switch n.Type {
+		case htmlparse.TextNode:
+			for _, f := range strings.Fields(n.Data) {
+				toks = append(toks, f)
+			}
+			return true
+		case htmlparse.ElementNode, htmlparse.DocumentNode:
+			for _, cls := range n.Classes() {
+				if kw[cls] {
+					toks = append(toks, strings.Fields(n.Text())...)
+					return false
+				}
+				if param[cls] {
+					if t := n.Text(); t != "" {
+						toks = append(toks, "<"+t+">")
+					}
+					return false
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return strings.Join(toks, " ")
+}
+
+// styledCLIFontBased reconstructs a template from a container where every
+// token is styled and keyword spans are distinguished from parameter spans
+// purely by their (keyword) classes: any other styled span is a parameter.
+// This is how manuals with rich-text font discrimination are read (Cisco,
+// Huawei); it is also what makes a missing keyword-class variant
+// *observable* — the token is mistaken for a parameter and the
+// keyword/parameter self-check flags it (Appendix B).
+func styledCLIFontBased(container *htmlparse.Node, kwClasses []string) string {
+	kw := map[string]bool{}
+	for _, c := range kwClasses {
+		kw[c] = true
+	}
+	var toks []string
+	container.Walk(func(n *htmlparse.Node) bool {
+		switch n.Type {
+		case htmlparse.TextNode:
+			for _, f := range strings.Fields(n.Data) {
+				toks = append(toks, f)
+			}
+			return true
+		case htmlparse.ElementNode, htmlparse.DocumentNode:
+			if n == container || n.Type == htmlparse.DocumentNode {
+				return true
+			}
+			for _, cls := range n.Classes() {
+				if kw[cls] {
+					toks = append(toks, strings.Fields(n.Text())...)
+					return false
+				}
+			}
+			if len(n.Classes()) > 0 {
+				if t := n.Text(); t != "" {
+					toks = append(toks, "<"+t+">")
+				}
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	return strings.Join(toks, " ")
+}
+
+// exampleLines splits a <pre> example block into its configuration lines,
+// preserving the leading indentation that encodes view depth.
+func exampleLines(pre *htmlparse.Node) []string {
+	raw := pre.RawText()
+	var out []string
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		out = append(out, strings.TrimRight(line, " \t\r"))
+	}
+	return out
+}
+
+// sections groups the flat sibling structure Huawei-style manuals use: each
+// element with the title class starts a section named by its text; all
+// elements until the next title belong to it.
+func sections(doc *htmlparse.Node, titleClass string) map[string][]*htmlparse.Node {
+	out := map[string][]*htmlparse.Node{}
+	var current string
+	var walk func(n *htmlparse.Node)
+	walk = func(n *htmlparse.Node) {
+		for _, c := range n.Children {
+			if c.Type != htmlparse.ElementNode {
+				continue
+			}
+			if c.HasClass(titleClass) {
+				current = c.Text()
+				continue
+			}
+			if current != "" {
+				out[current] = append(out[current], c)
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(doc)
+	return out
+}
+
+// sortedKeys is a test helper exposed for deterministic debugging output.
+func sortedKeys(m map[string][]*htmlparse.Node) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,292 @@
+package parser
+
+// This file holds the vendor-specific parsing logic — the only code a
+// NetOps team writes to on-board a new vendor. The paper quantifies
+// adaptation cost as the modified lines of each vendor's parsing() method
+// (~50 LOC) plus its get_cli_parser() configuration (~6-10 LOC); the
+// BEGIN/END markers let internal/parser/loc.go measure the same quantity
+// from the embedded source (Table 4 "Adaption Cost").
+
+import (
+	"strings"
+
+	"nassim/internal/clisyntax"
+	"nassim/internal/corpus"
+	"nassim/internal/htmlparse"
+)
+
+// BEGIN parsing Huawei
+// parseHuaweiPage handles the Huawei NE40E command-reference layout:
+// 'sectiontitle'-classed headings (Format / Function / Views / Parameters /
+// Examples) with content as following siblings. Keywords are stylized with
+// 'cmdname' — or, on some pages, 'strong' (found via the TDD self-check).
+func parseHuaweiPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
+	var c corpus.Corpus
+	sec := sections(doc, "sectiontitle")
+	for _, n := range sec["Format"] {
+		if cli := styledCLIFontBased(n, []string{"cmdname", "strong"}); cli != "" {
+			c.CLIs = append(c.CLIs, cli)
+		}
+	}
+	for _, n := range sec["Function"] {
+		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	}
+	for _, n := range sec["Views"] {
+		if v := n.Text(); v != "" {
+			c.ParentViews = append(c.ParentViews, v)
+		}
+	}
+	for _, n := range sec["Parameters"] {
+		for _, row := range n.ByTag("tr") {
+			cells := row.ByTag("td")
+			if len(cells) >= 2 {
+				c.ParaDef = append(c.ParaDef, corpus.ParaDef{
+					Paras: cells[0].Text(), Info: cells[1].Text()})
+			}
+		}
+	}
+	for _, n := range sec["Examples"] {
+		if lines := exampleLines(n); len(lines) > 0 {
+			c.Examples = append(c.Examples, lines)
+		}
+	}
+	return c, nil
+}
+
+// END parsing Huawei
+
+// BEGIN parsing Cisco
+// parseCiscoPage handles the Nexus command-reference layout: the command
+// template carries class 'pCE_CmdEnv' (some pages: 'pCENB_CmdEnv_NoBold'),
+// keywords one of 'cKeyword'/'cBold'/'cCN_CmdName' (all three variants were
+// surfaced by the completeness tests), views 'pCRCM_CmdRefCmdModes',
+// parameter rows 'pCRSD_CmdRefSynDesc' and examples 'pCRE_CmdRefExample'.
+func parseCiscoPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
+	var c corpus.Corpus
+	for _, n := range doc.ByAnyClass("pCE_CmdEnv", "pCENB_CmdEnv_NoBold") {
+		if cli := styledCLIFontBased(n, []string{"cKeyword", "cBold", "cCN_CmdName"}); cli != "" {
+			c.CLIs = append(c.CLIs, cli)
+		}
+	}
+	for _, n := range doc.ByClass("pB1_Body1") {
+		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	}
+	for _, n := range doc.ByClass("pCRCM_CmdRefCmdModes") {
+		if v := n.Text(); v != "" {
+			c.ParentViews = append(c.ParentViews, v)
+		}
+	}
+	for _, row := range doc.ByTag("tr") {
+		cells := row.ByTagClass("td", "pCRSD_CmdRefSynDesc")
+		if len(cells) >= 2 {
+			c.ParaDef = append(c.ParaDef, corpus.ParaDef{
+				Paras: cells[0].Text(), Info: cells[1].Text()})
+		}
+	}
+	for _, n := range doc.ByClass("pCRE_CmdRefExample") {
+		if lines := exampleLines(n); len(lines) > 0 {
+			c.Examples = append(c.Examples, lines)
+		}
+	}
+	return c, nil
+}
+
+// END parsing Cisco
+
+// BEGIN parsing Nokia
+// parseNokiaPage handles the 7750 SR layout: a definition list with
+// 'SyntaxHeader'/'ContextHeader'/'DescriptionHeader'/'ParametersHeader'
+// headings. Nokia publishes no example snippets; instead each page carries
+// explicit 'ContextPath' lines ("configure context > BGP context"), from
+// which the extra-function hierarchy extraction derives view edges.
+func parseNokiaPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
+	var c corpus.Corpus
+	var edges []ViewEdge
+	for _, n := range doc.ByClass("SyntaxText") {
+		if cli := styledCLI(n, []string{"Keyword"}, []string{"Argument"}); cli != "" {
+			c.CLIs = append(c.CLIs, cli)
+		}
+	}
+	for _, n := range doc.ByClass("DescriptionText") {
+		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	}
+	for _, n := range doc.ByClass("ContextEnables") {
+		c.EnablesView = n.Text()
+	}
+	for _, n := range doc.ByClass("ContextPath") {
+		path := strings.Split(n.Text(), ">")
+		for i := range path {
+			path[i] = strings.TrimSpace(path[i])
+		}
+		if last := path[len(path)-1]; last != "" {
+			c.ParentViews = append(c.ParentViews, last)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] != "" && path[i+1] != "" {
+				edges = append(edges, ViewEdge{Parent: path[i], Child: path[i+1]})
+			}
+		}
+	}
+	names := doc.ByClass("ParamName")
+	infos := doc.ByClass("ParamText")
+	for i := range names {
+		info := ""
+		if i < len(infos) {
+			info = infos[i].Text()
+		}
+		c.ParaDef = append(c.ParaDef, corpus.ParaDef{Paras: names[i].Text(), Info: info})
+	}
+	return c, edges
+}
+
+// END parsing Nokia
+
+// BEGIN parsing H3C
+// parseH3CPage handles the S3600 layout: every section heading carries the
+// single class 'Command' and is identified only by its text (Syntax / View
+// / Parameters / Description / Examples), with content as following
+// siblings.
+func parseH3CPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
+	var c corpus.Corpus
+	sec := sections(doc, "Command")
+	for _, n := range sec["Syntax"] {
+		if cli := styledCLI(n, []string{"cmdkw"}, []string{"cmdarg"}); cli != "" {
+			c.CLIs = append(c.CLIs, cli)
+		}
+	}
+	for _, n := range sec["Description"] {
+		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	}
+	for _, n := range sec["View"] {
+		if v := n.Text(); v != "" {
+			c.ParentViews = append(c.ParentViews, v)
+		}
+	}
+	for _, n := range sec["Parameters"] {
+		for _, li := range n.ByTag("li") {
+			text := li.Text()
+			name, info, ok := strings.Cut(text, ":")
+			if !ok {
+				name, info = text, ""
+			}
+			c.ParaDef = append(c.ParaDef, corpus.ParaDef{
+				Paras: strings.TrimSpace(name), Info: strings.TrimSpace(info)})
+		}
+	}
+	for _, n := range sec["Examples"] {
+		if lines := exampleLines(n); len(lines) > 0 {
+			c.Examples = append(c.Examples, lines)
+		}
+	}
+	return c, nil
+}
+
+// END parsing H3C
+
+// BEGIN parsing Juniper
+// parseJuniperPage handles the Junos-reference layout (the E13 new-vendor
+// on-boarding exercise: the whole adaptation below was written against the
+// TDD report in well under the paper's ~50 LOC budget): 'topic-title'
+// headings with content as following siblings; keywords in 'literal'
+// spans, placeholders in 'variable' spans.
+func parseJuniperPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
+	var c corpus.Corpus
+	sec := sections(doc, "topic-title")
+	for _, n := range sec["Syntax"] {
+		if cli := styledCLIFontBased(n, []string{"literal"}); cli != "" {
+			c.CLIs = append(c.CLIs, cli)
+		}
+	}
+	for _, n := range sec["Description"] {
+		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	}
+	for _, n := range sec["Hierarchy Level"] {
+		if v := n.Text(); v != "" {
+			c.ParentViews = append(c.ParentViews, v)
+		}
+	}
+	for _, n := range sec["Options"] {
+		dts := n.ByTag("dt")
+		dds := n.ByTag("dd")
+		for i := range dts {
+			info := ""
+			if i < len(dds) {
+				info = dds[i].Text()
+			}
+			c.ParaDef = append(c.ParaDef, corpus.ParaDef{Paras: dts[i].Text(), Info: info})
+		}
+	}
+	for _, n := range sec["Sample Configuration"] {
+		if lines := exampleLines(n); len(lines) > 0 {
+			c.Examples = append(c.Examples, lines)
+		}
+	}
+	return c, nil
+}
+
+// END parsing Juniper
+
+// The get_cli_parser() analogues below instantiate each vendor's formal
+// syntax parser from its manual's command conventions (Figure 4/5). All
+// four mainstream vendors document the same brace/bracket semantics, so
+// each configuration is a few lines — exactly the shape of Table 4's
+// get_cli_parser LOC row.
+
+// BEGIN cliparser Huawei
+func getCLIParserHuawei() func(string) error {
+	// Preamble: {} selects one branch, [] marks optional parts,
+	// <> marks placeholder parameters.
+	return clisyntax.Validate
+}
+
+// END cliparser Huawei
+
+// BEGIN cliparser Cisco
+func getCLIParserCisco() func(string) error {
+	// Figure 4's convention: braces select, brackets optional.
+	return clisyntax.Validate
+}
+
+// END cliparser Cisco
+
+// BEGIN cliparser Nokia
+func getCLIParserNokia() func(string) error {
+	// Same bracket semantics as the common convention.
+	return clisyntax.Validate
+}
+
+// END cliparser Nokia
+
+// BEGIN cliparser H3C
+func getCLIParserH3C() func(string) error {
+	// Same bracket semantics as the common convention.
+	return clisyntax.Validate
+}
+
+// END cliparser H3C
+
+// BEGIN cliparser Juniper
+func getCLIParserJuniper() func(string) error {
+	// Junos references use the same brace/bracket convention.
+	return clisyntax.Validate
+}
+
+// END cliparser Juniper
+
+// GetCLIParser returns the vendor's formal syntax parser; it returns nil
+// for unknown vendors.
+func GetCLIParser(vendor string) func(string) error {
+	switch strings.ToLower(vendor) {
+	case "huawei":
+		return getCLIParserHuawei()
+	case "cisco":
+		return getCLIParserCisco()
+	case "nokia":
+		return getCLIParserNokia()
+	case "h3c":
+		return getCLIParserH3C()
+	case "juniper":
+		return getCLIParserJuniper()
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package udm models the Unified Device Model of the SDN controller
+// (§3.2): a tree of configuration attributes, each annotated by the NetOps
+// experts who built it. Sub-trees group related attributes (one per
+// protocol/feature). The paper's UDM is proprietary; this one is built
+// from the ground-truth concept space, which makes every vendor model's
+// correct mapping known — exactly what the Mapper evaluation needs.
+package udm
+
+import (
+	"fmt"
+	"strings"
+
+	"nassim/internal/devmodel"
+)
+
+// Attribute is one UDM configuration attribute.
+type Attribute struct {
+	ID   string   // stable identifier (the ground-truth concept ID)
+	Name string   // attribute name, e.g. "as-number"
+	Desc string   // expert annotation, e.g. "The autonomous system number of the BGP peer."
+	Path []string // position in the tree, e.g. ["bgp"]
+}
+
+// PathString renders the tree path ("bgp/peer").
+func (a Attribute) PathString() string { return strings.Join(a.Path, "/") }
+
+// Tree is the unified device model.
+type Tree struct {
+	Attrs []Attribute
+	byID  map[string]int
+}
+
+// Build derives the UDM from the shared concept space. The tree groups
+// attributes by feature, mirroring how UDM sub-trees hold the attributes
+// of one network protocol.
+func Build(concepts []devmodel.Concept) *Tree {
+	t := &Tree{byID: map[string]int{}}
+	for _, c := range concepts {
+		path := []string{c.Feature}
+		// Concept IDs are feature.object.attr or feature.attr; the object
+		// segment becomes a sub-tree level.
+		parts := strings.Split(c.ID, ".")
+		if len(parts) == 3 {
+			path = append(path, parts[1])
+		}
+		t.byID[c.ID] = len(t.Attrs)
+		t.Attrs = append(t.Attrs, Attribute{
+			ID:   c.ID,
+			Name: c.Name,
+			Desc: c.Desc,
+			Path: path,
+		})
+	}
+	return t
+}
+
+// Len returns the number of attributes.
+func (t *Tree) Len() int { return len(t.Attrs) }
+
+// IndexOf returns the position of an attribute ID (-1 when absent).
+func (t *Tree) IndexOf(id string) int {
+	if i, ok := t.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Context returns the semantic context sequences of an attribute — the
+// k_U text sequences the Mapper encodes (§6.1): the attribute name, the
+// expert annotation, and the tree path.
+func (t *Tree) Context(i int) []string {
+	a := t.Attrs[i]
+	return []string{
+		strings.ReplaceAll(a.Name, "-", " "),
+		a.Desc,
+		strings.Join(a.Path, " "),
+	}
+}
+
+// Summary renders tree statistics.
+func (t *Tree) Summary() string {
+	features := map[string]int{}
+	for _, a := range t.Attrs {
+		if len(a.Path) > 0 {
+			features[a.Path[0]]++
+		}
+	}
+	return fmt.Sprintf("UDM: %d attributes across %d feature sub-trees", len(t.Attrs), len(features))
+}

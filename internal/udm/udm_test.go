@@ -1,0 +1,74 @@
+package udm
+
+import (
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+func TestBuildFromConcepts(t *testing.T) {
+	concepts := devmodel.Concepts()
+	tree := Build(concepts)
+	if tree.Len() != len(concepts) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(concepts))
+	}
+	for i, c := range concepts {
+		idx := tree.IndexOf(c.ID)
+		if idx != i {
+			t.Fatalf("IndexOf(%s) = %d, want %d", c.ID, idx, i)
+		}
+		a := tree.Attrs[idx]
+		if a.Name != c.Name || a.Desc != c.Desc {
+			t.Errorf("attribute %s: %+v vs concept %+v", c.ID, a, c)
+		}
+		if len(a.Path) == 0 || a.Path[0] != c.Feature {
+			t.Errorf("attribute %s path = %v", c.ID, a.Path)
+		}
+	}
+}
+
+func TestObjectConceptsGetSubTreeLevel(t *testing.T) {
+	tree := Build(devmodel.Concepts())
+	idx := tree.IndexOf("bgp.peer.as-number")
+	if idx < 0 {
+		t.Fatal("bgp.peer.as-number missing")
+	}
+	a := tree.Attrs[idx]
+	if a.PathString() != "bgp/peer" {
+		t.Errorf("path = %q, want bgp/peer", a.PathString())
+	}
+}
+
+func TestContextSequences(t *testing.T) {
+	tree := Build(devmodel.Concepts())
+	idx := tree.IndexOf("bgp.peer.as-number")
+	ctx := tree.Context(idx)
+	if len(ctx) != 3 {
+		t.Fatalf("context rows = %d, want 3", len(ctx))
+	}
+	if ctx[0] != "as number" {
+		t.Errorf("name row = %q", ctx[0])
+	}
+	if !strings.Contains(ctx[1], "autonomous system number") {
+		t.Errorf("desc row = %q", ctx[1])
+	}
+	if ctx[2] != "bgp peer" {
+		t.Errorf("path row = %q", ctx[2])
+	}
+}
+
+func TestIndexOfMissing(t *testing.T) {
+	tree := Build(devmodel.Concepts())
+	if got := tree.IndexOf("no.such.concept"); got != -1 {
+		t.Errorf("IndexOf = %d, want -1", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tree := Build(devmodel.Concepts())
+	s := tree.Summary()
+	if !strings.Contains(s, "attributes") || !strings.Contains(s, "sub-trees") {
+		t.Errorf("Summary = %q", s)
+	}
+}

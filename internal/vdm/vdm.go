@@ -1,0 +1,148 @@
+// Package vdm defines the validated Vendor-specific Device Model (§3.1):
+// a semantics-enhanced tree whose nodes are CLI command templates (each
+// linked to its parsed manual corpus) and whose edges encode the working
+// view hierarchy. One command working under several views contributes one
+// CLI-View pair per view, which is why the paper sizes VDMs in pairs
+// rather than commands (Table 4).
+package vdm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nassim/internal/cgm"
+	"nassim/internal/clisyntax"
+	"nassim/internal/corpus"
+)
+
+// ViewInfo is one derived working view.
+type ViewInfo struct {
+	Name   string
+	Parent string // parent view name ("" for the root view)
+	// EnterCorpus is the corpus index of the command that enables the view
+	// (-1 for the root view).
+	EnterCorpus int
+	// Ambiguous marks views whose association with example snippets was
+	// unreliable (Figure 7); RelevantSnippets records the candidate
+	// snippets for later expert review.
+	Ambiguous        bool
+	RelevantSnippets []string
+}
+
+// Pair is one CLI-View pair: corpus index and working view name.
+type Pair struct {
+	Corpus int
+	View   string
+}
+
+// InvalidCLI records a 'CLIs' field that failed formal syntax validation,
+// for targeted expert intervention (§5.1).
+type InvalidCLI struct {
+	Corpus int
+	CLI    string
+	Err    *clisyntax.SyntaxError
+}
+
+// String implements fmt.Stringer.
+func (ic InvalidCLI) String() string {
+	return fmt.Sprintf("corpus %d: %v", ic.Corpus, ic.Err)
+}
+
+// VDM is the validated vendor-specific device model.
+type VDM struct {
+	Vendor   string
+	RootView string
+	Corpora  []corpus.Corpus
+	Views    map[string]*ViewInfo
+	Pairs    []Pair
+
+	// Index resolves CLI instances to the corpora they instantiate; only
+	// corpora whose templates passed formal syntax validation are indexed
+	// (IDs are the decimal corpus index).
+	Index *cgm.Index
+
+	// InvalidCLIs lists the syntax-validation failures found while
+	// indexing (Table 4 "#Invalid CLI Commands").
+	InvalidCLIs []InvalidCLI
+}
+
+// CorpusID formats a corpus index as a template-index ID.
+func CorpusID(i int) string { return fmt.Sprintf("%d", i) }
+
+// ParseCorpusID reverses CorpusID.
+func ParseCorpusID(id string) (int, error) {
+	var i int
+	if _, err := fmt.Sscanf(id, "%d", &i); err != nil {
+		return 0, fmt.Errorf("vdm: bad corpus id %q: %w", id, err)
+	}
+	return i, nil
+}
+
+// AmbiguousViews lists the ambiguous view names, sorted.
+func (v *VDM) AmbiguousViews() []string {
+	var out []string
+	for name, info := range v.Views {
+		if info.Ambiguous {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewsOf returns the working views of a corpus, per the derived pairs.
+func (v *VDM) ViewsOf(corpusIdx int) []string {
+	var out []string
+	for _, p := range v.Pairs {
+		if p.Corpus == corpusIdx {
+			out = append(out, p.View)
+		}
+	}
+	return out
+}
+
+// Enters returns the views a corpus enables, per the derived hierarchy.
+func (v *VDM) Enters(corpusIdx int) []string {
+	var out []string
+	for name, info := range v.Views {
+		if info.EnterCorpus == corpusIdx {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PairCount returns the number of CLI-View pairs (Table 4's VDM size).
+func (v *VDM) PairCount() int { return len(v.Pairs) }
+
+// Summary renders the Table 4-style statistics of the model.
+func (v *VDM) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s VDM: %d corpora, %d views, %d CLI-View pairs, %d invalid CLIs, %d ambiguous views",
+		v.Vendor, len(v.Corpora), len(v.Views), len(v.Pairs), len(v.InvalidCLIs), len(v.AmbiguousViews()))
+	return b.String()
+}
+
+// Parameter addresses one placeholder parameter of one corpus, with the
+// semantic context the Mapper extracts (§6.1).
+type Parameter struct {
+	Corpus int
+	Name   string
+}
+
+// String implements fmt.Stringer.
+func (p Parameter) String() string { return fmt.Sprintf("corpus-%d#%s", p.Corpus, p.Name) }
+
+// Parameters enumerates every placeholder parameter of every corpus, in
+// corpus order. This is the P^V set of the Mapper's problem formulation.
+func (v *VDM) Parameters() []Parameter {
+	var out []Parameter
+	for i := range v.Corpora {
+		for _, name := range v.Corpora[i].ParamTokens() {
+			out = append(out, Parameter{Corpus: i, Name: name})
+		}
+	}
+	return out
+}

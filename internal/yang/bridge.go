@@ -1,0 +1,82 @@
+package yang
+
+import (
+	"strings"
+
+	"nassim/internal/corpus"
+	"nassim/internal/hierarchy"
+)
+
+// BridgeResult is the outcome of converting parsed YANG modules into the
+// vendor-independent corpus format: one corpus per data leaf, plus the
+// explicit hierarchy YANG's tree structure provides for free.
+type BridgeResult struct {
+	Corpora []corpus.Corpus
+	Edges   []hierarchy.Edge
+	// Origin records, per corpus, the module and leaf it came from — used
+	// to align ground-truth annotations with YANG-derived corpora.
+	Origin []LeafOrigin
+}
+
+// LeafOrigin locates a bridged corpus in its source module.
+type LeafOrigin struct {
+	Module string
+	Path   []string
+	Leaf   string
+}
+
+// Bridge converts parsed vendor YANG modules into the corpus format so the
+// unchanged Validator and Mapper can consume them (§8.1: the core
+// 'Parsing-Validating-Mapping' philosophy applied to YANG). Each leaf
+// becomes one corpus: the CLIs field is a pseudo-template spelling the
+// data path, the container path plays the parent-view role, and the leaf
+// description is the only prose — deliberately less context than a manual
+// page provides, which is the §8.1 trade-off the extension experiment
+// quantifies.
+func Bridge(vendor string, modules []*Module) *BridgeResult {
+	res := &BridgeResult{}
+	edgeSeen := map[hierarchy.Edge]bool{}
+	addEdge := func(parent, child string) {
+		e := hierarchy.Edge{Parent: parent, Child: child}
+		if !edgeSeen[e] {
+			edgeSeen[e] = true
+			res.Edges = append(res.Edges, e)
+		}
+	}
+	const root = "yang data tree"
+	for _, m := range modules {
+		for _, leaf := range m.Leaves() {
+			view := root
+			prev := root
+			for i := range leaf.Path {
+				view = m.Name + ":" + strings.Join(leaf.Path[:i+1], "/")
+				addEdge(prev, view)
+				prev = view
+			}
+			toks := append([]string{}, leaf.Path...)
+			toks = append(toks, leaf.Name, "<"+leaf.Name+">")
+			info := leaf.Description
+			if leaf.Range != "" {
+				info += " Range: " + leaf.Range + "."
+			}
+			funcDef := leaf.Description
+			if funcDef == "" {
+				// Undocumented leaves are common in vendor schemas; the
+				// bridge synthesizes a minimal statement so downstream
+				// completeness tests distinguish "schema says nothing"
+				// from "parser lost the text".
+				funcDef = "Data leaf " + leaf.Name + "."
+			}
+			res.Corpora = append(res.Corpora, corpus.Corpus{
+				CLIs:        []string{strings.Join(toks, " ")},
+				FuncDef:     funcDef,
+				ParentViews: []string{view},
+				ParaDef:     []corpus.ParaDef{{Paras: leaf.Name, Info: strings.TrimSpace(info)}},
+				Vendor:      vendor,
+				SourceURL:   "yang://" + m.Name + "/" + strings.Join(leaf.Path, "/") + "/" + leaf.Name,
+			})
+			res.Origin = append(res.Origin, LeafOrigin{Module: m.Name, Path: leaf.Path, Leaf: leaf.Name})
+		}
+	}
+	return res
+}

@@ -1,0 +1,27 @@
+package yang
+
+import "testing"
+
+// FuzzParse feeds arbitrary documents to the YANG parser: never panic,
+// and accepted modules must enumerate leaves without crashing.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleModule)
+	f.Add("module m { leaf x { type string; } }")
+	f.Add("module m { /* c */ container a { list b { key k; leaf k { type uint32 { range \"1..2\"; } } } } }")
+	f.Add("module { }")
+	f.Add("container x;")
+	f.Add(`module m { description "a \"q\" b"; }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, leaf := range m.Leaves() {
+			if leaf.Name == "" && len(leaf.Path) == 0 {
+				// A leaf statement with no argument is syntactically legal
+				// in our grammar; just ensure enumeration is stable.
+				continue
+			}
+		}
+	})
+}

@@ -1,0 +1,318 @@
+// Package yang implements the paper's §8.1/§8.2 extension: applying
+// NAssim's Parsing-Validating-Mapping philosophy to YANG/NETCONF device
+// models. Vendors publish vendor-specific YANG modules (the paper cites
+// the Cisco/Huawei/Nokia repositories); this package provides
+//
+//   - a parser for the YANG statement grammar (`keyword [argument]
+//     (";" | "{" substatements "}")`) sufficient for vendor data models:
+//     module/namespace/prefix/description/container/list/key/leaf/type/
+//     range statements;
+//   - a generator that renders a ground-truth device model as the vendor's
+//     YANG modules (one module per feature, containers mirroring the view
+//     tree, leaves for configurable parameters) — the synthetic substitute
+//     for the vendors' proprietary YANG repositories;
+//   - a bridge that converts parsed modules into the vendor-independent
+//     corpus format, so the same Validator and Mapper run unchanged —
+//     demonstrating the paper's claim that the core philosophy carries
+//     over, and its caveat that vendor YANG models carry less intuitive
+//     context than their CLI counterparts.
+package yang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is one YANG statement: a keyword, an optional argument, and either
+// a terminating semicolon or a block of substatements.
+type Stmt struct {
+	Keyword  string
+	Arg      string
+	Children []*Stmt
+}
+
+// Child returns the first substatement with the given keyword, or nil.
+func (s *Stmt) Child(keyword string) *Stmt {
+	for _, c := range s.Children {
+		if c.Keyword == keyword {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildArg returns the argument of the first substatement with the given
+// keyword ("" when absent) — the common description/type/key accessor.
+func (s *Stmt) ChildArg(keyword string) string {
+	if c := s.Child(keyword); c != nil {
+		return c.Arg
+	}
+	return ""
+}
+
+// All returns every substatement with the given keyword.
+func (s *Stmt) All(keyword string) []*Stmt {
+	var out []*Stmt
+	for _, c := range s.Children {
+		if c.Keyword == keyword {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Module is a parsed YANG module.
+type Module struct {
+	Name      string
+	Namespace string
+	Prefix    string
+	Root      *Stmt // the module statement itself
+}
+
+// ParseError reports a YANG syntax violation.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("yang: offset %d: %s", e.Offset, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+type token struct {
+	text  string
+	punct byte // '{', '}', ';' or 0 for an argument/keyword token
+	off   int
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, &ParseError{Offset: l.pos, Msg: "unterminated block comment"}
+			}
+			l.pos += 2 + end + 2
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{off: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.src[l.pos]; c {
+	case '{', '}', ';':
+		l.pos++
+		return token{punct: c, off: start}, nil
+	case '"', '\'':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\\' && quote == '"' && l.pos+1 < len(l.src) {
+				esc := l.src[l.pos+1]
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"', '\\':
+					b.WriteByte(esc)
+				default:
+					b.WriteByte(esc)
+				}
+				l.pos += 2
+				continue
+			}
+			if ch == quote {
+				l.pos++
+				return token{text: b.String(), off: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, &ParseError{Offset: start, Msg: "unterminated string"}
+	default:
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' ||
+				ch == '{' || ch == '}' || ch == ';' {
+				break
+			}
+			l.pos++
+		}
+		return token{text: l.src[start:l.pos], off: start}, nil
+	}
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+// eof reports whether a token marks end of input.
+func eof(t token) bool { return t.punct == 0 && t.text == "" }
+
+// parseStmt parses one statement starting at the keyword token.
+func (p *parser) parseStmt() (*Stmt, error) {
+	kw, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if eof(kw) {
+		return nil, nil
+	}
+	if kw.punct != 0 {
+		return nil, &ParseError{Offset: kw.off, Msg: fmt.Sprintf("expected a keyword, got %q", kw.punct)}
+	}
+	s := &Stmt{Keyword: kw.text}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.punct == 0 && !eof(t) {
+		// Argument token.
+		arg, _ := p.next()
+		s.Arg = arg.text
+		t, err = p.peek()
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case t.punct == ';':
+		p.next()
+		return s, nil
+	case t.punct == '{':
+		p.next()
+		for {
+			t, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if eof(t) {
+				return nil, &ParseError{Offset: t.off, Msg: fmt.Sprintf("unterminated %q block", s.Keyword)}
+			}
+			if t.punct == '}' {
+				p.next()
+				return s, nil
+			}
+			child, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Children = append(s.Children, child)
+		}
+	case eof(t):
+		return nil, &ParseError{Offset: t.off, Msg: fmt.Sprintf("statement %q not terminated", s.Keyword)}
+	default:
+		return nil, &ParseError{Offset: t.off, Msg: fmt.Sprintf("unexpected %q after %q", t.punct, s.Keyword)}
+	}
+}
+
+// Parse parses one YANG module document.
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: &lexer{src: src}}
+	root, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, &ParseError{Offset: 0, Msg: "empty document"}
+	}
+	if root.Keyword != "module" {
+		return nil, &ParseError{Offset: 0, Msg: fmt.Sprintf("top-level statement is %q, want module", root.Keyword)}
+	}
+	if root.Arg == "" {
+		return nil, &ParseError{Offset: 0, Msg: "module has no name"}
+	}
+	// The document must contain exactly one top-level statement.
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if !eof(t) {
+		return nil, &ParseError{Offset: t.off, Msg: "trailing content after the module"}
+	}
+	return &Module{
+		Name:      root.Arg,
+		Namespace: root.ChildArg("namespace"),
+		Prefix:    root.ChildArg("prefix"),
+		Root:      root,
+	}, nil
+}
+
+// LeafPath is one data leaf with its container path, the unit the bridge
+// turns into a corpus entry.
+type LeafPath struct {
+	Path        []string // container/list names, module-container first
+	Name        string
+	Type        string
+	Range       string
+	Description string
+	ListKey     bool // the leaf is its enclosing list's key
+}
+
+// Leaves enumerates every leaf of the module in document order.
+func (m *Module) Leaves() []LeafPath {
+	var out []LeafPath
+	var walk func(s *Stmt, path []string, listKey string)
+	walk = func(s *Stmt, path []string, listKey string) {
+		for _, c := range s.Children {
+			switch c.Keyword {
+			case "container", "list":
+				walk(c, append(append([]string{}, path...), c.Arg), c.ChildArg("key"))
+			case "leaf":
+				lp := LeafPath{
+					Path:        append([]string{}, path...),
+					Name:        c.Arg,
+					Description: c.ChildArg("description"),
+					ListKey:     c.Arg == listKey,
+				}
+				if ts := c.Child("type"); ts != nil {
+					lp.Type = ts.Arg
+					lp.Range = ts.ChildArg("range")
+				}
+				out = append(out, lp)
+			}
+		}
+	}
+	walk(m.Root, nil, "")
+	return out
+}

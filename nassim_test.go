@@ -1,0 +1,259 @@
+package nassim_test
+
+import (
+	"strings"
+	"testing"
+
+	"nassim"
+)
+
+// TestAssimilatePipeline drives the whole VDM construction phase through
+// the public API for every vendor at test scale.
+func TestAssimilatePipeline(t *testing.T) {
+	for _, vendor := range nassim.Vendors() {
+		vendor := vendor
+		t.Run(vendor, func(t *testing.T) {
+			asr, err := nassim.Assimilate(vendor, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !asr.Parsed.Completeness.Passed() {
+				t.Fatalf("completeness report failed:\n%s", asr.Parsed.Completeness.Summary())
+			}
+			if asr.PreCorrectionInvalid == 0 {
+				t.Error("no invalid CLIs found before correction (errors were injected)")
+			}
+			if len(asr.VDM.InvalidCLIs) != 0 {
+				t.Errorf("invalid CLIs remain after expert correction: %v", asr.VDM.InvalidCLIs)
+			}
+			if issues := nassim.ValidateHierarchy(asr.VDM); len(issues) != 0 {
+				t.Errorf("hierarchy issues: %v", issues)
+			}
+			if asr.DeriveReport.RootView == "" {
+				t.Error("no root view derived")
+			}
+		})
+	}
+}
+
+func TestUnknownVendorErrors(t *testing.T) {
+	if _, err := nassim.Assimilate("Arista", 0.02); err == nil {
+		t.Error("Arista has no manual parser; Assimilate should fail")
+	}
+	if _, err := nassim.SyntheticModel("nope", 1); err == nil {
+		t.Error("unknown vendor accepted")
+	}
+	if _, err := nassim.ParseManual("nope", nil); err == nil {
+		t.Error("unknown vendor accepted by ParseManual")
+	}
+}
+
+func TestEmpiricalValidationViaPublicAPI(t *testing.T) {
+	asr, err := nassim.Assimilate("Huawei", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, ok := nassim.SyntheticConfigs(asr.Model, 0.05)
+	if !ok {
+		t.Fatal("no config corpus for Huawei")
+	}
+	rep := nassim.ValidateConfigs(asr.VDM, files)
+	if rep.MatchingRatio() != 1.0 {
+		t.Fatalf("matching ratio = %f\n%v", rep.MatchingRatio(), rep.Failures)
+	}
+
+	// Exercise unused commands against a live device over TCP.
+	dev, err := nassim.NewDevice(asr.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := nassim.ServeDevice(dev, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := nassim.DialDevice(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	live, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, cl, dev.ShowConfigCommand(), 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Tested == 0 || live.Verified != live.Accepted || live.Accepted != live.Tested {
+		t.Fatalf("live report: %+v", live)
+	}
+}
+
+func TestMapperKindsViaPublicAPI(t *testing.T) {
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate("Huawei", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 40, 3)
+	if len(anns) != 40 {
+		t.Fatalf("annotations = %d", len(anns))
+	}
+	for _, kind := range nassim.AllModelKinds() {
+		m, err := nassim.NewMapper(u, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Name() != string(kind) {
+			t.Errorf("Name = %q, want %q", m.Name(), kind)
+		}
+		ctx := nassim.ExtractContext(asr.VDM, anns[0].Param)
+		recs := m.Recommend(ctx, 5)
+		if len(recs) != 5 {
+			t.Fatalf("%s: recs = %d", kind, len(recs))
+		}
+		if out := nassim.Explain(ctx, recs); !strings.Contains(out, "1.") {
+			t.Errorf("%s: Explain output %q", kind, out)
+		}
+	}
+	if _, err := nassim.NewMapper(u, nassim.ModelKind("bogus")); err == nil {
+		t.Error("bogus model kind accepted")
+	}
+}
+
+func TestFineTuneOnlyNetBERT(t *testing.T) {
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate("H3C", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 60, 5)
+
+	nb, err := nassim.NewMapper(u, nassim.ModelNetBERT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := nb.FineTune(asr.VDM, u, anns, 10, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Positives != 60 || stats.Alignments == 0 {
+		t.Errorf("fine-tune stats: %+v", stats)
+	}
+
+	ir, err := nassim.NewMapper(u, nassim.ModelIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.FineTune(asr.VDM, u, anns, 10, 1, 5); err == nil {
+		t.Error("IR mapper accepted fine-tuning")
+	}
+}
+
+// Fine-tuning must improve the same vendor's mapping (the in-domain
+// sanity case; the paper's cross-vendor protocol lives in internal/eval).
+func TestFineTuningImprovesRecall(t *testing.T) {
+	u := nassim.BuildUDM()
+	asr, err := nassim.Assimilate("Nokia", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 110, 7)
+	train, test := anns[:70], anns[70:]
+
+	base, _ := nassim.NewMapper(u, nassim.ModelSBERT)
+	tuned, _ := nassim.NewMapper(u, nassim.ModelNetBERT)
+	if _, err := tuned.FineTune(asr.VDM, u, train, 10, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	ks := []int{1, 5, 10}
+	rb := nassim.Evaluate(base, asr.VDM, u, test, ks)
+	rt := nassim.Evaluate(tuned, asr.VDM, u, test, ks)
+	if rt.Recall[10] < rb.Recall[10] {
+		t.Errorf("fine-tuning hurt recall@10: %f -> %f", rb.Recall[10], rt.Recall[10])
+	}
+	if rt.MRR <= rb.MRR {
+		t.Errorf("fine-tuning did not improve MRR: %f -> %f", rb.MRR, rt.MRR)
+	}
+}
+
+func TestApplyCorrections(t *testing.T) {
+	corpora := []nassim.Corpus{{CLIs: []string{"broken {"}}}
+	nassim.ApplyCorrections(corpora, []nassim.Correction{
+		{Corpus: 0, CLI: "fixed <x>"},
+		{Corpus: 99, CLI: "ignored"}, // out of range: no-op
+		{Corpus: -1, CLI: "ignored"},
+	})
+	if corpora[0].CLIs[0] != "fixed <x>" {
+		t.Errorf("correction not applied: %v", corpora[0].CLIs)
+	}
+}
+
+func TestAccelerationHeadlineFormula(t *testing.T) {
+	// The paper: 89% top-10 recall => manual consulted 11% of the time =>
+	// 9.1x acceleration.
+	got := nassim.AccelerationFactor(89)
+	if got < 9.0 || got > 9.2 {
+		t.Errorf("AccelerationFactor(89) = %f, want ~9.1", got)
+	}
+}
+
+func TestAnnotationCounts(t *testing.T) {
+	if n := nassim.AnnotationCount("Huawei"); n != 381 {
+		t.Errorf("Huawei annotations = %d, want 381", n)
+	}
+	if n := nassim.AnnotationCount("Nokia"); n != 110 {
+		t.Errorf("Nokia annotations = %d, want 110", n)
+	}
+}
+
+func TestBuildUDMStable(t *testing.T) {
+	a, b := nassim.BuildUDM(), nassim.BuildUDM()
+	if a.Len() != b.Len() || a.Len() < 381 {
+		t.Fatalf("UDM sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].ID != b.Attrs[i].ID {
+			t.Fatal("UDM not deterministic")
+		}
+	}
+}
+
+// TestJuniperFullPipeline exercises the E13 fifth vendor through the
+// public API: assimilation, hierarchy, empirical-style intent push.
+func TestJuniperFullPipeline(t *testing.T) {
+	asr, err := nassim.Assimilate("Juniper", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asr.Parsed.Completeness.Passed() {
+		t.Fatalf("completeness failed:\n%s", asr.Parsed.Completeness.Summary())
+	}
+	if asr.PreCorrectionInvalid == 0 || len(asr.VDM.InvalidCLIs) != 0 {
+		t.Errorf("error handling: pre=%d post=%d", asr.PreCorrectionInvalid, len(asr.VDM.InvalidCLIs))
+	}
+	if issues := nassim.ValidateHierarchy(asr.VDM); len(issues) != 0 {
+		t.Errorf("hierarchy issues: %v", issues)
+	}
+	// Configure the new vendor through the controller like any other.
+	dev, err := nassim.NewDevice(asr.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := nassim.BindingFromAnnotations(nassim.GroundTruthAnnotations(asr.Model, 100, 9))
+	ctrl := nassim.NewController(9)
+	if err := nassim.RegisterDevice(ctrl, "jnpr-1", "Juniper", asr.VDM, binding,
+		nassim.SessionExecutor(dev.NewSession()), dev.ShowConfigCommand()); err != nil {
+		t.Fatal(err)
+	}
+	for id := range binding {
+		if strings.HasSuffix(id, "-time") {
+			res, err := ctrl.Apply("jnpr-1", nassim.Intent{AttrID: id, Value: "44"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("intent not verified: %+v", res)
+			}
+			return
+		}
+	}
+	t.Skip("no time-typed binding at this scale")
+}

@@ -1,0 +1,83 @@
+package nassim_test
+
+import (
+	"testing"
+
+	"nassim"
+)
+
+func TestYANGPublicAPI(t *testing.T) {
+	m, err := nassim.SyntheticModel("Huawei", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := nassim.SyntheticYANG(m)
+	if len(sources) == 0 {
+		t.Fatal("no YANG modules generated")
+	}
+	var modules []*nassim.YANGModule
+	for _, src := range sources {
+		mod, err := nassim.ParseYANG(src.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		modules = append(modules, mod)
+	}
+	bridge := nassim.BridgeYANG("Huawei", modules)
+	if len(bridge.Corpora) == 0 || len(bridge.Edges) == 0 {
+		t.Fatalf("bridge: %d corpora, %d edges", len(bridge.Corpora), len(bridge.Edges))
+	}
+	v, rep := nassim.BuildVDM("Huawei", bridge.Corpora, bridge.Edges)
+	if rep.RootView != "yang data tree" {
+		t.Errorf("root = %q", rep.RootView)
+	}
+	if len(v.InvalidCLIs) != 0 {
+		t.Errorf("invalid pseudo-templates: %v", v.InvalidCLIs)
+	}
+
+	anns := nassim.YANGAnnotations(m, bridge, nassim.GroundTruthAnnotations(m, 30, 1))
+	if len(anns) == 0 {
+		t.Fatal("no annotations translated onto the YANG corpora")
+	}
+	for _, ann := range anns {
+		if ann.Param.Corpus < 0 || ann.Param.Corpus >= len(bridge.Corpora) {
+			t.Fatalf("annotation points outside the bridged corpora: %+v", ann)
+		}
+		// The leaf parameter must actually exist in the bridged corpus.
+		found := false
+		for _, p := range bridge.Corpora[ann.Param.Corpus].ParamTokens() {
+			if p == ann.Param.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("annotation %v: parameter not in corpus %d", ann, ann.Param.Corpus)
+		}
+	}
+
+	if _, err := nassim.ParseYANG("not yang"); err == nil {
+		t.Error("garbage YANG accepted")
+	}
+}
+
+func TestCorpusIDExport(t *testing.T) {
+	if got := nassim.CorpusID(7); got != "7" {
+		t.Errorf("CorpusID(7) = %q", got)
+	}
+}
+
+func TestSessionExecutorExport(t *testing.T) {
+	m, err := nassim.SyntheticModel("Cisco", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nassim.NewDevice(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := nassim.SessionExecutor(dev.NewSession())
+	resp, err := exec.Exec("return")
+	if err != nil || !resp.OK {
+		t.Fatalf("exec: %+v %v", resp, err)
+	}
+}
