@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# formatting (gofmt -l fails on any unformatted file), vet, build, and the
+# full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench stages
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Per-stage pipeline timing + BENCH_telemetry.json (see README Observability).
+stages:
+	$(GO) run ./cmd/evalbench -stages -scale 0.1

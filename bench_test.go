@@ -26,6 +26,7 @@ import (
 	"nassim/internal/hierarchy"
 	"nassim/internal/mapper"
 	"nassim/internal/nlp"
+	"nassim/internal/telemetry"
 )
 
 const benchScale = 0.05
@@ -243,6 +244,46 @@ func BenchmarkEndToEndAssimilation(b *testing.B) {
 		if len(asr.VDM.InvalidCLIs) != 0 {
 			b.Fatal("corrections not applied")
 		}
+	}
+}
+
+func BenchmarkPipelineStages(b *testing.B) {
+	// End-to-end assimilation with per-stage wall time, recorded under the
+	// stage names of telemetry.StageTimer — the same schema cmd/evalbench
+	// exports to BENCH_telemetry.json (nassim-telemetry-bench/v1), so
+	// BENCH_*.json entries stay comparable across PRs.
+	data := setup(b)
+	d := data["Huawei"]
+	st := telemetry.NewStageTimer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var parsed *nassim.ParseResult
+		var err error
+		st.Time(telemetry.StageParse, func() {
+			parsed, err = nassim.ParseManual("Huawei", d.pages)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, firstRep := nassim.BuildVDM("Huawei", parsed.Corpora, parsed.Hierarchy)
+		st.Observe(telemetry.StageSyntaxCGM, firstRep.CGMBuildTime)
+		st.Observe(telemetry.StageHierarchy, firstRep.DeriveTime)
+		var v *nassim.VDM
+		st.Time(telemetry.StageCorrect, func() {
+			nassim.ApplyCorrections(parsed.Corpora, nassim.ExpertCorrections(d.model, first.InvalidCLIs))
+			v, _ = nassim.BuildVDM("Huawei", parsed.Corpora, parsed.Hierarchy)
+		})
+		st.Time(telemetry.StageEmpirical, func() {
+			nassim.ValidateConfigs(v, d.files)
+		})
+	}
+	b.StopTimer()
+	for _, rec := range st.Records() {
+		b.ReportMetric(float64(rec.AvgNS), rec.Name+"-ns/op")
+	}
+	doc := telemetry.NewBenchDoc("Huawei", benchScale, 9, st)
+	if _, err := doc.MarshalIndent(); err != nil {
+		b.Fatal(err)
 	}
 }
 

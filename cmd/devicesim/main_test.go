@@ -5,15 +5,34 @@ import (
 	"os"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"nassim"
 )
 
+// lockedBuffer synchronizes reads against the run goroutine's writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func TestRunServesUntilSignalled(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	var out bytes.Buffer
+	var out lockedBuffer
 	done := make(chan error, 1)
 	go func() { done <- run("H3C", 0.02, "127.0.0.1:0", stop, &out) }()
 

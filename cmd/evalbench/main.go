@@ -7,10 +7,12 @@
 //	evalbench -table 5                 # Table 5 (Mapper, paper protocol)
 //	evalbench -table 6                 # appendix Table 6 (dense k grid + MRR)
 //	evalbench -headline                # recall@10 -> acceleration factor
+//	evalbench -stages                  # per-stage timing table + BENCH_telemetry.json
 //	evalbench -all -scale 0.1          # everything
 //
-// Scale 1.0 reproduces the paper-scale corpora (12 874 Huawei commands,
-// 14 046 Nokia, ...); smaller scales run the same pipeline on
+// Run without flags, evalbench times the pipeline stages (equivalent to
+// -stages). Scale 1.0 reproduces the paper-scale corpora (12 874 Huawei
+// commands, 14 046 Nokia, ...); smaller scales run the same pipeline on
 // proportionally smaller models.
 package main
 
@@ -18,8 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"nassim"
 	"nassim/internal/eval"
+	"nassim/internal/telemetry"
 )
 
 func main() {
@@ -32,12 +37,28 @@ func main() {
 	yangExp := flag.Bool("yang", false, "run the E10 extension: CLI-manual vs native-YANG mapping")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations (weights, context rows, epochs, negatives)")
 	curve := flag.Bool("curve", false, "run the E11 continuous-improvement learning curve")
+	stages := flag.Bool("stages", false, "time each pipeline stage and export BENCH_telemetry.json")
+	vendor := flag.String("vendor", "Huawei", "vendor for the -stages pipeline run")
+	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "stage-timing export path for -stages")
 	jsonOut := flag.String("json", "", "also export the run's results as JSON to this file")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*headline && !*yangExp && !*ablate && !*curve {
-		flag.Usage()
-		os.Exit(2)
+	// Bare invocation: time the pipeline stages instead of printing usage.
+	if !*all && *table == 0 && !*headline && !*yangExp && !*ablate && !*curve && !*stages {
+		*stages = true
+		if *scale == 1.0 {
+			*scale = 0.1
+		}
+	}
+
+	if *stages || *all {
+		if err := runStages(*vendor, *scale, *seed, *telemetryOut); err != nil {
+			fmt.Fprintln(os.Stderr, "evalbench: stages:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && !*headline && !*yangExp && !*ablate && !*curve {
+			return
+		}
 	}
 
 	doc := &eval.ResultsDocument{Scale: *scale, Seed: *seed}
@@ -157,4 +178,102 @@ func main() {
 			return nil
 		})
 	}
+}
+
+// runStages drives one synthetic assimilation with per-stage wall-clock
+// timing — parse, syntax+CGM, hierarchy derivation, expert correction and
+// rebuild, empirical validation, mapper fine-tune and recommendation,
+// controller intent — prints the timing table and exports the stable
+// BENCH_telemetry.json document (schema nassim-telemetry-bench/v1).
+func runStages(vendor string, scale float64, seed uint64, out string) error {
+	st := telemetry.NewStageTimer()
+	m, err := nassim.SyntheticModel(vendor, scale)
+	if err != nil {
+		return err
+	}
+	pages := nassim.SyntheticManual(m)
+
+	var parsed *nassim.ParseResult
+	st.Time(telemetry.StageParse, func() {
+		parsed, err = nassim.ParseManual(vendor, pages)
+	})
+	if err != nil {
+		return err
+	}
+
+	// First derivation surfaces the manual's syntax errors; its report
+	// splits the time into CGM construction vs hierarchy derivation.
+	first, firstRep := nassim.BuildVDM(vendor, parsed.Corpora, parsed.Hierarchy)
+	st.Observe(telemetry.StageSyntaxCGM, firstRep.CGMBuildTime)
+	st.Observe(telemetry.StageHierarchy, firstRep.DeriveTime)
+
+	var v *nassim.VDM
+	st.Time(telemetry.StageCorrect, func() {
+		fixes := nassim.ExpertCorrections(m, first.InvalidCLIs)
+		nassim.ApplyCorrections(parsed.Corpora, fixes)
+		v, _ = nassim.BuildVDM(vendor, parsed.Corpora, parsed.Hierarchy)
+	})
+
+	if files, ok := nassim.SyntheticConfigs(m, scale); ok {
+		st.Time(telemetry.StageEmpirical, func() {
+			nassim.ValidateConfigs(v, files)
+		})
+	}
+
+	u := nassim.BuildUDM()
+	mp, err := nassim.NewMapper(u, nassim.ModelIRNetBERT)
+	if err != nil {
+		return err
+	}
+	anns := nassim.GroundTruthAnnotations(m, 50, seed)
+	st.Time(telemetry.StageMapFineTune, func() {
+		_, err = mp.FineTune(v, u, anns, 4, 2, seed)
+	})
+	if err != nil {
+		return err
+	}
+	recN := len(anns)
+	if recN > 10 {
+		recN = 10
+	}
+	st.Time(telemetry.StageMapRecommend, func() {
+		for _, ann := range anns[:recN] {
+			mp.Recommend(nassim.ExtractContext(v, ann.Param), 10)
+		}
+	})
+
+	dev, err := nassim.NewDevice(m)
+	if err != nil {
+		return err
+	}
+	ctrl := nassim.NewController(seed)
+	binding := nassim.BindingFromAnnotations(nassim.GroundTruthAnnotations(m, 200, seed))
+	if err := nassim.RegisterDevice(ctrl, "bench-device", vendor, v, binding,
+		nassim.SessionExecutor(dev.NewSession()), dev.ShowConfigCommand()); err != nil {
+		return err
+	}
+	st.Time(telemetry.StageControllerInt, func() {
+		ids := make([]string, 0, len(binding))
+		for id := range binding {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if _, aerr := ctrl.Apply("bench-device", nassim.Intent{AttrID: id, Value: "7"}); aerr == nil {
+				break
+			}
+		}
+	})
+
+	fmt.Printf("Pipeline stage timing (%s, scale %.2f):\n%s", vendor, scale, st.Table())
+	doc := telemetry.NewBenchDoc(vendor, scale, seed, st)
+	data, err := doc.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote stage telemetry to %s (%d metric samples)\n\n", out, len(doc.Metrics))
+	return nil
 }

@@ -10,6 +10,16 @@
 // validate runs formal syntax validation and hierarchy derivation and
 // reports what the experts must review; map recommends UDM attributes for
 // VDM parameters; demo runs the whole synthetic pipeline end to end.
+//
+// Global flags (before the subcommand) switch on the telemetry layer:
+//
+//	nassim --metrics-addr :8080            # serve /metrics, /debug/vars, /debug/traces, /debug/pprof/
+//	nassim --log-level debug demo          # structured pipeline logging
+//	nassim --trace-buffer 1024 demo        # record stage spans
+//
+// With --metrics-addr and no subcommand, nassim runs a small synthetic
+// warm-up pipeline so every stage has samples, prints the bound address,
+// and serves until interrupted.
 package main
 
 import (
@@ -17,32 +27,87 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"nassim"
 	"nassim/internal/corpus"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	g := flag.NewFlagSet("nassim", flag.ExitOnError)
+	g.Usage = usage
+	metricsAddr := g.String("metrics-addr", "", "serve telemetry HTTP endpoints on this address (\":0\" picks a port)")
+	logFormat := g.String("log-format", "text", "log output format: text or json")
+	logLevel := g.String("log-level", "", "enable structured logging at this level (debug, info, warn, error)")
+	traceBuffer := g.Int("trace-buffer", 0, "record stage spans in a ring buffer of this capacity")
+	g.Parse(os.Args[1:]) // stops at the first non-flag: the subcommand
+
+	switch strings.ToLower(strings.TrimSpace(*logFormat)) {
+	case "text", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "nassim: unknown -log-format %q (use text or json)\n", *logFormat)
 		os.Exit(2)
 	}
+	if *logLevel != "" {
+		switch strings.ToLower(strings.TrimSpace(*logLevel)) {
+		case "debug", "info", "warn", "warning", "error":
+		default:
+			fmt.Fprintf(os.Stderr, "nassim: unknown -log-level %q (use debug, info, warn, error)\n", *logLevel)
+			os.Exit(2)
+		}
+		nassim.InitLogging(nassim.LogConfig{Format: *logFormat, Level: nassim.ParseLogLevel(*logLevel)})
+	}
+	if *traceBuffer > 0 {
+		nassim.EnableTracing(*traceBuffer)
+	}
+	var srv *nassim.TelemetryServer
+	if *metricsAddr != "" {
+		var err error
+		srv, err = nassim.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nassim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/traces, /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+
+	rest := g.Args()
+	if len(rest) == 0 {
+		if srv == nil {
+			usage()
+			os.Exit(2)
+		}
+		// Serve mode: warm the pipeline so every stage has samples, then
+		// keep the endpoints up until interrupted.
+		if err := warmup("Huawei", 0.02); err != nil {
+			fmt.Fprintln(os.Stderr, "nassim: warm-up:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: pipeline warmed; metrics at http://%s/metrics (Ctrl-C to stop)\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		return
+	}
+
 	var err error
-	switch os.Args[1] {
+	switch rest[0] {
 	case "parse":
-		err = cmdParse(os.Args[2:])
+		err = cmdParse(rest[1:])
 	case "validate":
-		err = cmdValidate(os.Args[2:])
+		err = cmdValidate(rest[1:])
 	case "map":
-		err = cmdMap(os.Args[2:])
+		err = cmdMap(rest[1:])
 	case "intent":
-		err = cmdIntent(os.Args[2:])
+		err = cmdIntent(rest[1:])
 	case "demo":
-		err = cmdDemo(os.Args[2:])
-	case "-h", "--help", "help":
+		err = cmdDemo(rest[1:])
+	case "help":
 		usage()
 	default:
 		usage()
@@ -57,6 +122,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `nassim — SDN assimilation assistant (NAssim, SIGCOMM'22 reproduction)
 
+usage: nassim [global flags] <subcommand> [flags]
+
 subcommands:
   parse     parse vendor manual pages into the vendor-independent corpus
   validate  formal syntax validation + hierarchy derivation over a corpus
@@ -64,8 +131,64 @@ subcommands:
   intent    push a UDM-level intent to a simulated device (controller demo)
   demo      run the full synthetic pipeline end to end
 
-run "nassim <subcommand> -h" for flags.
+global flags (before the subcommand):
+  -metrics-addr addr   serve /metrics, /debug/vars, /debug/traces, /debug/pprof/
+                       (with no subcommand: warm the pipeline and serve until Ctrl-C)
+  -log-level level     structured logging at debug|info|warn|error
+  -log-format fmt      text (default) or json
+  -trace-buffer n      record stage spans in a ring buffer of capacity n
+
+run "nassim <subcommand> -h" for subcommand flags.
 `)
+}
+
+// warmup drives one small synthetic assimilation end to end — parser,
+// syntax validation, hierarchy derivation, empirical + live validation,
+// mapper recommendation, controller intent — so the telemetry endpoints
+// have samples from every pipeline stage in serve mode.
+func warmup(vendor string, scale float64) error {
+	asr, err := nassim.Assimilate(vendor, scale)
+	if err != nil {
+		return err
+	}
+	dev, err := nassim.NewDevice(asr.Model)
+	if err != nil {
+		return err
+	}
+	if files, ok := nassim.SyntheticConfigs(asr.Model, scale); ok {
+		rep := nassim.ValidateConfigs(asr.VDM, files)
+		exec := nassim.SessionExecutor(dev.NewSession())
+		if _, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, exec,
+			dev.ShowConfigCommand(), 1, 7); err != nil {
+			return err
+		}
+	}
+	u := nassim.BuildUDM()
+	mp, err := nassim.NewMapper(u, nassim.ModelIRSBERT)
+	if err != nil {
+		return err
+	}
+	anns := nassim.GroundTruthAnnotations(asr.Model, 200, 17)
+	for _, ann := range anns[:min(3, len(anns))] {
+		mp.Recommend(nassim.ExtractContext(asr.VDM, ann.Param), 5)
+	}
+	binding := nassim.BindingFromAnnotations(anns)
+	ctrl := nassim.NewController(17)
+	if err := nassim.RegisterDevice(ctrl, "warmup-device", vendor, asr.VDM, binding,
+		nassim.SessionExecutor(dev.NewSession()), dev.ShowConfigCommand()); err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(binding))
+	for id := range binding {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := ctrl.Apply("warmup-device", nassim.Intent{AttrID: id, Value: "7"}); err == nil {
+			break
+		}
+	}
+	return nil
 }
 
 // parseArtifact is the on-disk output of the parse subcommand: the corpus

@@ -8,10 +8,13 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"nassim"
 )
+
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/assimilate")
 
 func main() {
 	const scale = 0.1
@@ -22,7 +25,7 @@ func main() {
 	// mappings are the training data for domain adaptation.
 	nokia, err := nassim.Assimilate("Nokia", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	nokiaAnns := nassim.GroundTruthAnnotations(nokia.Model, nassim.AnnotationCount("Nokia"), 7)
 	fmt.Printf("previously assimilated: %s (%d expert-confirmed mappings)\n",
@@ -31,7 +34,7 @@ func main() {
 	// Phase 1: VDM construction for the new device.
 	hw, err := nassim.Assimilate("Huawei", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	fmt.Printf("new device: %s (%d manual errors caught and corrected)\n",
 		hw.VDM.Summary(), hw.PreCorrectionInvalid)
@@ -39,11 +42,11 @@ func main() {
 	// Phase 2: VDM-UDM mapping with the domain-adapted model.
 	mp, err := nassim.NewMapper(u, nassim.ModelIRNetBERT)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	stats, err := mp.FineTune(nokia.VDM, u, nokiaAnns, 10, 1, 7)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	fmt.Println("domain adaptation:", stats)
 

@@ -9,10 +9,13 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"nassim"
 )
+
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/empirical")
 
 func main() {
 	const scale = 0.05
@@ -20,14 +23,14 @@ func main() {
 	// Build the validated VDM for Huawei.
 	asr, err := nassim.Assimilate("Huawei", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	fmt.Println("validated model:", asr.VDM.Summary())
 
 	// Stage 1 (Figure 8): validate against datacenter configuration files.
 	files, ok := nassim.SyntheticConfigs(asr.Model, scale)
 	if !ok {
-		log.Fatal("no configuration corpus for vendor")
+		nassim.Fatal(errlog, "no configuration corpus for vendor")
 	}
 	rep := nassim.ValidateConfigs(asr.VDM, files)
 	fmt.Println("config-file validation:", rep)
@@ -39,25 +42,25 @@ func main() {
 	// Telnet) and drive the generated instances through it.
 	dev, err := nassim.NewDevice(asr.Model)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	srv, err := nassim.ServeDevice(dev, "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer srv.Close()
 	fmt.Println("simulated device listening on", srv.Addr())
 
 	client, err := nassim.DialDevice(srv.Addr())
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer client.Close()
 	fmt.Printf("connected to %s device; readback via %q\n", client.Vendor(), dev.ShowConfigCommand())
 
 	live, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, client, dev.ShowConfigCommand(), 2, 42)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	fmt.Printf("live testing: %d generated instances issued, %d accepted, %d verified via show command\n",
 		live.Tested, live.Accepted, live.Verified)

@@ -10,11 +10,14 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"strings"
 
 	"nassim"
 )
+
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/intentpush")
 
 // onboard assimilates a vendor, serves its simulated device over TCP and
 // registers it with the controller.
@@ -56,12 +59,12 @@ func main() {
 	ctrl := nassim.NewController(7)
 	hwBinding, cleanup1, err := onboard(ctrl, "dc1-core-1", "Huawei")
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer cleanup1()
 	nkBinding, cleanup2, err := onboard(ctrl, "dc1-core-2", "Nokia")
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer cleanup2()
 
@@ -92,7 +95,7 @@ func main() {
 		fmt.Printf("\nintent: set %s = %s on every device\n", in.AttrID, in.Value)
 		results, err := ctrl.ApplyAll(in)
 		if err != nil {
-			log.Fatal(err)
+			nassim.Fatal(errlog, err.Error())
 		}
 		for _, r := range results {
 			fmt.Printf("  %-10s navigated %d views, pushed %q (verified=%v)\n",

@@ -8,10 +8,13 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"nassim"
 )
+
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/mappercompare")
 
 func main() {
 	const scale = 0.1
@@ -20,7 +23,7 @@ func main() {
 	// The mapping task: Nokia VDM -> UDM (the paper's harder setting).
 	nokia, err := nassim.Assimilate("Nokia", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	nokiaAnns := nassim.GroundTruthAnnotations(nokia.Model, nassim.AnnotationCount("Nokia"), 77)
 
@@ -28,7 +31,7 @@ func main() {
 	// tuning and validation, §7.3).
 	huawei, err := nassim.Assimilate("Huawei", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	huaweiAnns := nassim.GroundTruthAnnotations(huawei.Model, nassim.AnnotationCount("Huawei"), 77)
 
@@ -43,11 +46,11 @@ func main() {
 	for _, kind := range nassim.AllModelKinds() {
 		mp, err := nassim.NewMapper(u, kind)
 		if err != nil {
-			log.Fatal(err)
+			nassim.Fatal(errlog, err.Error())
 		}
 		if kind == nassim.ModelNetBERT || kind == nassim.ModelIRNetBERT {
 			if _, err := mp.FineTune(huawei.VDM, u, huaweiAnns, 10, 1, 77); err != nil {
-				log.Fatal(err)
+				nassim.Fatal(errlog, err.Error())
 			}
 		}
 		res := nassim.Evaluate(mp, nokia.VDM, u, nokiaAnns, ks)

@@ -7,10 +7,13 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"nassim"
 )
+
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/quickstart")
 
 func main() {
 	// 1. Obtain the manual. Real deployments scrape the vendor's online
@@ -18,7 +21,7 @@ func main() {
 	// the same CSS-class diversity and human-writing errors).
 	model, err := nassim.SyntheticModel("H3C", 0.1)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	pages := nassim.SyntheticManual(model)
 	fmt.Printf("manual: %d pages of the synthetic %s command reference\n", len(pages), model.Vendor)
@@ -27,7 +30,7 @@ func main() {
 	// automatically and report anything the parser missed.
 	parsed, err := nassim.ParseManual("H3C", pages)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	fmt.Printf("parser completeness: passed=%v\n", parsed.Completeness.Passed())
 

@@ -8,17 +8,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"strings"
 
 	"nassim"
 )
 
+// errlog is the structured logger errors are reported through; nassim.Fatal
+// initializes stderr logging on first use so failures are never silent.
+var errlog = nassim.Logger("examples/yangbridge")
+
 func main() {
 	const scale = 0.05
 	model, err := nassim.SyntheticModel("Huawei", scale)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 
 	// 1. The vendor's native YANG repository (synthetic substitute).
@@ -35,7 +38,7 @@ func main() {
 	for _, src := range sources {
 		m, err := nassim.ParseYANG(src.Text)
 		if err != nil {
-			log.Fatalf("%s: %v", src.Name, err)
+			nassim.Fatal(errlog, err.Error(), "source", src.Name)
 		}
 		leaves += len(m.Leaves())
 		modules = append(modules, m)
@@ -54,7 +57,7 @@ func main() {
 	u := nassim.BuildUDM()
 	mp, err := nassim.NewMapper(u, nassim.ModelIRSBERT)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	anns := nassim.YANGAnnotations(model, bridge,
 		nassim.GroundTruthAnnotations(model, 50, 3))
@@ -72,12 +75,12 @@ func main() {
 	store := nassim.NewNetconfStore(modules)
 	srv, err := nassim.ServeNetconf(store, "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer srv.Close()
 	nc, err := nassim.DialNetconf(srv.Addr())
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	defer nc.Close()
 	fmt.Printf("\nNETCONF session %s open against %s\n", nc.SessionID, srv.Addr())
@@ -91,11 +94,11 @@ func main() {
 	}
 	value := "7"
 	if err := nc.EditConfig(ns, origin.Path, origin.Leaf, value); err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	entries, err := nc.GetConfig(modules)
 	if err != nil {
-		log.Fatal(err)
+		nassim.Fatal(errlog, err.Error())
 	}
 	for _, e := range entries {
 		fmt.Printf("edit-config pushed and get-config confirms: %s\n", e)

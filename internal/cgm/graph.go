@@ -222,20 +222,28 @@ func (g *Graph) MatchTokens(toks []string) bool {
 	if len(toks) == 0 {
 		return false
 	}
+	// State-machine steps (candidate states examined per token) accumulate
+	// locally and land in the counter with one atomic add per call.
+	steps := 0
 	candis := g.succ[g.root]
-	for _, tok := range toks {
-		matched := g.matchNext(tok, candis)
-		if len(matched) == 0 {
-			return false
+	ok := func() bool {
+		for _, tok := range toks {
+			steps += len(candis)
+			matched := g.matchNext(tok, candis)
+			if len(matched) == 0 {
+				return false
+			}
+			candis = g.nextCandis(matched)
 		}
-		candis = g.nextCandis(matched)
-	}
-	for _, c := range candis {
-		if c == g.terminal {
-			return true
+		for _, c := range candis {
+			if c == g.terminal {
+				return true
+			}
 		}
-	}
-	return false
+		return false
+	}()
+	telMatchSteps.Add(int64(steps))
+	return ok
 }
 
 // Match reports whether a concrete CLI instance line matches the template.

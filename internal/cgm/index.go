@@ -35,8 +35,10 @@ func (ix *Index) Add(id, template string, typeOf TypeResolver) error {
 	}
 	g, err := FromTemplate(template, typeOf)
 	if err != nil {
+		telTemplateErrors.Inc()
 		return err
 	}
+	telTemplatesAdded.Inc()
 	ix.graphs[id] = g
 	ix.order = append(ix.order, id)
 	for _, s := range g.succ[g.root] {
@@ -51,6 +53,7 @@ func (ix *Index) Add(id, template string, typeOf TypeResolver) error {
 // Match returns the IDs of all templates the instance matches, in insertion
 // order of registration.
 func (ix *Index) Match(instance string) []string {
+	telMatchAttempts.Inc()
 	toks := strings.Fields(instance)
 	if len(toks) == 0 {
 		return nil
@@ -69,6 +72,7 @@ func (ix *Index) Match(instance string) []string {
 // exact keywords. This is the disambiguation hierarchy derivation uses
 // when a string parameter of one template shadows a keyword of another.
 func (ix *Index) MatchBest(instance string) []string {
+	telMatchAttempts.Inc()
 	toks := strings.Fields(instance)
 	if len(toks) == 0 {
 		return nil

@@ -1,0 +1,21 @@
+package cgm
+
+import "nassim/internal/telemetry"
+
+// Package-level handles: CGM matching is the pipeline's hottest loop
+// (BenchmarkInstanceMatching), so counters are resolved once at init and
+// each call pays only an atomic add.
+var (
+	telTemplatesAdded = telemetry.GetCounter("nassim_cgm_templates_added_total")
+	telTemplateErrors = telemetry.GetCounter("nassim_cgm_template_errors_total")
+	telMatchAttempts  = telemetry.GetCounter("nassim_cgm_match_attempts_total")
+	telMatchSteps     = telemetry.GetCounter("nassim_cgm_match_steps_total")
+)
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_cgm_templates_added_total", "Command templates compiled into CGMs and indexed.")
+	reg.SetHelp("nassim_cgm_template_errors_total", "Templates rejected by formal syntax validation during CGM build.")
+	reg.SetHelp("nassim_cgm_match_attempts_total", "Instance-to-template match lookups against the CGM index.")
+	reg.SetHelp("nassim_cgm_match_steps_total", "Candidate FSM states examined across all CGM token matches.")
+}

@@ -13,6 +13,8 @@ package clisyntax
 import (
 	"fmt"
 	"strings"
+
+	"nassim/internal/telemetry"
 )
 
 // Kind is the node kind of the parsed nested CLI structure. The names
@@ -219,9 +221,29 @@ func (p *parser) errAt(off int, msg string, suggestions ...string) *SyntaxError 
 	return &SyntaxError{Template: p.src, Pos: off, Msg: msg, Suggestions: suggestions}
 }
 
+var (
+	telChecked = telemetry.GetCounter("nassim_syntax_cli_checked_total")
+	telInvalid = telemetry.GetCounter("nassim_syntax_invalid_total")
+)
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_syntax_cli_checked_total", "CLI templates run through formal syntax validation.")
+	reg.SetHelp("nassim_syntax_invalid_total", "CLI templates rejected by formal syntax validation.")
+}
+
 // Parse validates a CLI command template against the styling convention and
 // returns its nested structure.
 func Parse(template string) (*Node, error) {
+	n, err := parse(template)
+	telChecked.Inc()
+	if err != nil {
+		telInvalid.Inc()
+	}
+	return n, err
+}
+
+func parse(template string) (*Node, error) {
 	toks, lerr := lex(template)
 	if lerr != nil {
 		return nil, lerr

@@ -13,17 +13,28 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
 	"strings"
+	"time"
 
 	"nassim/internal/cgm"
+	"nassim/internal/device"
 	"nassim/internal/devmodel"
 	"nassim/internal/empirical"
 	"nassim/internal/mapper"
+	"nassim/internal/telemetry"
 	"nassim/internal/vdm"
 )
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_controller_intents_total", "Intent pushes attempted, by outcome.")
+	reg.SetHelp("nassim_controller_roundtrips_total", "CLI lines issued to devices while applying intents.")
+	reg.SetHelp("nassim_controller_apply_seconds", "Wall time of one intent push to one device.")
+}
 
 // Binding is the confirmed VDM-UDM mapping for one vendor: UDM attribute
 // ID -> the vendor parameter that configures it. It is the durable output
@@ -160,13 +171,43 @@ func (c *Controller) planInstance(d *deviceEntry, in Intent) (string, string, er
 	return strings.Join(toks, " "), views[0], nil
 }
 
+// countingExec wraps a device transport so Apply can report how many CLI
+// lines one intent cost over the wire.
+type countingExec struct {
+	ex empirical.Executor
+	n  int
+}
+
+// Exec implements empirical.Executor.
+func (ce *countingExec) Exec(line string) (device.Response, error) {
+	ce.n++
+	return ce.ex.Exec(line)
+}
+
 // Apply pushes one intent to one device: translate, navigate, issue,
 // verify. The returned PushResult records exactly what went over the wire.
-func (c *Controller) Apply(device string, in Intent) (*PushResult, error) {
+func (c *Controller) Apply(device string, in Intent) (res *PushResult, err error) {
+	_, span := telemetry.Span(context.Background(), "controller.apply",
+		"device", device, "attr", in.AttrID)
+	defer span.End()
+	start := time.Now()
 	d, ok := c.devices[device]
 	if !ok {
 		return nil, fmt.Errorf("controller: unknown device %q", device)
 	}
+	ex := &countingExec{ex: d.exec}
+	defer func() {
+		result := "ok"
+		if err != nil {
+			result = "error"
+		}
+		telemetry.GetCounter("nassim_controller_intents_total", "result", result).Inc()
+		telemetry.GetCounter("nassim_controller_roundtrips_total").Add(int64(ex.n))
+		telemetry.GetHistogram("nassim_controller_apply_seconds", nil).ObserveDuration(time.Since(start))
+		telemetry.Logger(telemetry.ComponentController).Debug("applied intent",
+			"device", device, "attr", in.AttrID, "result", result,
+			"roundtrips", ex.n, "elapsed", time.Since(start))
+	}()
 	inst, view, err := c.planInstance(d, in)
 	if err != nil {
 		return nil, err
@@ -175,12 +216,12 @@ func (c *Controller) Apply(device string, in Intent) (*PushResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &PushResult{Device: device, CLI: inst, Chain: chain}
-	if _, err := d.exec.Exec("return"); err != nil {
+	res = &PushResult{Device: device, CLI: inst, Chain: chain}
+	if _, err := ex.Exec("return"); err != nil {
 		return nil, fmt.Errorf("controller: %s: %w", device, err)
 	}
 	for _, line := range chain {
-		resp, err := d.exec.Exec(line)
+		resp, err := ex.Exec(line)
 		if err != nil {
 			return nil, fmt.Errorf("controller: %s: %w", device, err)
 		}
@@ -188,14 +229,14 @@ func (c *Controller) Apply(device string, in Intent) (*PushResult, error) {
 			return res, fmt.Errorf("controller: %s rejected navigation %q: %s", device, line, resp.Msg)
 		}
 	}
-	resp, err := d.exec.Exec(inst)
+	resp, err := ex.Exec(inst)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %s: %w", device, err)
 	}
 	if !resp.OK {
 		return res, fmt.Errorf("controller: %s rejected %q: %s", device, inst, resp.Msg)
 	}
-	show, err := d.exec.Exec(d.showCmd)
+	show, err := ex.Exec(d.showCmd)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %s: %w", device, err)
 	}

@@ -106,6 +106,7 @@ type Session struct {
 
 // NewSession opens a session positioned in the device's root view.
 func (d *Device) NewSession() *Session {
+	telSessions.Inc()
 	return &Session{dev: d, stack: [][]string{{d.model.RootView}}}
 }
 
@@ -137,6 +138,16 @@ type Response struct {
 // view. Matched commands are recorded in the running configuration;
 // commands that enable a sub-view push it onto the view stack.
 func (s *Session) Exec(line string) Response {
+	resp := s.exec(line)
+	if resp.OK {
+		telExecOK.Inc()
+	} else {
+		telExecFail.Inc()
+	}
+	return resp
+}
+
+func (s *Session) exec(line string) Response {
 	line = strings.TrimSpace(line)
 	switch {
 	case line == "":

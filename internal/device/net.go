@@ -62,6 +62,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		telConns.Inc()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}

@@ -1,0 +1,19 @@
+package device
+
+import "nassim/internal/telemetry"
+
+// Package-level handles: Session.Exec sits under both the live-testing
+// workflow and the controller, so outcome counters are resolved once here.
+var (
+	telSessions = telemetry.GetCounter("nassim_device_sessions_opened_total")
+	telConns    = telemetry.GetCounter("nassim_device_connections_total")
+	telExecOK   = telemetry.GetCounter("nassim_device_exec_total", "result", "ok")
+	telExecFail = telemetry.GetCounter("nassim_device_exec_total", "result", "error")
+)
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_device_sessions_opened_total", "CLI sessions opened on simulated devices.")
+	reg.SetHelp("nassim_device_connections_total", "TCP connections accepted by device servers.")
+	reg.SetHelp("nassim_device_exec_total", "CLI lines executed by device sessions, by outcome.")
+}

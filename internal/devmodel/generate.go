@@ -176,6 +176,10 @@ func Generate(cfg Config) *Model {
 	g.assignExtraViews()
 	g.buildExamples()
 	g.pickSyntaxErrors()
+	logger.Debug("generated ground-truth model",
+		"vendor", cfg.Vendor, "commands", len(g.m.Commands),
+		"views", len(g.m.Views), "realized_attrs", len(g.m.Realizes),
+		"planted_syntax_errors", len(g.m.SyntaxErrorIDs))
 	return g.m
 }
 

@@ -1,5 +1,11 @@
 package devmodel
 
+import (
+	"log/slog"
+
+	"nassim/internal/telemetry"
+)
+
 // This file defines the domain vocabulary the generator draws from: the
 // feature areas of a datacenter router/switch, the objects and attributes
 // configurable in each, per-vendor wording, and the synonym structure that
@@ -8,6 +14,18 @@ package devmodel
 // English* synonyms, and only a fine-tuned NetBERT can learn the *domain*
 // synonym pairs (peer/neighbor, vlan/service, ...) that dominate
 // vendor-to-UDM divergence.
+
+// logger is the structured logger generation progress is reported through.
+var logger = telemetry.Logger("devmodel")
+
+// SetLogger routes this package's logging to l (nil restores the default
+// telemetry child logger). The generator logs at debug level only.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = telemetry.Logger("devmodel")
+	}
+	logger = l
+}
 
 // attrSpec is a configurable attribute of an object.
 type attrSpec struct {

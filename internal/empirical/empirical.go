@@ -10,16 +10,27 @@
 package empirical
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strings"
+	"time"
 
 	"nassim/internal/cgm"
 	"nassim/internal/configgen"
 	"nassim/internal/device"
 	"nassim/internal/devmodel"
+	"nassim/internal/telemetry"
 	"nassim/internal/vdm"
 )
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_empirical_files_total", "Configuration files run through Figure 8 validation.")
+	reg.SetHelp("nassim_empirical_lines_total", "Configuration lines checked, by match outcome.")
+	reg.SetHelp("nassim_empirical_validate_seconds", "Wall time of one ValidateConfigs run.")
+	reg.SetHelp("nassim_empirical_live_instances_total", "Generated instances issued to a live device, by outcome.")
+}
 
 // Failure records one configuration line the workflow could not validate,
 // with the reason the experts will audit (§5.3: "not found matched CLI
@@ -80,6 +91,10 @@ type frame struct {
 
 // ValidateConfigs runs the Figure 8 workflow over a configuration corpus.
 func ValidateConfigs(v *vdm.VDM, files []configgen.File) *Report {
+	_, span := telemetry.Span(context.Background(), "validate.empirical",
+		"vendor", v.Vendor, "files", len(files))
+	defer span.End()
+	start := time.Now()
 	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
 	unique := map[string]bool{}
 	for _, f := range files {
@@ -153,6 +168,16 @@ func ValidateConfigs(v *vdm.VDM, files []configgen.File) *Report {
 		}
 	}
 	rep.UniqueLines = len(unique)
+
+	telemetry.GetCounter("nassim_empirical_files_total").Add(int64(rep.Files))
+	telemetry.GetCounter("nassim_empirical_lines_total", "result", "matched").Add(int64(rep.MatchedLines))
+	telemetry.GetCounter("nassim_empirical_lines_total", "result", "unmatched").
+		Add(int64(rep.TotalLines - rep.MatchedLines))
+	telemetry.GetHistogram("nassim_empirical_validate_seconds", nil).ObserveDuration(time.Since(start))
+	telemetry.Logger(telemetry.ComponentEmpirical).Debug("validated configurations",
+		"vendor", v.Vendor, "files", rep.Files, "lines", rep.TotalLines,
+		"matched", rep.MatchedLines, "failures", len(rep.Failures),
+		"templates_used", rep.UsedTemplates(), "elapsed", time.Since(start))
 	return rep
 }
 
@@ -284,6 +309,8 @@ func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd st
 	if pathsPerCommand <= 0 {
 		pathsPerCommand = 1
 	}
+	_, span := telemetry.Span(context.Background(), "validate.live", "vendor", v.Vendor)
+	defer span.End()
 	r := rand.New(rand.NewPCG(seed, 0x11fe))
 	rep := &LiveReport{}
 	for i := range v.Corpora {
@@ -349,5 +376,11 @@ func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd st
 			rep.Results = append(rep.Results, res)
 		}
 	}
+	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "accepted").Add(int64(rep.Accepted))
+	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "rejected").
+		Add(int64(rep.Tested - rep.Accepted))
+	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "verified").Add(int64(rep.Verified))
+	telemetry.Logger(telemetry.ComponentEmpirical).Debug("live-tested unused commands",
+		"vendor", v.Vendor, "tested", rep.Tested, "accepted", rep.Accepted, "verified", rep.Verified)
 	return rep, nil
 }

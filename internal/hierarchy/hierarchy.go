@@ -13,6 +13,7 @@
 package hierarchy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,8 +23,17 @@ import (
 	"nassim/internal/cgm"
 	"nassim/internal/clisyntax"
 	"nassim/internal/corpus"
+	"nassim/internal/telemetry"
 	"nassim/internal/vdm"
 )
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_hierarchy_cgm_build_seconds", "Stage-1 time: syntax validation and CGM construction per Derive run.")
+	reg.SetHelp("nassim_hierarchy_derive_seconds", "Stage-2 time: view-hierarchy derivation per Derive run.")
+	reg.SetHelp("nassim_hierarchy_votes_total", "Snippet-evidence votes cast during hierarchy derivation, by strength.")
+	reg.SetHelp("nassim_hierarchy_invalid_clis_total", "Templates rejected during Derive's formal syntax stage.")
+}
 
 // Edge is an explicit parent/child view relationship supplied by a parser
 // with an explicit-hierarchy side channel.
@@ -57,6 +67,9 @@ func (r *Report) String() string {
 // must be derived from examples). typeOf may be nil for name-based
 // parameter typing.
 func Derive(vendor string, corpora []corpus.Corpus, explicit []Edge, typeOf cgm.TypeResolver) (*vdm.VDM, *Report) {
+	_, span := telemetry.Span(context.Background(), "validate.hierarchy",
+		"vendor", vendor, "corpora", len(corpora), "explicit_edges", len(explicit))
+	defer span.End()
 	v := &vdm.VDM{
 		Vendor:  vendor,
 		Corpora: corpora,
@@ -98,6 +111,17 @@ func Derive(vendor string, corpora []corpus.Corpus, explicit []Edge, typeOf cgm.
 	}
 	rep.DeriveTime = time.Since(start)
 	rep.AmbiguousViews = v.AmbiguousViews()
+
+	telemetry.GetHistogram("nassim_hierarchy_cgm_build_seconds", nil, "vendor", vendor).ObserveDuration(rep.CGMBuildTime)
+	telemetry.GetHistogram("nassim_hierarchy_derive_seconds", nil, "vendor", vendor).ObserveDuration(rep.DeriveTime)
+	telemetry.GetCounter("nassim_hierarchy_votes_total", "kind", "strong").Add(int64(rep.StrongVotes))
+	telemetry.GetCounter("nassim_hierarchy_votes_total", "kind", "weak").Add(int64(rep.WeakVotes))
+	telemetry.GetCounter("nassim_hierarchy_invalid_clis_total", "vendor", vendor).Add(int64(rep.InvalidCLIs))
+	telemetry.Logger(telemetry.ComponentHierarchy).Debug("derived hierarchy",
+		"vendor", vendor, "root", rep.RootView, "invalid", rep.InvalidCLIs,
+		"strong", rep.StrongVotes, "weak", rep.WeakVotes,
+		"ambiguous", len(rep.AmbiguousViews), "unresolved", len(rep.UnresolvedViews),
+		"cgm_build", rep.CGMBuildTime, "derive", rep.DeriveTime)
 	return v, rep
 }
 

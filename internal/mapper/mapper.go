@@ -12,11 +12,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"nassim/internal/nlp"
+	"nassim/internal/telemetry"
 	"nassim/internal/udm"
 	"nassim/internal/vdm"
 )
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_mapper_recommendations_total", "Top-k recommendation queries served, by model kind.")
+	reg.SetHelp("nassim_mapper_recommend_seconds", "Latency of one Recommend call, by model kind.")
+	reg.SetHelp("nassim_mapper_shortlist_size", "Candidate-set size scored by the DL stage per Recommend call.")
+}
 
 // ParamContext is the extracted semantic context of one VDM parameter: the
 // k_V text sequences of §6.1 (parameter name, parameter description, CLI
@@ -91,6 +100,12 @@ type Mapper struct {
 	weights   []float64
 
 	udmEmb [][]nlp.Vec // per attribute: KU context embeddings
+
+	// Metric handles resolved once in New, keyed by model kind, so
+	// Recommend (called per parameter, §7.3 benchmarks it) pays atomics only.
+	telRecs    *telemetry.Counter
+	telLatency *telemetry.Histogram
+	telShort   *telemetry.Histogram
 }
 
 // New builds a Mapper over a UDM tree. enc nil yields the IR baseline;
@@ -141,6 +156,9 @@ func New(tree *udm.Tree, enc nlp.Encoder, useIR bool, opts ...Option) (*Mapper, 
 			m.weights[i] /= sum
 		}
 	}
+	m.telRecs = telemetry.GetCounter("nassim_mapper_recommendations_total", "model", m.Name())
+	m.telLatency = telemetry.GetHistogram("nassim_mapper_recommend_seconds", nil, "model", m.Name())
+	m.telShort = telemetry.GetHistogram("nassim_mapper_shortlist_size", telemetry.DefSizeBuckets, "model", m.Name())
 	return m, nil
 }
 
@@ -189,6 +207,11 @@ func (m *Mapper) Recommend(ctx ParamContext, k int) []Recommendation {
 	if k <= 0 {
 		k = 10
 	}
+	start := time.Now()
+	defer func() {
+		m.telRecs.Inc()
+		m.telLatency.ObserveDuration(time.Since(start))
+	}()
 	candidates := make([]int, 0, m.tree.Len())
 	switch {
 	case m.ir != nil && m.enc == nil:
@@ -209,6 +232,7 @@ func (m *Mapper) Recommend(ctx ParamContext, k int) []Recommendation {
 			candidates = append(candidates, i)
 		}
 	}
+	m.telShort.Observe(float64(len(candidates)))
 	paramEmb := make([]nlp.Vec, len(ctx.Sequences))
 	for i, s := range ctx.Sequences {
 		paramEmb[i] = m.enc.Encode(s)

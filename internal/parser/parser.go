@@ -7,12 +7,15 @@
 package parser
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"nassim/internal/corpus"
 	"nassim/internal/htmlparse"
+	"nassim/internal/telemetry"
 )
 
 // Page is one manual page to parse: the HTML body plus the external link
@@ -71,13 +74,24 @@ func New(vendor string) (*Parser, error) {
 // Vendor returns the vendor this parser handles.
 func (p *Parser) Vendor() string { return p.vendor }
 
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_parser_pages_parsed_total", "Manual pages run through a vendor parser.")
+	reg.SetHelp("nassim_parser_parse_seconds", "Wall time of one manual-batch parse.")
+	reg.SetHelp("nassim_parser_completeness_violations_total", "Appendix B completeness-test violations reported.")
+}
+
 // Parse runs the vendor parsing() over a batch of manual pages, producing
 // the preliminary VDM corpus. It never fails: malformed pages yield
 // incomplete corpora that the completeness tests flag.
 func (p *Parser) Parse(pages []Page) *Result {
+	ctx, span := telemetry.Span(context.Background(), "parse.manual", "vendor", p.vendor, "pages", len(pages))
+	defer span.End()
+	start := time.Now()
 	res := &Result{}
 	edgeSeen := map[ViewEdge]bool{}
 	for _, page := range pages {
+		_, pageSpan := telemetry.Span(ctx, "parse.page", "url", page.URL)
 		doc := htmlparse.Parse(page.HTML)
 		c, edges := p.parsePage(doc)
 		c.Vendor = p.vendor
@@ -89,7 +103,14 @@ func (p *Parser) Parse(pages []Page) *Result {
 				res.Hierarchy = append(res.Hierarchy, e)
 			}
 		}
+		pageSpan.End()
 	}
+	telemetry.GetCounter("nassim_parser_pages_parsed_total", "vendor", p.vendor).Add(int64(len(pages)))
+	telemetry.GetCounter("nassim_parser_corpora_total", "vendor", p.vendor).Add(int64(len(res.Corpora)))
+	telemetry.GetHistogram("nassim_parser_parse_seconds", nil, "vendor", p.vendor).ObserveDuration(time.Since(start))
+	telemetry.Logger(telemetry.ComponentParser).Debug("parsed manual batch",
+		"vendor", p.vendor, "pages", len(pages), "corpora", len(res.Corpora),
+		"explicit_edges", len(res.Hierarchy), "elapsed", time.Since(start))
 	return res
 }
 
@@ -97,8 +118,16 @@ func (p *Parser) Parse(pages []Page) *Result {
 // completeness tests plus the vendor's additional constraints (§4 step 0)
 // over parsed corpora and returns the combined violation report.
 func (p *Parser) Validate(corpora []corpus.Corpus) *corpus.Report {
+	_, span := telemetry.Span(context.Background(), "parse.validate", "vendor", p.vendor)
+	defer span.End()
 	rep := corpus.RunTests(corpora)
 	rep.Merge(corpus.RunConstraintTests(corpus.VendorConstraints(p.vendor), corpora))
+	telemetry.GetCounter("nassim_parser_completeness_violations_total", "vendor", p.vendor).
+		Add(int64(len(rep.Violations)))
+	if !rep.Passed() {
+		telemetry.Logger(telemetry.ComponentParser).Debug("completeness tests flagged violations",
+			"vendor", p.vendor, "violations", len(rep.Violations))
+	}
 	return rep
 }
 

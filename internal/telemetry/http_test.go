@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	GetCounter("httptest_requests_total", "vendor", "Huawei").Add(2)
+	rec := EnableTracing(8)
+	defer DisableTracing()
+	_, s := Span(nilCtx(), "http-test-span")
+	s.End()
+	_ = rec
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, `httptest_requests_total{vendor="Huawei"} 2`) {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 || !strings.Contains(body, ExpvarName) {
+		t.Fatalf("/debug/vars: code=%d, registry var missing", code)
+	}
+	code, body = get(t, base+"/debug/traces")
+	if code != 200 || !strings.Contains(body, "http-test-span") {
+		t.Fatalf("/debug/traces: code=%d body=%q", code, body)
+	}
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestTracesEndpointDisabled(t *testing.T) {
+	DisableTracing()
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/debug/traces")
+	if code != 200 || !strings.Contains(body, `"enabled":false`) {
+		t.Fatalf("disabled traces: code=%d body=%q", code, body)
+	}
+}

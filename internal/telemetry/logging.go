@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LogConfig configures the process-wide root logger.
+type LogConfig struct {
+	Writer io.Writer  // defaults to os.Stderr
+	Format string     // "text" (default) or "json"
+	Level  slog.Level // minimum level; slog.LevelInfo by default
+}
+
+// handlerBox wraps the current root handler so atomic.Value sees one
+// concrete type across swaps.
+type handlerBox struct{ h slog.Handler }
+
+var rootHandler atomic.Value // handlerBox
+
+func init() { rootHandler.Store(handlerBox{discardHandler{}}) }
+
+func currentHandler() slog.Handler { return rootHandler.Load().(handlerBox).h }
+
+// discardHandler drops every record. It is the default so that library
+// code can log unconditionally at near-zero cost until an entry point
+// calls InitLogging.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// InitLogging installs the process-wide root handler and returns the root
+// logger. Child loggers previously obtained through Logger pick up the new
+// handler on their next log call, so InitLogging can run after packages
+// have cached their loggers.
+func InitLogging(cfg LogConfig) *slog.Logger {
+	w := cfg.Writer
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: cfg.Level}
+	var h slog.Handler
+	if strings.EqualFold(cfg.Format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	rootHandler.Store(handlerBox{h})
+	return Root()
+}
+
+// DisableLogging restores the default discard handler.
+func DisableLogging() { rootHandler.Store(handlerBox{discardHandler{}}) }
+
+// ParseLevel converts a level name ("debug", "info", "warn", "error") to a
+// slog.Level, defaulting to info for unknown names.
+func ParseLevel(name string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// dynamicHandler forwards every record to the handler current at log time,
+// with the child's pre-bound attrs and groups re-applied. Attrs added
+// before the first WithGroup are treated as top-level; interleaving
+// WithAttrs between groups collapses onto the group chain, which is
+// sufficient for the component loggers this package hands out.
+type dynamicHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (d *dynamicHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return currentHandler().Enabled(ctx, lvl)
+}
+
+func (d *dynamicHandler) Handle(ctx context.Context, r slog.Record) error {
+	h := currentHandler()
+	if len(d.attrs) > 0 {
+		h = h.WithAttrs(d.attrs)
+	}
+	for _, g := range d.groups {
+		h = h.WithGroup(g)
+	}
+	return h.Handle(ctx, r)
+}
+
+func (d *dynamicHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nd := &dynamicHandler{groups: d.groups}
+	nd.attrs = append(append([]slog.Attr{}, d.attrs...), attrs...)
+	return nd
+}
+
+func (d *dynamicHandler) WithGroup(name string) slog.Handler {
+	nd := &dynamicHandler{attrs: d.attrs}
+	nd.groups = append(append([]string{}, d.groups...), name)
+	return nd
+}
+
+var (
+	loggerMu sync.Mutex
+	loggers  = map[string]*slog.Logger{}
+)
+
+// Root returns a logger bound to the current root handler (dynamically, so
+// it follows InitLogging swaps).
+func Root() *slog.Logger { return slog.New(&dynamicHandler{}) }
+
+// Logger returns the child logger for a pipeline component. Children carry
+// a "component" attribute and are cached, so hot paths can call this
+// freely; they follow InitLogging re-configuration at log time.
+func Logger(component string) *slog.Logger {
+	loggerMu.Lock()
+	defer loggerMu.Unlock()
+	if l, ok := loggers[component]; ok {
+		return l
+	}
+	l := slog.New((&dynamicHandler{}).WithAttrs([]slog.Attr{slog.String("component", component)}))
+	loggers[component] = l
+	return l
+}
+
+// exitFunc is swapped by tests; Fatal uses it instead of os.Exit directly.
+var exitFunc = os.Exit
+
+// Fatal logs at error level and exits with status 1 — the supported
+// replacement for log.Fatal in the example programs and CLIs.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	if _, off := currentHandler().(discardHandler); off {
+		// Never die silently: fall back to stderr when logging was never
+		// initialized.
+		InitLogging(LogConfig{})
+	}
+	if l == nil {
+		l = Root()
+	}
+	l.Error(msg, args...)
+	exitFunc(1)
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLoggerComponentAttr(t *testing.T) {
+	var buf strings.Builder
+	InitLogging(LogConfig{Writer: &buf, Format: "json", Level: slog.LevelDebug})
+	defer DisableLogging()
+
+	Logger("parser").Info("parsed", "pages", 3)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["component"] != "parser" || rec["msg"] != "parsed" || rec["pages"] != float64(3) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestChildLoggerFollowsReinit(t *testing.T) {
+	l := Logger("reinit-probe") // obtained before InitLogging
+	var buf strings.Builder
+	InitLogging(LogConfig{Writer: &buf, Format: "text"})
+	defer DisableLogging()
+	l.Info("hello")
+	if !strings.Contains(buf.String(), "component=reinit-probe") {
+		t.Fatalf("cached child logger did not pick up the new handler: %q", buf.String())
+	}
+}
+
+func TestFormatSwitch(t *testing.T) {
+	var buf strings.Builder
+	InitLogging(LogConfig{Writer: &buf, Format: "text"})
+	defer DisableLogging()
+	Root().Info("textual")
+	if strings.HasPrefix(strings.TrimSpace(buf.String()), "{") {
+		t.Fatalf("text format produced JSON: %q", buf.String())
+	}
+	buf.Reset()
+	InitLogging(LogConfig{Writer: &buf, Format: "json"})
+	Root().Info("structured")
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "{") {
+		t.Fatalf("json format produced text: %q", buf.String())
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf strings.Builder
+	InitLogging(LogConfig{Writer: &buf, Format: "text", Level: slog.LevelWarn})
+	defer DisableLogging()
+	l := Logger("lvl-probe")
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering wrong: %q", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFatalLogsAndExits(t *testing.T) {
+	var buf strings.Builder
+	InitLogging(LogConfig{Writer: &buf, Format: "text"})
+	defer DisableLogging()
+	exitCode := -1
+	exitFunc = func(code int) { exitCode = code }
+	defer func() { exitFunc = os.Exit }()
+	Fatal(Logger("fatal-probe"), "boom", "err", "x")
+	if exitCode != 1 {
+		t.Fatalf("exit code = %d, want 1", exitCode)
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Fatalf("fatal message lost: %q", buf.String())
+	}
+}

@@ -1,0 +1,394 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; Inc/Add are a single atomic op, so handles can be held
+// in hot loops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus `le` semantics: an
+// observation lands in the first bucket whose upper bound is >= the value,
+// and an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds  []float64       // strictly increasing upper bounds
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefDurationBuckets are the default latency buckets, in seconds.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets are the default buckets for small cardinalities
+// (shortlist sizes, candidate counts, ...).
+var DefSizeBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 250, 500, 1000}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	// Drop duplicates so cumulative output stays well-formed.
+	dst := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != dst[len(dst)-1] {
+			dst = append(dst, b)
+		}
+	}
+	bs = dst
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative per-bucket counts, one entry per bound
+// plus the final +Inf bucket (== Count()).
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	var acc uint64
+	for i := range h.buckets {
+		acc += h.buckets[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindUnset metricKind = -1
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with its samples (one per label set).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	order   []string // label-set keys in creation order
+	samples map[string]any
+	labels  map[string]string // label-set key -> rendered {k="v"} string
+}
+
+// Registry is a concurrency-safe metrics registry. The zero value is not
+// usable; call NewRegistry, or use the process-wide Default registry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+	pubOnce  sync.Once
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the pipeline packages register
+// against.
+func Default() *Registry { return defaultRegistry }
+
+// labelKey renders label pairs into a canonical sorted key and the
+// Prometheus label string. labels must be alternating key, value pairs; an
+// odd trailing key gets an empty value.
+func labelKey(labels []string) (key, rendered string) {
+	if len(labels) == 0 {
+		return "", ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i < len(labels); i += 2 {
+		v := ""
+		if i+1 < len(labels) {
+			v = labels[i+1]
+		}
+		pairs = append(pairs, kv{labels[i], v})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var kb, rb strings.Builder
+	rb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			kb.WriteByte(',')
+			rb.WriteByte(',')
+		}
+		kb.WriteString(p.k + "=" + p.v)
+		rb.WriteString(p.k + `="` + escapeLabel(p.v) + `"`)
+	}
+	rb.WriteByte('}')
+	return kb.String(), rb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// sample returns (creating if needed) the sample of a family for one label
+// set. make builds a new metric value when the sample does not exist yet.
+func (r *Registry) sample(name string, kind metricKind, labels []string, make func() any) any {
+	key, rendered := labelKey(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.samples[key]; ok && f.kind == kind {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, samples: map[string]any{}, labels: map[string]string{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind == kindUnset {
+		f.kind = kind // family pre-created by SetHelp
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if s, ok := f.samples[key]; ok {
+		return s
+	}
+	s := make()
+	f.samples[key] = s
+	f.labels[key] = rendered
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter returns (creating on first use) the counter for the name and
+// label pairs ("vendor", "Huawei", ...).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.sample(name, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge for the name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.sample(name, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram for the name and
+// labels. bounds applies on first creation of each sample; nil means
+// DefDurationBuckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	return r.sample(name, kindHistogram, labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// SetHelp attaches a Prometheus HELP string to a family (creating the
+// family lazily is fine: help set before the first sample is kept).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	f := &family{name: name, kind: kindUnset, help: help, samples: map[string]any{}, labels: map[string]string{}}
+	r.families[name] = f
+	r.order = append(r.order, name)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Families appear in registration order, samples in
+// creation order, so output is stable for golden tests.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		for _, key := range f.order {
+			lbl := f.labels[key]
+			switch m := f.samples[key].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, lbl, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", name, lbl, formatFloat(m.Value()))
+			case *Histogram:
+				cum := m.Cumulative()
+				for i, bound := range m.bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLE(lbl, formatFloat(bound)), cum[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLE(lbl, "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, lbl, formatFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, lbl, m.Count())
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// mergeLE splices an le="..." label into an existing (possibly empty)
+// rendered label string.
+func mergeLE(rendered, le string) string {
+	if rendered == "" {
+		return `{le="` + le + `"}`
+	}
+	return rendered[:len(rendered)-1] + `,le="` + le + `"}`
+}
+
+// FlatSnapshot flattens the registry into name{labels} -> value. Counters
+// and gauges contribute their value; histograms contribute _count, _sum
+// and _avg entries. Used by the expvar publication and the machine-
+// readable bench export.
+func (r *Registry) FlatSnapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]float64{}
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			lbl := f.labels[key]
+			switch m := f.samples[key].(type) {
+			case *Counter:
+				out[name+lbl] = float64(m.Value())
+			case *Gauge:
+				out[name+lbl] = m.Value()
+			case *Histogram:
+				c := m.Count()
+				out[name+"_count"+lbl] = float64(c)
+				out[name+"_sum"+lbl] = m.Sum()
+				if c > 0 {
+					out[name+"_avg"+lbl] = m.Sum() / float64(c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (idempotent; the first name wins).
+func (r *Registry) PublishExpvar(name string) {
+	r.pubOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.FlatSnapshot() }))
+	})
+}
+
+// Package-level conveniences against the Default registry.
+
+// GetCounter returns a counter from the Default registry.
+func GetCounter(name string, labels ...string) *Counter {
+	return defaultRegistry.Counter(name, labels...)
+}
+
+// GetGauge returns a gauge from the Default registry.
+func GetGauge(name string, labels ...string) *Gauge {
+	return defaultRegistry.Gauge(name, labels...)
+}
+
+// GetHistogram returns a histogram from the Default registry.
+func GetHistogram(name string, bounds []float64, labels ...string) *Histogram {
+	return defaultRegistry.Histogram(name, bounds, labels...)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	// Run with -race: 64 goroutines hammering one counter through the
+	// registry lookup path must neither race nor lose increments.
+	reg := NewRegistry()
+	const goroutines, perG = 64, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("test_ops_total", "worker", "w").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("test_ops_total", "worker", "w").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 32000 {
+		t.Fatalf("gauge = %v, want 32000", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2.5, 10})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1} { // both <= 1
+		h.Observe(v)
+	}
+	h.Observe(2.5) // exactly on the second bound
+	h.Observe(3)   // (2.5, 10]
+	h.Observe(11)  // +Inf
+	cum := h.Cumulative()
+	want := []uint64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-18) > 1e-9 {
+		t.Fatalf("sum = %v, want 18", h.Sum())
+	}
+}
+
+func TestHistogramDedupesAndSortsBounds(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 5, 2})
+	if got := h.Bounds(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("bounds = %v, want [1 2 5]", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 16000 {
+		t.Fatalf("count = %d, want 16000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Fatalf("sum = %v, want 4000", h.Sum())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.ObserveDuration(250 * time.Millisecond)
+	if math.Abs(h.Sum()-0.25) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.25", h.Sum())
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition output: family
+// order, HELP/TYPE lines, label rendering, histogram bucket/sum/count.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("app_requests_total", "Requests served.")
+	reg.Counter("app_requests_total", "vendor", "Huawei").Add(3)
+	reg.Counter("app_requests_total", "vendor", "Nokia").Add(1)
+	reg.Gauge("app_queue_depth").Set(2)
+	h := reg.Histogram("app_latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{vendor="Huawei"} 3
+app_requests_total{vendor="Nokia"} 1
+# TYPE app_queue_depth gauge
+app_queue_depth 2
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.55
+app_latency_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "k", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	reg.WriteTo(&b)
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestLabelKeyOrderCanonical(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "b", "2", "a", "1")
+	b := reg.Counter("c_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("same label set in different order produced distinct samples")
+	}
+}
+
+func TestFlatSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flat_total", "v", "x").Add(7)
+	reg.Gauge("flat_gauge").Set(1.5)
+	h := reg.Histogram("flat_seconds", []float64{1})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := reg.FlatSnapshot()
+	if snap[`flat_total{v="x"}`] != 7 {
+		t.Fatalf("counter missing from snapshot: %v", snap)
+	}
+	if snap["flat_gauge"] != 1.5 {
+		t.Fatalf("gauge missing from snapshot: %v", snap)
+	}
+	if snap["flat_seconds_count"] != 2 || snap["flat_seconds_sum"] != 2 || snap["flat_seconds_avg"] != 1 {
+		t.Fatalf("histogram flattening wrong: %v", snap)
+	}
+}
+
+func TestSampleIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("idem_total") != reg.Counter("idem_total") {
+		t.Fatal("repeat lookups returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("idem_total")
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span as kept by the ring-buffer recorder.
+type SpanRecord struct {
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Recorder keeps the most recent finished spans in a fixed-capacity ring
+// buffer.
+type Recorder struct {
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int // ring write cursor
+	full    bool
+	dropped uint64 // spans evicted by the ring
+}
+
+// NewRecorder returns a recorder holding up to capacity finished spans
+// (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]SpanRecord, 0, capacity)}
+}
+
+func (r *Recorder) record(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+		}
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % cap(r.buf)
+	r.dropped++
+}
+
+// Snapshot returns the buffered spans, oldest first.
+func (r *Recorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Dropped reports how many finished spans the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// DumpJSON writes the buffered spans as a JSON document.
+func (r *Recorder) DumpJSON(w io.Writer) error {
+	doc := struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []SpanRecord `json:"spans"`
+	}{Dropped: r.Dropped(), Spans: r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// activeRecorder is the process-wide recorder; nil means tracing is
+// disabled and Span is a near-free no-op.
+var activeRecorder atomic.Pointer[Recorder]
+
+// EnableTracing installs a fresh ring-buffer recorder of the given
+// capacity and returns it.
+func EnableTracing(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	activeRecorder.Store(r)
+	return r
+}
+
+// DisableTracing removes the active recorder; in-flight spans finish as
+// no-ops.
+func DisableTracing() { activeRecorder.Store(nil) }
+
+// TracingEnabled reports whether a recorder is installed.
+func TracingEnabled() bool { return activeRecorder.Load() != nil }
+
+// ActiveRecorder returns the installed recorder, or nil.
+func ActiveRecorder() *Recorder { return activeRecorder.Load() }
+
+type spanCtxKey struct{}
+
+// SpanHandle is one live span. End finishes it and pushes the record into
+// the ring buffer; a nil or disabled handle is a no-op.
+type SpanHandle struct {
+	rec    *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  map[string]string
+	ended  atomic.Bool
+}
+
+// nopSpan is shared by every Span call made while tracing is disabled.
+var nopSpan = &SpanHandle{}
+
+// Span starts a span named name, nesting under any span already carried by
+// ctx. kv pairs become span attributes (values rendered with %v). When
+// tracing is disabled it returns ctx unchanged and a shared no-op handle,
+// costing one atomic load.
+func Span(ctx context.Context, name string, kv ...any) (context.Context, *SpanHandle) {
+	rec := activeRecorder.Load()
+	if rec == nil {
+		return ctx, nopSpan
+	}
+	s := &SpanHandle{rec: rec, id: rec.nextID.Add(1), name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(uint64); ok {
+		s.parent = parent
+	}
+	if len(kv) > 0 {
+		s.attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			s.attrs[fmt.Sprint(kv[i])] = fmt.Sprint(kv[i+1])
+		}
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s.id), s
+}
+
+// SetAttr attaches an attribute to a live span.
+func (s *SpanHandle) SetAttr(key string, value any) {
+	if s == nil || s.rec == nil || s.ended.Load() {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = fmt.Sprint(value)
+}
+
+// End finishes the span and records it. Safe to call more than once; only
+// the first call records.
+func (s *SpanHandle) End() {
+	if s == nil || s.rec == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.record(SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, DurationNS: time.Since(s.start).Nanoseconds(),
+		Attrs: s.attrs,
+	})
+}
+
+// Duration returns the span's elapsed time so far (zero for no-op spans).
+func (s *SpanHandle) Duration() time.Duration {
+	if s == nil || s.rec == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

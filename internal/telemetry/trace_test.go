@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	rec := EnableTracing(16)
+	defer DisableTracing()
+
+	ctx, outer := Span(context.Background(), "outer", "vendor", "Huawei")
+	_, inner := Span(ctx, "inner")
+	inner.End()
+	outer.End()
+
+	spans := rec.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// inner ends first, so it is recorded first.
+	in, out := spans[0], spans[1]
+	if in.Name != "inner" || out.Name != "outer" {
+		t.Fatalf("order: %q then %q", in.Name, out.Name)
+	}
+	if in.Parent != out.ID {
+		t.Fatalf("inner.Parent = %d, want outer.ID %d", in.Parent, out.ID)
+	}
+	if out.Parent != 0 {
+		t.Fatalf("outer.Parent = %d, want 0", out.Parent)
+	}
+	if out.Attrs["vendor"] != "Huawei" {
+		t.Fatalf("outer attrs = %v", out.Attrs)
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	rec := EnableTracing(4)
+	defer DisableTracing()
+	for i := 0; i < 7; i++ {
+		_, s := Span(context.Background(), strings.Repeat("x", i+1))
+		s.End()
+	}
+	spans := rec.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest-first: spans 4..7 survive (names of length 4..7).
+	for i, s := range spans {
+		if len(s.Name) != i+4 {
+			t.Fatalf("span %d has name %q, want length %d", i, s.Name, i+4)
+		}
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", rec.Dropped())
+	}
+}
+
+func TestDisabledTracingIsNop(t *testing.T) {
+	DisableTracing()
+	ctx := context.Background()
+	ctx2, s := Span(ctx, "nop")
+	if ctx2 != ctx {
+		t.Fatal("disabled Span should not derive a context")
+	}
+	s.SetAttr("k", "v") // must not panic
+	s.End()
+	s.End()
+	if s.Duration() != 0 {
+		t.Fatal("nop span has a duration")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := EnableTracing(8)
+	defer DisableTracing()
+	_, s := Span(context.Background(), "once")
+	s.End()
+	s.End()
+	if got := len(rec.Snapshot()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	rec := EnableTracing(8)
+	defer DisableTracing()
+	_, s := Span(context.Background(), "dumped", "k", 7)
+	s.End()
+	var b strings.Builder
+	if err := rec.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "dumped" || doc.Spans[0].Attrs["k"] != "7" {
+		t.Fatalf("dump content wrong: %+v", doc)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	// Run with -race: concurrent span lifecycles against one recorder.
+	rec := EnableTracing(64)
+	defer DisableTracing()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, outer := Span(context.Background(), "outer")
+				_, inner := Span(ctx, "inner")
+				inner.End()
+				outer.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(rec.Snapshot()); got != 64 {
+		t.Fatalf("ring holds %d spans, want capacity 64", got)
+	}
+}

@@ -31,7 +31,9 @@
 package nassim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"nassim/internal/configgen"
 	"nassim/internal/corpus"
@@ -42,6 +44,7 @@ import (
 	"nassim/internal/mapper"
 	"nassim/internal/nlp"
 	"nassim/internal/parser"
+	"nassim/internal/telemetry"
 	"nassim/internal/udm"
 	"nassim/internal/vdm"
 )
@@ -259,8 +262,19 @@ func (m *Mapper) FineTuneExamples(examples []TrainExample, negRatio, epochs int,
 	if m.netbert == nil {
 		return FineTuneStats{}, fmt.Errorf("nassim: model %s is not fine-tunable", m.Name())
 	}
+	_, span := telemetry.Span(context.Background(), "mapper.finetune",
+		"model", m.Name(), "examples", len(examples), "epochs", epochs)
+	defer span.End()
+	start := time.Now()
 	stats := m.netbert.FineTune(examples, negRatio, epochs, seed)
 	m.RefreshUDM()
+	telemetry.GetCounter("nassim_mapper_finetune_runs_total", "model", m.Name()).Inc()
+	telemetry.GetCounter("nassim_mapper_finetune_epochs_total", "model", m.Name()).Add(int64(epochs))
+	telemetry.GetHistogram("nassim_mapper_finetune_seconds", nil, "model", m.Name()).
+		ObserveDuration(time.Since(start))
+	telemetry.Logger(telemetry.ComponentMapper).Debug("fine-tuned encoder",
+		"model", m.Name(), "examples", len(examples), "epochs", epochs,
+		"elapsed", time.Since(start))
 	return stats, nil
 }
 
