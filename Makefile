@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench stages
+.PHONY: check fmt vet build test race bench bench-pipeline stages
 
 check: fmt vet build race
 
@@ -30,6 +30,11 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Engine benchmark: four vendors through the 4-worker pipeline, exported
+# to BENCH_pipeline.json (schema nassim-pipeline-bench/v1).
+bench-pipeline:
+	NASSIM_BENCH_OUT=BENCH_pipeline.json $(GO) test -run xxx -bench BenchmarkAssimilateParallel -benchtime 1x .
 
 # Per-stage pipeline timing + BENCH_telemetry.json (see README Observability).
 stages:

@@ -1,0 +1,198 @@
+package nassim
+
+import (
+	"context"
+	"time"
+
+	"nassim/internal/pipeline"
+	"nassim/internal/telemetry"
+	"nassim/internal/vdm"
+)
+
+// This file is the engine-driven entry point: Assimilate drives the staged
+// pipeline (internal/pipeline) over any number of vendors, with bounded
+// per-vendor parallelism, content-hash artifact caching, and cancellation
+// at stage boundaries. The synthetic substrates (model, manual, configs,
+// device) stand in for the paper's proprietary inputs exactly as in the
+// step-by-step API.
+
+// Pipeline engine types re-exported for callers tuning Assimilate.
+type (
+	// PipelineStage names one engine stage (Parse, SyntaxValidate, ...).
+	PipelineStage = pipeline.Stage
+	// PipelineCache is the shared in-memory artifact store; pass one cache
+	// to successive Assimilate calls to make warm re-runs skip unchanged
+	// stages.
+	PipelineCache = pipeline.MemStore
+	// PipelineStats aggregates stage outcomes (runs vs cache hits) over
+	// one Assimilate call.
+	PipelineStats = pipeline.RunStats
+	// StageTimer accumulates per-stage wall time across runs.
+	StageTimer = telemetry.StageTimer
+)
+
+// NewPipelineCache returns an empty shareable artifact cache.
+func NewPipelineCache() *PipelineCache { return pipeline.NewMemStore() }
+
+// NewStageTimer returns an empty stage timer for Options.Timer.
+func NewStageTimer() *StageTimer { return telemetry.NewStageTimer() }
+
+// PipelineStages lists the engine's stages in execution order.
+func PipelineStages() []PipelineStage { return pipeline.Stages() }
+
+// Options configures one Assimilate run.
+type Options struct {
+	// Vendors to assimilate; empty runs the four built-in vendors in
+	// Table 4 order.
+	Vendors []string
+	// Scale is the synthetic corpus scale (1.0 = paper scale); <= 0
+	// defaults to 0.1.
+	Scale float64
+	// Workers bounds per-vendor parallelism; <= 1 runs sequentially.
+	// Results are deterministic and identical for any worker count.
+	Workers int
+	// Cache is the artifact store consulted before every stage; nil uses a
+	// fresh store (no reuse across calls).
+	Cache *PipelineCache
+	// CacheDir, when set, mirrors the expensive artifacts (parse output,
+	// derived VDM) on disk so later processes warm-start from them.
+	CacheDir string
+	// Validate runs empirical configuration validation (§5.3, Figure 8)
+	// for vendors with a synthetic configuration corpus.
+	Validate bool
+	// LiveTest exercises commands unused by the configuration corpus
+	// against an in-process simulated device (§5.3).
+	LiveTest        bool
+	PathsPerCommand int    // CGM paths instantiated per live-tested command (default 1)
+	Seed            uint64 // live-test instantiation seed
+	// Timer, when set, accumulates per-stage wall time of executed
+	// (non-cached) stages.
+	Timer *StageTimer
+}
+
+// Result is the outcome of one Assimilate run.
+type Result struct {
+	// Results holds one entry per requested vendor, in request order. A
+	// vendor whose job failed or was cancelled leaves a nil entry and the
+	// run's error says why.
+	Results []*AssimilationResult
+	// Stats aggregates stage outcomes: Stats.Skips() > 0 means the
+	// artifact cache satisfied stages without re-running them.
+	Stats PipelineStats
+}
+
+// Assimilate runs the complete SNA pipeline for the requested vendors:
+// render each synthetic manual, parse it, validate the syntax, apply the
+// (simulated) expert corrections, derive the view hierarchy, and
+// optionally validate against configurations and a live device. Vendors
+// are assimilated concurrently up to Options.Workers; cancelling ctx stops
+// the run at the next stage boundary.
+func Assimilate(ctx context.Context, opts Options) (*Result, error) {
+	vendors := opts.Vendors
+	if len(vendors) == 0 {
+		vendors = Vendors()
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 0.1
+	}
+	opts.Scale = scale
+	models := make([]*DeviceModel, len(vendors))
+	for i, vend := range vendors {
+		m, err := SyntheticModel(vend, scale)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return assimilateModels(ctx, opts, models)
+}
+
+// AssimilateVendor is the single-vendor convenience form of Assimilate.
+func AssimilateVendor(ctx context.Context, vendor string, scale float64) (*AssimilationResult, error) {
+	res, err := Assimilate(ctx, Options{Vendors: []string{vendor}, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	return res.Results[0], nil
+}
+
+// AssimilateModel runs the pipeline on an existing ground-truth model
+// (evaluation code mutates models before assimilating them).
+func AssimilateModel(ctx context.Context, m *DeviceModel) (*AssimilationResult, error) {
+	res, err := assimilateModels(ctx, Options{}, []*DeviceModel{m})
+	if err != nil {
+		return nil, err
+	}
+	return res.Results[0], nil
+}
+
+// assimilateModels builds one engine job per model and runs them.
+func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) (*Result, error) {
+	eng, err := pipeline.New(pipeline.Config{
+		Workers: opts.Workers, Store: storeOrNil(opts.Cache),
+		CacheDir: opts.CacheDir, Timer: opts.Timer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]pipeline.Job, len(models))
+	for i, m := range models {
+		job := pipeline.Job{
+			Vendor: string(m.Vendor),
+			Pages:  SyntheticManual(m),
+			Correct: func(flagged []vdm.InvalidCLI) []Correction {
+				return ExpertCorrections(m, flagged)
+			},
+		}
+		if opts.Validate {
+			if files, ok := SyntheticConfigs(m, opts.Scale); ok {
+				job.ConfigFiles = files
+			}
+		}
+		if opts.LiveTest {
+			dev, err := NewDevice(m)
+			if err != nil {
+				return nil, err
+			}
+			job.Exec = SessionExecutor(dev.NewSession())
+			job.ShowCmd = dev.ShowConfigCommand()
+			job.PathsPerCommand = opts.PathsPerCommand
+			job.Seed = opts.Seed
+		}
+		jobs[i] = job
+	}
+	start := time.Now()
+	jrs, runErr := eng.Run(ctx, jobs)
+	res := &Result{
+		Results: make([]*AssimilationResult, len(jrs)),
+		Stats:   pipeline.Summarize(jrs, time.Since(start)),
+	}
+	for i, jr := range jrs {
+		if jr == nil {
+			continue
+		}
+		res.Results[i] = &AssimilationResult{
+			Model: models[i],
+			Parsed: &ParseResult{Corpora: jr.Corpora, Hierarchy: jr.Hierarchy,
+				Completeness: jr.Completeness},
+			VDM:                  jr.VDM,
+			DeriveReport:         jr.Derive,
+			PreCorrectionInvalid: len(jr.Invalid),
+			CorrectionsApplied:   jr.CorrectionsApplied,
+			Empirical:            jr.Empirical,
+			Live:                 jr.Live,
+			StagesRun:            jr.Ran,
+			StagesSkipped:        jr.Skipped,
+		}
+	}
+	return res, runErr
+}
+
+// storeOrNil avoids handing the engine a typed-nil Store interface.
+func storeOrNil(c *PipelineCache) pipeline.Store {
+	if c == nil {
+		return nil
+	}
+	return c
+}

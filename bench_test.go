@@ -15,6 +15,9 @@ package nassim_test
 //	BenchmarkEndToEndAssimilation   E8: the full pipeline the 9.1x headline measures
 
 import (
+	"context"
+	"encoding/json"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -55,7 +58,7 @@ func setup(b *testing.B) map[string]*benchData {
 			if err != nil {
 				panic(err)
 			}
-			asr, err := nassim.AssimilateModel(m)
+			asr, err := nassim.AssimilateModel(context.Background(), m)
 			if err != nil {
 				panic(err)
 			}
@@ -83,7 +86,7 @@ func BenchmarkParseManual(b *testing.B) {
 			b.ReportMetric(float64(len(pages)), "pages/op")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := nassim.ParseManual(vendor, pages); err != nil {
+				if _, err := nassim.ParseManual(context.Background(), vendor, pages); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -155,7 +158,7 @@ func BenchmarkHierarchyDerivation(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				v, _ := hierarchy.Derive(vendor, parsed.Corpora, edges, nil)
+				v, _ := hierarchy.Derive(context.Background(), vendor, parsed.Corpora, edges, nil)
 				if len(v.Views) == 0 {
 					b.Fatal("no views derived")
 				}
@@ -174,7 +177,7 @@ func BenchmarkEmpiricalValidation(b *testing.B) {
 	b.ReportMetric(float64(lines), "lines/op")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := nassim.ValidateConfigs(d.asr.VDM, d.files)
+		rep := nassim.ValidateConfigs(context.Background(), d.asr.VDM, d.files)
 		if rep.MatchingRatio() != 1.0 {
 			b.Fatalf("ratio = %f", rep.MatchingRatio())
 		}
@@ -237,7 +240,7 @@ func BenchmarkFineTune(b *testing.B) {
 
 func BenchmarkEndToEndAssimilation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		asr, err := nassim.Assimilate("H3C", 0.02)
+		asr, err := nassim.AssimilateVendor(context.Background(), "H3C", 0.02)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,21 +263,21 @@ func BenchmarkPipelineStages(b *testing.B) {
 		var parsed *nassim.ParseResult
 		var err error
 		st.Time(telemetry.StageParse, func() {
-			parsed, err = nassim.ParseManual("Huawei", d.pages)
+			parsed, err = nassim.ParseManual(context.Background(), "Huawei", d.pages)
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		first, firstRep := nassim.BuildVDM("Huawei", parsed.Corpora, parsed.Hierarchy)
+		first, firstRep := nassim.BuildVDM(context.Background(), "Huawei", parsed.Corpora, parsed.Hierarchy)
 		st.Observe(telemetry.StageSyntaxCGM, firstRep.CGMBuildTime)
 		st.Observe(telemetry.StageHierarchy, firstRep.DeriveTime)
 		var v *nassim.VDM
 		st.Time(telemetry.StageCorrect, func() {
 			nassim.ApplyCorrections(parsed.Corpora, nassim.ExpertCorrections(d.model, first.InvalidCLIs))
-			v, _ = nassim.BuildVDM("Huawei", parsed.Corpora, parsed.Hierarchy)
+			v, _ = nassim.BuildVDM(context.Background(), "Huawei", parsed.Corpora, parsed.Hierarchy)
 		})
 		st.Time(telemetry.StageEmpirical, func() {
-			nassim.ValidateConfigs(v, d.files)
+			nassim.ValidateConfigs(context.Background(), v, d.files)
 		})
 	}
 	b.StopTimer()
@@ -393,5 +396,47 @@ func BenchmarkIntentPush(b *testing.B) {
 		if _, err := ctrl.Apply("bench-dev", intent); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAssimilateParallel measures the engine over the four built-in
+// vendors with a 4-worker pool. With NASSIM_BENCH_OUT set it exports BENCH_pipeline.json
+// (schema nassim-pipeline-bench/v1): per-stage wall time plus run/skip
+// aggregates, comparable across PRs like BENCH_telemetry.json.
+func BenchmarkAssimilateParallel(b *testing.B) {
+	const workers = 4
+	timer := nassim.NewStageTimer()
+	var stats nassim.PipelineStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nassim.Assimilate(context.Background(), nassim.Options{
+			Scale: benchScale, Workers: workers, Validate: true, Timer: timer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = res.Stats
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stats.Runs()), "stages/op")
+	out := os.Getenv("NASSIM_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	doc := struct {
+		Schema  string                  `json:"schema"`
+		Workers int                     `json:"workers"`
+		Scale   float64                 `json:"scale"`
+		Jobs    int                     `json:"jobs"`
+		WallNS  int64                   `json:"wall_ns"`
+		Stages  []telemetry.StageRecord `json:"stages"`
+	}{"nassim-pipeline-bench/v1", workers, benchScale, stats.Jobs,
+		stats.Wall.Nanoseconds(), timer.Records()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -181,44 +182,26 @@ func main() {
 }
 
 // runStages drives one synthetic assimilation with per-stage wall-clock
-// timing — parse, syntax+CGM, hierarchy derivation, expert correction and
-// rebuild, empirical validation, mapper fine-tune and recommendation,
+// timing — parse, syntax+CGM, hierarchy derivation (corrections folded
+// in), empirical validation, mapper fine-tune and recommendation,
 // controller intent — prints the timing table and exports the stable
 // BENCH_telemetry.json document (schema nassim-telemetry-bench/v1).
+//
+// The VDM-construction stages run through the pipeline engine, which
+// caches the parse and syntax artifacts and derives the corrected VDM
+// exactly once (the previous hand-sequenced flow rebuilt it twice).
 func runStages(vendor string, scale float64, seed uint64, out string) error {
+	ctx := context.Background()
 	st := telemetry.NewStageTimer()
-	m, err := nassim.SyntheticModel(vendor, scale)
-	if err != nil {
-		return err
-	}
-	pages := nassim.SyntheticManual(m)
-
-	var parsed *nassim.ParseResult
-	st.Time(telemetry.StageParse, func() {
-		parsed, err = nassim.ParseManual(vendor, pages)
+	res, err := nassim.Assimilate(ctx, nassim.Options{
+		Vendors: []string{vendor}, Scale: scale, Validate: true,
+		Seed: seed, Timer: st,
 	})
 	if err != nil {
 		return err
 	}
-
-	// First derivation surfaces the manual's syntax errors; its report
-	// splits the time into CGM construction vs hierarchy derivation.
-	first, firstRep := nassim.BuildVDM(vendor, parsed.Corpora, parsed.Hierarchy)
-	st.Observe(telemetry.StageSyntaxCGM, firstRep.CGMBuildTime)
-	st.Observe(telemetry.StageHierarchy, firstRep.DeriveTime)
-
-	var v *nassim.VDM
-	st.Time(telemetry.StageCorrect, func() {
-		fixes := nassim.ExpertCorrections(m, first.InvalidCLIs)
-		nassim.ApplyCorrections(parsed.Corpora, fixes)
-		v, _ = nassim.BuildVDM(vendor, parsed.Corpora, parsed.Hierarchy)
-	})
-
-	if files, ok := nassim.SyntheticConfigs(m, scale); ok {
-		st.Time(telemetry.StageEmpirical, func() {
-			nassim.ValidateConfigs(v, files)
-		})
-	}
+	asr := res.Results[0]
+	m, v := asr.Model, asr.VDM
 
 	u := nassim.BuildUDM()
 	mp, err := nassim.NewMapper(u, nassim.ModelIRNetBERT)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,7 +63,7 @@ func generate(vendor string, scale float64, out string, dataset bool) error {
 	}
 	// Parse, run the completeness tests, apply expert corrections, and
 	// release the validated corpus — the dataset artifact of the paper.
-	asr, err := nassim.AssimilateModel(m)
+	asr, err := nassim.AssimilateModel(context.Background(), m)
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,14 @@
 // Command nassim is the CLI front-end of the SNA assistant framework. Its
 // subcommands mirror the paper's workflow:
 //
+//	nassim run      -vendors Huawei,Cisco,Nokia,H3C -workers 4 -scale 0.1
 //	nassim parse    -vendor Huawei -pages ./manualdata/huawei/pages -out corpus.json
 //	nassim validate -vendor Huawei -corpus corpus.json
 //	nassim map      -vendor Huawei -corpus corpus.json -model IR+NetBERT -top 10 -limit 5
 //	nassim demo     -vendor Huawei -scale 0.02
 //
+// run drives the staged pipeline engine over several vendors concurrently,
+// with artifact caching and Ctrl-C cancellation at stage boundaries;
 // parse runs the vendor manual parser plus the TDD completeness tests;
 // validate runs formal syntax validation and hierarchy derivation and
 // reports what the experts must review; map recommends UDM attributes for
@@ -23,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"nassim"
 	"nassim/internal/corpus"
@@ -97,6 +102,8 @@ func main() {
 
 	var err error
 	switch rest[0] {
+	case "run":
+		err = cmdRun(rest[1:])
 	case "parse":
 		err = cmdParse(rest[1:])
 	case "validate":
@@ -125,6 +132,7 @@ func usage() {
 usage: nassim [global flags] <subcommand> [flags]
 
 subcommands:
+  run       drive the staged pipeline engine over several vendors concurrently
   parse     parse vendor manual pages into the vendor-independent corpus
   validate  formal syntax validation + hierarchy derivation over a corpus
   map       recommend UDM attributes for VDM parameters
@@ -147,7 +155,8 @@ run "nassim <subcommand> -h" for subcommand flags.
 // mapper recommendation, controller intent — so the telemetry endpoints
 // have samples from every pipeline stage in serve mode.
 func warmup(vendor string, scale float64) error {
-	asr, err := nassim.Assimilate(vendor, scale)
+	ctx := context.Background()
+	asr, err := nassim.AssimilateVendor(ctx, vendor, scale)
 	if err != nil {
 		return err
 	}
@@ -156,9 +165,9 @@ func warmup(vendor string, scale float64) error {
 		return err
 	}
 	if files, ok := nassim.SyntheticConfigs(asr.Model, scale); ok {
-		rep := nassim.ValidateConfigs(asr.VDM, files)
+		rep := nassim.ValidateConfigs(ctx, asr.VDM, files)
 		exec := nassim.SessionExecutor(dev.NewSession())
-		if _, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, exec,
+		if _, err := nassim.TestUnusedCommands(ctx, asr.VDM, rep.UsedCorpora, exec,
 			dev.ShowConfigCommand(), 1, 7); err != nil {
 			return err
 		}
@@ -248,7 +257,7 @@ func cmdParse(args []string) error {
 	if len(pages) == 0 {
 		return fmt.Errorf("parse: no .html pages in %s", *pagesDir)
 	}
-	res, err := nassim.ParseManual(*vendor, pages)
+	res, err := nassim.ParseManual(context.Background(), *vendor, pages)
 	if err != nil {
 		return err
 	}
@@ -280,7 +289,7 @@ func cmdValidate(args []string) error {
 	if v == "" {
 		v = art.Vendor
 	}
-	model, rep := nassim.BuildVDM(v, art.Corpora, art.Hierarchy)
+	model, rep := nassim.BuildVDM(context.Background(), v, art.Corpora, art.Hierarchy)
 	fmt.Println(model.Summary())
 	fmt.Println("derivation:", rep)
 	if n := len(model.InvalidCLIs); n > 0 {
@@ -358,7 +367,7 @@ func cmdMap(args []string) error {
 		if v == "" {
 			v = art.Vendor
 		}
-		vdmModel, _ = nassim.BuildVDM(v, art.Corpora, art.Hierarchy)
+		vdmModel, _ = nassim.BuildVDM(context.Background(), v, art.Corpora, art.Hierarchy)
 	}
 	u := nassim.BuildUDM()
 	mp, err := nassim.NewMapper(u, nassim.ModelKind(*model))
@@ -390,7 +399,8 @@ func cmdDemo(args []string) error {
 	fs.Parse(args)
 
 	fmt.Printf("=== SNA demo: assimilating a synthetic %s device (scale %.2f) ===\n", *vendor, *scale)
-	asr, err := nassim.Assimilate(*vendor, *scale)
+	ctx := context.Background()
+	asr, err := nassim.AssimilateVendor(ctx, *vendor, *scale)
 	if err != nil {
 		return err
 	}
@@ -400,7 +410,7 @@ func cmdDemo(args []string) error {
 	fmt.Println(asr.VDM.Summary())
 
 	if files, ok := nassim.SyntheticConfigs(asr.Model, *scale); ok {
-		rep := nassim.ValidateConfigs(asr.VDM, files)
+		rep := nassim.ValidateConfigs(ctx, asr.VDM, files)
 		fmt.Println("empirical validation:", rep)
 	}
 
@@ -413,8 +423,8 @@ func cmdDemo(args []string) error {
 	sort.Slice(anns, func(a, b int) bool { return anns[a].AttrID < anns[b].AttrID })
 	fmt.Println("\nsample VDM->UDM recommendations (IR+SBERT):")
 	for _, ann := range anns {
-		ctx := nassim.ExtractContext(asr.VDM, ann.Param)
-		fmt.Print(nassim.Explain(ctx, mp.Recommend(ctx, 3)))
+		pc := nassim.ExtractContext(asr.VDM, ann.Param)
+		fmt.Print(nassim.Explain(pc, mp.Recommend(pc, 3)))
 		fmt.Printf("  (ground truth: %s)\n", ann.AttrID)
 	}
 	return nil
@@ -431,7 +441,7 @@ func cmdIntent(args []string) error {
 	value := fs.String("value", "7", "value to configure")
 	fs.Parse(args)
 
-	asr, err := nassim.Assimilate(*vendor, *scale)
+	asr, err := nassim.AssimilateVendor(context.Background(), *vendor, *scale)
 	if err != nil {
 		return err
 	}
@@ -484,5 +494,69 @@ func cmdIntent(args []string) error {
 	}
 	fmt.Printf("  > %s\n", res.CLI)
 	fmt.Printf("verified via %q: %v\n", dev.ShowConfigCommand(), res.Verified)
+	return nil
+}
+
+// cmdRun drives the staged pipeline engine: assimilate
+// several vendors concurrently with content-hash artifact caching. Ctrl-C
+// cancels the run at the next stage boundary. -repeat 2 demonstrates the
+// warm-cache path: the second round reports every stage as skipped.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	vendors := fs.String("vendors", strings.Join(nassim.Vendors(), ","), "comma-separated vendors to assimilate")
+	scale := fs.Float64("scale", 0.1, "model scale (1.0 = paper scale)")
+	workers := fs.Int("workers", 4, "vendors assimilated concurrently")
+	cacheDir := fs.String("cache-dir", "", "on-disk artifact cache directory (warm-starts later processes)")
+	validate := fs.Bool("validate", true, "run empirical configuration validation (Figure 8)")
+	live := fs.Bool("live", false, "live-test unused commands on an in-process simulated device")
+	repeat := fs.Int("repeat", 1, "run the pipeline this many times (>1 exercises the artifact cache)")
+	seed := fs.Uint64("seed", 7, "live-test instantiation seed")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var names []string
+	for _, v := range strings.Split(*vendors, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			names = append(names, v)
+		}
+	}
+	timer := nassim.NewStageTimer()
+	opts := nassim.Options{
+		Vendors: names, Scale: *scale, Workers: *workers,
+		Cache: nassim.NewPipelineCache(), CacheDir: *cacheDir,
+		Validate: *validate, LiveTest: *live, Seed: *seed, Timer: timer,
+	}
+	for round := 1; round <= *repeat; round++ {
+		start := time.Now()
+		res, err := nassim.Assimilate(ctx, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d (%v): %s\n", round, time.Since(start).Round(time.Millisecond), res.Stats)
+		for _, asr := range res.Results {
+			if asr == nil {
+				continue
+			}
+			line := fmt.Sprintf("  %-8s commands=%d views=%d invalid=%d corrected=%d",
+				asr.VDM.Vendor, len(asr.VDM.Corpora), len(asr.VDM.Views),
+				asr.PreCorrectionInvalid, asr.CorrectionsApplied)
+			if asr.Empirical != nil {
+				line += fmt.Sprintf(" config_match=%.1f%%", 100*asr.Empirical.MatchingRatio())
+			}
+			if asr.Live != nil {
+				line += fmt.Sprintf(" live_verified=%d/%d", asr.Live.Verified, asr.Live.Tested)
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("stage timing (executed stages only):\n%s", timer.Table())
 	return nil
 }

@@ -1,6 +1,7 @@
 package nassim_test
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // TestControllerPublicAPI drives the root-level controller surface with an
 // in-process device session.
 func TestControllerPublicAPI(t *testing.T) {
-	asr, err := nassim.Assimilate("H3C", 0.1)
+	asr, err := nassim.AssimilateVendor(context.Background(), "H3C", 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}

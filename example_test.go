@@ -1,6 +1,7 @@
 package nassim_test
 
 import (
+	"context"
 	"fmt"
 
 	"nassim"
@@ -15,26 +16,40 @@ func ExampleAccelerationFactor() {
 
 // Assimilate runs the whole VDM-construction phase — render (or scrape)
 // the manual, parse, expert-correct the flagged templates, derive the
-// hierarchy — in one call.
+// hierarchy — through the staged engine. A shared cache makes the warm
+// re-run skip every stage.
 func ExampleAssimilate() {
-	asr, err := nassim.Assimilate("H3C", 0.02)
+	opts := nassim.Options{
+		Vendors: []string{"H3C"}, Scale: 0.02,
+		Cache: nassim.NewPipelineCache(),
+	}
+	res, err := nassim.Assimilate(context.Background(), opts)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
+	asr := res.Results[0]
 	fmt.Println("completeness passed:", asr.Parsed.Completeness.Passed())
 	fmt.Println("invalid templates caught:", asr.PreCorrectionInvalid)
 	fmt.Println("remaining after correction:", len(asr.VDM.InvalidCLIs))
+
+	warm, err := nassim.Assimilate(context.Background(), opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("warm re-run stages executed:", warm.Stats.Runs())
 	// Output:
 	// completeness passed: true
 	// invalid templates caught: 2
 	// remaining after correction: 0
+	// warm re-run stages executed: 0
 }
 
 // The Mapper's recommendations carry the semantic context parsed from the
 // manual, so an engineer reviews them without opening the manual again.
 func ExampleMapper_Recommend() {
-	asr, err := nassim.Assimilate("Huawei", 0.02)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Huawei", 0.02)
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"nassim"
@@ -21,21 +22,20 @@ func main() {
 	u := nassim.BuildUDM()
 	fmt.Println("controller:", u.Summary())
 
-	// Phase 0: Nokia was assimilated last quarter; its expert-confirmed
-	// mappings are the training data for domain adaptation.
-	nokia, err := nassim.Assimilate("Nokia", scale)
+	// Phases 0 and 1 in one engine run: Nokia (assimilated last quarter;
+	// its expert-confirmed mappings are the training data for domain
+	// adaptation) and Huawei (the new device) go through the staged
+	// pipeline concurrently, two workers side by side.
+	run, err := nassim.Assimilate(context.Background(), nassim.Options{
+		Vendors: []string{"Nokia", "Huawei"}, Scale: scale, Workers: 2,
+	})
 	if err != nil {
 		nassim.Fatal(errlog, err.Error())
 	}
+	nokia, hw := run.Results[0], run.Results[1]
 	nokiaAnns := nassim.GroundTruthAnnotations(nokia.Model, nassim.AnnotationCount("Nokia"), 7)
 	fmt.Printf("previously assimilated: %s (%d expert-confirmed mappings)\n",
 		nokia.VDM.Summary(), len(nokiaAnns))
-
-	// Phase 1: VDM construction for the new device.
-	hw, err := nassim.Assimilate("Huawei", scale)
-	if err != nil {
-		nassim.Fatal(errlog, err.Error())
-	}
 	fmt.Printf("new device: %s (%d manual errors caught and corrected)\n",
 		hw.VDM.Summary(), hw.PreCorrectionInvalid)
 

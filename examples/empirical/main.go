@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"nassim"
@@ -19,9 +20,10 @@ var errlog = nassim.Logger("examples/empirical")
 
 func main() {
 	const scale = 0.05
+	ctx := context.Background()
 
 	// Build the validated VDM for Huawei.
-	asr, err := nassim.Assimilate("Huawei", scale)
+	asr, err := nassim.AssimilateVendor(ctx, "Huawei", scale)
 	if err != nil {
 		nassim.Fatal(errlog, err.Error())
 	}
@@ -32,7 +34,7 @@ func main() {
 	if !ok {
 		nassim.Fatal(errlog, "no configuration corpus for vendor")
 	}
-	rep := nassim.ValidateConfigs(asr.VDM, files)
+	rep := nassim.ValidateConfigs(ctx, asr.VDM, files)
 	fmt.Println("config-file validation:", rep)
 	fmt.Printf("datacenter skew: the fleet exercises %d of %d command templates\n",
 		rep.UsedTemplates(), len(asr.VDM.Corpora))
@@ -58,7 +60,7 @@ func main() {
 	defer client.Close()
 	fmt.Printf("connected to %s device; readback via %q\n", client.Vendor(), dev.ShowConfigCommand())
 
-	live, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, client, dev.ShowConfigCommand(), 2, 42)
+	live, err := nassim.TestUnusedCommands(ctx, asr.VDM, rep.UsedCorpora, client, dev.ShowConfigCommand(), 2, 42)
 	if err != nil {
 		nassim.Fatal(errlog, err.Error())
 	}

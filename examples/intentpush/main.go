@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ var errlog = nassim.Logger("examples/intentpush")
 // onboard assimilates a vendor, serves its simulated device over TCP and
 // registers it with the controller.
 func onboard(ctrl *nassim.Controller, name, vendor string) (nassim.Binding, func(), error) {
-	asr, err := nassim.Assimilate(vendor, 0.05)
+	asr, err := nassim.AssimilateVendor(context.Background(), vendor, 0.05)
 	if err != nil {
 		return nil, nil, err
 	}

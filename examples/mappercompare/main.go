@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"nassim"
@@ -20,19 +21,18 @@ func main() {
 	const scale = 0.1
 	u := nassim.BuildUDM()
 
-	// The mapping task: Nokia VDM -> UDM (the paper's harder setting).
-	nokia, err := nassim.Assimilate("Nokia", scale)
-	if err != nil {
-		nassim.Fatal(errlog, err.Error())
-	}
-	nokiaAnns := nassim.GroundTruthAnnotations(nokia.Model, nassim.AnnotationCount("Nokia"), 77)
-
+	// The mapping task: Nokia VDM -> UDM (the paper's harder setting);
 	// NetBERT's training data comes from the other vendor (cross-vendor
-	// tuning and validation, §7.3).
-	huawei, err := nassim.Assimilate("Huawei", scale)
+	// tuning and validation, §7.3). The engine assimilates both in one
+	// parallel run.
+	run, err := nassim.Assimilate(context.Background(), nassim.Options{
+		Vendors: []string{"Nokia", "Huawei"}, Scale: scale, Workers: 2,
+	})
 	if err != nil {
 		nassim.Fatal(errlog, err.Error())
 	}
+	nokia, huawei := run.Results[0], run.Results[1]
+	nokiaAnns := nassim.GroundTruthAnnotations(nokia.Model, nassim.AnnotationCount("Nokia"), 77)
 	huaweiAnns := nassim.GroundTruthAnnotations(huawei.Model, nassim.AnnotationCount("Huawei"), 77)
 
 	ks := []int{1, 3, 5, 10, 20, 30}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"nassim"
@@ -25,10 +26,11 @@ func main() {
 	}
 	pages := nassim.SyntheticManual(model)
 	fmt.Printf("manual: %d pages of the synthetic %s command reference\n", len(pages), model.Vendor)
+	ctx := context.Background()
 
 	// 2. Parse with the vendor's parser; the TDD completeness tests run
 	// automatically and report anything the parser missed.
-	parsed, err := nassim.ParseManual("H3C", pages)
+	parsed, err := nassim.ParseManual(ctx, "H3C", pages)
 	if err != nil {
 		nassim.Fatal(errlog, err.Error())
 	}
@@ -36,7 +38,7 @@ func main() {
 
 	// 3. Validate: formal syntax validation catches the manual's errors;
 	// hierarchy derivation recovers the view tree from example snippets.
-	vdm, report := nassim.BuildVDM("H3C", parsed.Corpora, parsed.Hierarchy)
+	vdm, report := nassim.BuildVDM(ctx, "H3C", parsed.Corpora, parsed.Hierarchy)
 	fmt.Println(vdm.Summary())
 	fmt.Println("derivation:", report)
 
@@ -54,9 +56,12 @@ func main() {
 
 	// 5. Apply the expert's corrections and rebuild: the validated VDM.
 	fixes := nassim.ExpertCorrections(model, vdm.InvalidCLIs)
-	nassim.ApplyCorrections(parsed.Corpora, fixes)
-	vdm, _ = nassim.BuildVDM("H3C", parsed.Corpora, parsed.Hierarchy)
-	fmt.Printf("after expert correction: %s\n", vdm.Summary())
+	applied, err := nassim.ApplyCorrections(parsed.Corpora, fixes)
+	if err != nil {
+		nassim.Fatal(errlog, err.Error())
+	}
+	vdm, _ = nassim.BuildVDM(ctx, "H3C", parsed.Corpora, parsed.Hierarchy)
+	fmt.Printf("after %d expert corrections: %s\n", applied, vdm.Summary())
 	if issues := nassim.ValidateHierarchy(vdm); len(issues) == 0 {
 		fmt.Println("hierarchy consistency: OK — the VDM is ready for the Mapper")
 	} else {

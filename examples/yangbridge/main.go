@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,7 +50,7 @@ func main() {
 
 	// 3. The unchanged Validator consumes the bridged corpus (YANG's tree
 	// structure plays the role of Nokia-style explicit hierarchy).
-	vdm, report := nassim.BuildVDM("Huawei", bridge.Corpora, bridge.Edges)
+	vdm, report := nassim.BuildVDM(context.Background(), "Huawei", bridge.Corpora, bridge.Edges)
 	fmt.Println("validated:", vdm.Summary())
 	fmt.Println("derivation:", report)
 

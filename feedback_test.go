@@ -1,6 +1,7 @@
 package nassim_test
 
 import (
+	"context"
 	"testing"
 
 	"nassim"
@@ -13,7 +14,7 @@ import (
 // untrained baseline.
 func TestFeedbackLoopImprovesMapper(t *testing.T) {
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate("Nokia", 0.1)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Nokia", 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestFeedbackLoopImprovesMapper(t *testing.T) {
 
 func TestFeedbackLoopSeedPairs(t *testing.T) {
 	u := nassim.BuildUDM()
-	nokia, err := nassim.Assimilate("Nokia", 0.05)
+	nokia, err := nassim.AssimilateVendor(context.Background(), "Nokia", 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	huawei, err := nassim.Assimilate("Huawei", 0.05)
+	huawei, err := nassim.AssimilateVendor(context.Background(), "Huawei", 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFeedbackLoopSeedPairs(t *testing.T) {
 
 func TestFeedbackLoopErrors(t *testing.T) {
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate("H3C", 0.02)
+	asr, err := nassim.AssimilateVendor(context.Background(), "H3C", 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}

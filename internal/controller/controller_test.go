@@ -1,6 +1,7 @@
 package controller_test
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ import (
 // vendor, returning the attribute IDs its binding covers.
 func addVendor(t *testing.T, c *controller.Controller, name, vendor string) map[string]bool {
 	t.Helper()
-	asr, err := nassim.Assimilate(vendor, 0.05)
+	asr, err := nassim.AssimilateVendor(context.Background(), vendor, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}

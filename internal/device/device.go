@@ -10,6 +10,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -145,6 +146,18 @@ func (s *Session) Exec(line string) Response {
 		telExecFail.Inc()
 	}
 	return resp
+}
+
+// ExecContext is Exec honoring the context: a cancelled or expired ctx
+// rejects the line before it reaches the device. In-process execution is
+// not interruptible mid-command (there is no transport to time out), so
+// the check happens at the command boundary, mirroring how the TCP client
+// applies its deadline per exchange.
+func (s *Session) ExecContext(ctx context.Context, line string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	return s.Exec(line), nil
 }
 
 func (s *Session) exec(line string) Response {

@@ -2,12 +2,14 @@ package device
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // The wire protocol is line-oriented, standing in for the Telnet transport
@@ -160,6 +162,23 @@ func (c *Client) readLine() (string, error) {
 		return "", err
 	}
 	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// ExecContext is Exec honoring the context's deadline and cancellation:
+// the context's deadline (when set) is pushed onto the connection before
+// the exchange, so a session run under a timed-out assimilation aborts in
+// the transport instead of blocking on a dead device.
+func (c *Client) ExecContext(ctx context.Context, line string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Response{}, fmt.Errorf("device: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	return c.Exec(line)
 }
 
 // Exec sends one CLI line and decodes the response.

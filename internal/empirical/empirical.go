@@ -90,14 +90,19 @@ type frame struct {
 }
 
 // ValidateConfigs runs the Figure 8 workflow over a configuration corpus.
-func ValidateConfigs(v *vdm.VDM, files []configgen.File) *Report {
-	_, span := telemetry.Span(context.Background(), "validate.empirical",
+// Cancellation via ctx is honored between files; the partial report is
+// then incomplete and the caller should check ctx.Err() before using it.
+func ValidateConfigs(ctx context.Context, v *vdm.VDM, files []configgen.File) *Report {
+	_, span := telemetry.Span(ctx, "validate.empirical",
 		"vendor", v.Vendor, "files", len(files))
 	defer span.End()
 	start := time.Now()
 	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
 	unique := map[string]bool{}
 	for _, f := range files {
+		if ctx.Err() != nil {
+			break
+		}
 		var stack []frame
 		for lineNo, raw := range f.Lines {
 			line := strings.TrimSpace(raw)
@@ -226,12 +231,38 @@ type Executor interface {
 	Exec(line string) (device.Response, error)
 }
 
+// ContextExecutor is an Executor whose transport honors a context's
+// deadline and cancellation. *device.Client and SessionExecutor implement
+// it; execCtx upgrades to it when available so live testing aborts
+// promptly instead of blocking in a dead transport.
+type ContextExecutor interface {
+	Executor
+	ExecContext(ctx context.Context, line string) (device.Response, error)
+}
+
+// execCtx dispatches one line through ExecContext when the executor
+// supports it, falling back to the plain Exec.
+func execCtx(ctx context.Context, exec Executor, line string) (device.Response, error) {
+	if ce, ok := exec.(ContextExecutor); ok {
+		return ce.ExecContext(ctx, line)
+	}
+	if err := ctx.Err(); err != nil {
+		return device.Response{}, err
+	}
+	return exec.Exec(line)
+}
+
 // sessionExecutor adapts an in-process device session to Executor.
 type sessionExecutor struct{ s *device.Session }
 
 // Exec implements Executor.
 func (se sessionExecutor) Exec(line string) (device.Response, error) {
 	return se.s.Exec(line), nil
+}
+
+// ExecContext implements ContextExecutor.
+func (se sessionExecutor) ExecContext(ctx context.Context, line string) (device.Response, error) {
+	return se.s.ExecContext(ctx, line)
 }
 
 // SessionExecutor wraps an in-process device session as an Executor, for
@@ -303,17 +334,22 @@ func InstantiatePath(path []cgm.PathElem, r *rand.Rand) string {
 // instantiate them, navigate the device into one of the command's working
 // views, issue the instance, and verify it by re-reading the running
 // configuration with showCmd. Verified instances are returned as new
-// empirical configuration lines for the next Figure 8 round.
-func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd string,
+// empirical configuration lines for the next Figure 8 round. Cancellation
+// via ctx is honored between commands and, when the executor implements
+// ContextExecutor, inside each device exchange.
+func TestUnusedCommands(ctx context.Context, v *vdm.VDM, used map[int]bool, exec Executor, showCmd string,
 	pathsPerCommand int, seed uint64) (*LiveReport, error) {
 	if pathsPerCommand <= 0 {
 		pathsPerCommand = 1
 	}
-	_, span := telemetry.Span(context.Background(), "validate.live", "vendor", v.Vendor)
+	ctx, span := telemetry.Span(ctx, "validate.live", "vendor", v.Vendor)
 	defer span.End()
 	r := rand.New(rand.NewPCG(seed, 0x11fe))
 	rep := &LiveReport{}
 	for i := range v.Corpora {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if used[i] {
 			continue
 		}
@@ -334,12 +370,12 @@ func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd st
 			inst := InstantiatePath(path, r)
 			rep.Tested++
 			res := LiveResult{Corpus: i, Instance: inst}
-			if _, err := exec.Exec("return"); err != nil {
+			if _, err := execCtx(ctx, exec, "return"); err != nil {
 				return nil, err
 			}
 			failed := false
 			for _, line := range chain {
-				resp, err := exec.Exec(line)
+				resp, err := execCtx(ctx, exec, line)
 				if err != nil {
 					return nil, err
 				}
@@ -350,14 +386,14 @@ func TestUnusedCommands(v *vdm.VDM, used map[int]bool, exec Executor, showCmd st
 				}
 			}
 			if !failed {
-				resp, err := exec.Exec(inst)
+				resp, err := execCtx(ctx, exec, inst)
 				if err != nil {
 					return nil, err
 				}
 				if resp.OK {
 					res.Accepted = true
 					rep.Accepted++
-					show, err := exec.Exec(showCmd)
+					show, err := execCtx(ctx, exec, showCmd)
 					if err != nil {
 						return nil, err
 					}

@@ -1,6 +1,7 @@
 package empirical
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func buildVDM(t *testing.T, m *devmodel.Model) *vdm.VDM {
 	for i, pg := range man.Pages {
 		pages[i] = parser.Page{URL: pg.URL, HTML: pg.HTML}
 	}
-	res := p.Parse(pages)
+	res := p.Parse(context.Background(), pages)
 	// Expert correction step: formal syntax validation flags the manual's
 	// corrupted templates; the expert (played here by ground truth, as the
 	// paper's experts play it by trial on real devices) fixes them before
@@ -43,7 +44,7 @@ func buildVDM(t *testing.T, m *devmodel.Model) *vdm.VDM {
 	for i, e := range res.Hierarchy {
 		edges[i] = hierarchy.Edge{Parent: e.Parent, Child: e.Child}
 	}
-	v, _ := hierarchy.Derive(string(m.Vendor), res.Corpora, edges, nil)
+	v, _ := hierarchy.Derive(context.Background(), string(m.Vendor), res.Corpora, edges, nil)
 	return v
 }
 
@@ -61,7 +62,7 @@ func TestHundredPercentMatchingRatio(t *testing.T) {
 				t.Fatal("no config corpus for vendor")
 			}
 			corpus := configgen.Generate(m, cfg.Scaled(0.05))
-			rep := ValidateConfigs(v, corpus.Files)
+			rep := ValidateConfigs(context.Background(), v, corpus.Files)
 			if rep.TotalLines == 0 {
 				t.Fatal("no configuration lines generated")
 			}
@@ -97,7 +98,7 @@ func TestValidatorFlagsForeignLines(t *testing.T) {
 			"completely unknown command 42",
 		},
 	}}
-	rep := ValidateConfigs(v, files)
+	rep := ValidateConfigs(context.Background(), v, files)
 	if len(rep.Failures) != 1 {
 		t.Fatalf("failures = %v", rep.Failures)
 	}
@@ -139,7 +140,7 @@ func TestValidatorFlagsHierarchyViolation(t *testing.T) {
 	if inst == "" {
 		t.Skip("no suitable sub-view command found")
 	}
-	rep := ValidateConfigs(v, []configgen.File{{Name: "x.cfg", Lines: []string{inst}}})
+	rep := ValidateConfigs(context.Background(), v, []configgen.File{{Name: "x.cfg", Lines: []string{inst}}})
 	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0].Reason, "unmatched hierarchy") {
 		t.Fatalf("failures = %v", rep.Failures)
 	}
@@ -157,7 +158,7 @@ func TestLiveValidationLoop(t *testing.T) {
 	cfgShape, _ := configgen.PaperConfig(devmodel.Huawei) // reuse the shape
 	cfgShape.Seed = 0x33
 	corpus := configgen.Generate(m, cfgShape.Scaled(0.02))
-	rep := ValidateConfigs(v, corpus.Files)
+	rep := ValidateConfigs(context.Background(), v, corpus.Files)
 	if rep.MatchingRatio() != 1.0 {
 		t.Fatalf("first round ratio = %.4f: %v", rep.MatchingRatio(), rep.Failures[:min(3, len(rep.Failures))])
 	}
@@ -177,7 +178,7 @@ func TestLiveValidationLoop(t *testing.T) {
 	}
 	defer cl.Close()
 
-	live, err := TestUnusedCommands(v, rep.UsedCorpora, cl, dev.ShowConfigCommand(), 2, 7)
+	live, err := TestUnusedCommands(context.Background(), v, rep.UsedCorpora, cl, dev.ShowConfigCommand(), 2, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestLiveValidationLoop(t *testing.T) {
 	// Second round: verified instances are themselves valid empirical data.
 	// Only root-view instances can be validated standalone (deeper ones
 	// need their enter chain), so rebuild per-instance files with context.
-	second := ValidateConfigs(v, []configgen.File{})
+	second := ValidateConfigs(context.Background(), v, []configgen.File{})
 	_ = second
 }
 
@@ -217,7 +218,7 @@ func TestSessionExecutor(t *testing.T) {
 		t.Fatal(err)
 	}
 	exec := SessionExecutor(dev.NewSession())
-	live, err := TestUnusedCommands(v, map[int]bool{}, exec, dev.ShowConfigCommand(), 1, 3)
+	live, err := TestUnusedCommands(context.Background(), v, map[int]bool{}, exec, dev.ShowConfigCommand(), 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestLiveTestingErrorPaths(t *testing.T) {
 	if brokenView == "" {
 		t.Skip("no non-root view")
 	}
-	rep, err := TestUnusedCommands(v, map[int]bool{}, exec, dev.ShowConfigCommand(), 1, 3)
+	rep, err := TestUnusedCommands(context.Background(), v, map[int]bool{}, exec, dev.ShowConfigCommand(), 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func Ablate(vendor string, scale float64, seed uint64, ks []int) (*AblationRepor
 	if err != nil {
 		return nil, err
 	}
-	asr, err := nassim.AssimilateModel(m)
+	asr, err := nassim.AssimilateModel(context.Background(), m)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +87,7 @@ func Ablate(vendor string, scale float64, seed uint64, ks []int) (*AblationRepor
 	if err != nil {
 		return nil, err
 	}
-	tasr, err := nassim.AssimilateModel(tm)
+	tasr, err := nassim.AssimilateModel(context.Background(), tm)
 	if err != nil {
 		return nil, err
 	}

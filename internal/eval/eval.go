@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -119,7 +120,7 @@ func Table4(scale float64) ([]Table4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		asr, err := nassim.AssimilateModel(m)
+		asr, err := nassim.AssimilateModel(context.Background(), m)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +140,7 @@ func Table4(scale float64) ([]Table4Row, error) {
 		}
 		if files, ok := nassim.SyntheticConfigs(m, scale); ok {
 			corpus := &configgen.Corpus{Vendor: m.Vendor, Files: files}
-			rep := empirical.ValidateConfigs(asr.VDM, files)
+			rep := empirical.ValidateConfigs(context.Background(), asr.VDM, files)
 			row.ConfigFiles = len(files)
 			row.ConfigLines = rep.TotalLines
 			row.UniqueLines = corpus.UniqueLines()
@@ -272,7 +273,7 @@ func MapperEval(opts MapperOptions) ([]MapperTask, error) {
 		if err != nil {
 			return nil, err
 		}
-		asr, err := nassim.AssimilateModel(m)
+		asr, err := nassim.AssimilateModel(context.Background(), m)
 		if err != nil {
 			return nil, err
 		}

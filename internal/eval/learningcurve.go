@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ func LearningCurve(vendor string, scale float64, seed uint64, step int, ks []int
 		ks = []int{1, 10}
 	}
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate(vendor, scale)
+	asr, err := nassim.AssimilateVendor(context.Background(), vendor, scale)
 	if err != nil {
 		return nil, err
 	}

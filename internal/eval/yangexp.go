@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,7 @@ func YANGExperiment(vendor string, scale float64, seed uint64, ks []int) (*YANGC
 	if err != nil {
 		return nil, err
 	}
-	asr, err := nassim.AssimilateModel(m)
+	asr, err := nassim.AssimilateModel(context.Background(), m)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +49,7 @@ func YANGExperiment(vendor string, scale float64, seed uint64, ks []int) (*YANGC
 		modules = append(modules, mod)
 	}
 	bridge := nassim.BridgeYANG(vendor, modules)
-	yangVDM, _ := nassim.BuildVDM(vendor, bridge.Corpora, bridge.Edges)
+	yangVDM, _ := nassim.BuildVDM(context.Background(), vendor, bridge.Corpora, bridge.Edges)
 	yangAnns := nassim.YANGAnnotations(m, bridge, anns)
 
 	// Keep only annotations present on both sides so the comparison is

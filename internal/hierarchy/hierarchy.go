@@ -62,40 +62,59 @@ func (r *Report) String() string {
 		len(r.AmbiguousViews), len(r.UnresolvedViews), r.CGMBuildTime, r.DeriveTime)
 }
 
-// Derive builds the validated VDM from a parsed corpus batch. explicit
-// carries parser-extracted view edges (empty for vendors whose hierarchy
-// must be derived from examples). typeOf may be nil for name-based
-// parameter typing.
-func Derive(vendor string, corpora []corpus.Corpus, explicit []Edge, typeOf cgm.TypeResolver) (*vdm.VDM, *Report) {
-	_, span := telemetry.Span(context.Background(), "validate.hierarchy",
-		"vendor", vendor, "corpora", len(corpora), "explicit_edges", len(explicit))
-	defer span.End()
-	v := &vdm.VDM{
-		Vendor:  vendor,
-		Corpora: corpora,
-		Views:   map[string]*vdm.ViewInfo{},
-		Index:   cgm.NewIndex(),
-	}
-	rep := &Report{}
-
-	// Stage 1: formal syntax validation + CGM construction (§5.1, the
-	// dominant cost in Table 4's construction time).
+// ValidateSyntax runs the formal syntax validation + CGM construction
+// stage alone (§5.1, the dominant cost in Table 4's construction time):
+// every primary CLI template is checked against the vendor-independent
+// syntax and compiled into a CLI graph model. It returns the populated CGM
+// index, the rejected templates, and the stage's wall time. The context is
+// polled between templates; on cancellation the partial results so far are
+// returned and ctx.Err() tells the caller the stage did not finish.
+func ValidateSyntax(ctx context.Context, vendor string, corpora []corpus.Corpus, typeOf cgm.TypeResolver) (*cgm.Index, []vdm.InvalidCLI, time.Duration) {
 	start := time.Now()
+	idx := cgm.NewIndex()
+	var invalid []vdm.InvalidCLI
 	for i := range corpora {
+		if i&0xff == 0 && ctx.Err() != nil {
+			break
+		}
 		tmpl := corpora[i].PrimaryCLI()
 		if tmpl == "" {
 			continue
 		}
-		if err := v.Index.Add(vdm.CorpusID(i), tmpl, typeOf); err != nil {
-			v.InvalidCLIs = append(v.InvalidCLIs, toInvalid(i, tmpl, err))
+		if err := idx.Add(vdm.CorpusID(i), tmpl, typeOf); err != nil {
+			invalid = append(invalid, toInvalid(i, tmpl, err))
 		}
 	}
-	rep.InvalidCLIs = len(v.InvalidCLIs)
-	rep.CGMBuildTime = time.Since(start)
+	return idx, invalid, time.Since(start)
+}
+
+// Derive builds the validated VDM from a parsed corpus batch. explicit
+// carries parser-extracted view edges (empty for vendors whose hierarchy
+// must be derived from examples). typeOf may be nil for name-based
+// parameter typing. Cancellation via ctx is honored between corpora; the
+// returned VDM is then partial and the caller should discard it.
+func Derive(ctx context.Context, vendor string, corpora []corpus.Corpus, explicit []Edge, typeOf cgm.TypeResolver) (*vdm.VDM, *Report) {
+	ctx, span := telemetry.Span(ctx, "validate.hierarchy",
+		"vendor", vendor, "corpora", len(corpora), "explicit_edges", len(explicit))
+	defer span.End()
+
+	// Stage 1: formal syntax validation + CGM construction.
+	idx, invalid, cgmTime := ValidateSyntax(ctx, vendor, corpora, typeOf)
+	v := &vdm.VDM{
+		Vendor:      vendor,
+		Corpora:     corpora,
+		Views:       map[string]*vdm.ViewInfo{},
+		Index:       idx,
+		InvalidCLIs: invalid,
+	}
+	rep := &Report{InvalidCLIs: len(invalid), CGMBuildTime: cgmTime}
 
 	// Stage 2: view universe and CLI-View pairs, straight from the corpus.
-	start = time.Now()
+	start := time.Now()
 	for i := range corpora {
+		if i&0xff == 0 && ctx.Err() != nil {
+			break
+		}
 		for _, view := range corpora[i].ParentViews {
 			if _, ok := v.Views[view]; !ok {
 				v.Views[view] = &vdm.ViewInfo{Name: view, EnterCorpus: -1}

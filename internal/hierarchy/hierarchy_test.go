@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -26,12 +27,12 @@ func pipeline(t *testing.T, v devmodel.Vendor, scale float64) (*devmodel.Model, 
 	for i, pg := range man.Pages {
 		pages[i] = parser.Page{URL: pg.URL, HTML: pg.HTML}
 	}
-	res := p.Parse(pages)
+	res := p.Parse(context.Background(), pages)
 	edges := make([]Edge, len(res.Hierarchy))
 	for i, e := range res.Hierarchy {
 		edges[i] = Edge{Parent: e.Parent, Child: e.Child}
 	}
-	model, rep := Derive(string(v), res.Corpora, edges, nil)
+	model, rep := Derive(context.Background(), string(v), res.Corpora, edges, nil)
 	return m, model, rep
 }
 
@@ -143,7 +144,7 @@ func TestValidateHierarchyCatchesInconsistencies(t *testing.T) {
 		{CLIs: []string{"bgp <as-number>"}, FuncDef: "f", ParentViews: []string{"system view"}},
 		{CLIs: []string{"peer <ipv4-address>"}, FuncDef: "f", ParentViews: []string{"BGP view"}},
 	}
-	v, _ := Derive("Test", corpora, nil, nil)
+	v, _ := Derive(context.Background(), "Test", corpora, nil, nil)
 	// No examples: BGP view cannot be derived.
 	issues := ValidateHierarchy(v)
 	found := false
@@ -178,7 +179,7 @@ func TestDeriveFromManualExamples(t *testing.T) {
 			Examples: [][]string{{"bgp 100", " peer 10.1.1.1 group test"}},
 		},
 	}
-	v, rep := Derive("Huawei", corpora, nil, nil)
+	v, rep := Derive(context.Background(), "Huawei", corpora, nil, nil)
 	if rep.RootView != "system view" {
 		t.Fatalf("root = %q", rep.RootView)
 	}
@@ -222,7 +223,7 @@ func TestSharedEnterCommandYieldsAmbiguity(t *testing.T) {
 			Examples:    [][]string{{"msdp vpn-instance test", " peer-b 10.1.1.1"}},
 		},
 	}
-	v, _ := Derive("Huawei", corpora, nil, nil)
+	v, _ := Derive(context.Background(), "Huawei", corpora, nil, nil)
 	amb := v.AmbiguousViews()
 	if len(amb) != 2 {
 		t.Fatalf("ambiguous views = %v, want both MSDP views", amb)

@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestJuniperOnboarding(t *testing.T) {
 	for i, pg := range man.Pages {
 		pages[i] = Page{URL: pg.URL, HTML: pg.HTML}
 	}
-	res, rep := p.ParseAndValidate(pages)
+	res, rep := p.ParseAndValidate(context.Background(), pages)
 	if !rep.Passed() {
 		t.Fatalf("completeness report failed:\n%s", rep.Summary())
 	}

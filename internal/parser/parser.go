@@ -83,14 +83,19 @@ func init() {
 
 // Parse runs the vendor parsing() over a batch of manual pages, producing
 // the preliminary VDM corpus. It never fails: malformed pages yield
-// incomplete corpora that the completeness tests flag.
-func (p *Parser) Parse(pages []Page) *Result {
-	ctx, span := telemetry.Span(context.Background(), "parse.manual", "vendor", p.vendor, "pages", len(pages))
+// incomplete corpora that the completeness tests flag. Cancellation via
+// ctx is honored between pages; the partial result is then incomplete and
+// the caller should check ctx.Err() before using it.
+func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
+	ctx, span := telemetry.Span(ctx, "parse.manual", "vendor", p.vendor, "pages", len(pages))
 	defer span.End()
 	start := time.Now()
 	res := &Result{}
 	edgeSeen := map[ViewEdge]bool{}
 	for _, page := range pages {
+		if ctx.Err() != nil {
+			break
+		}
 		_, pageSpan := telemetry.Span(ctx, "parse.page", "url", page.URL)
 		doc := htmlparse.Parse(page.HTML)
 		c, edges := p.parsePage(doc)
@@ -117,8 +122,8 @@ func (p *Parser) Parse(pages []Page) *Result {
 // Validate is the base-class validating() method: it runs the Appendix B
 // completeness tests plus the vendor's additional constraints (§4 step 0)
 // over parsed corpora and returns the combined violation report.
-func (p *Parser) Validate(corpora []corpus.Corpus) *corpus.Report {
-	_, span := telemetry.Span(context.Background(), "parse.validate", "vendor", p.vendor)
+func (p *Parser) Validate(ctx context.Context, corpora []corpus.Corpus) *corpus.Report {
+	_, span := telemetry.Span(ctx, "parse.validate", "vendor", p.vendor)
 	defer span.End()
 	rep := corpus.RunTests(corpora)
 	rep.Merge(corpus.RunConstraintTests(corpus.VendorConstraints(p.vendor), corpora))
@@ -134,9 +139,9 @@ func (p *Parser) Validate(corpora []corpus.Corpus) *corpus.Report {
 // ParseAndValidate runs one TDD iteration: parse the batch, test it, return
 // both. The developer samples the most problematic corpora from the report,
 // amends the parsing logic, and repeats until the report passes (§4).
-func (p *Parser) ParseAndValidate(pages []Page) (*Result, *corpus.Report) {
-	res := p.Parse(pages)
-	return res, p.Validate(res.Corpora)
+func (p *Parser) ParseAndValidate(ctx context.Context, pages []Page) (*Result, *corpus.Report) {
+	res := p.Parse(ctx, pages)
+	return res, p.Validate(ctx, res.Corpora)
 }
 
 // Vendors lists the vendors with built-in parsers, in Table 4 order.

@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func renderAndParse(t *testing.T, v devmodel.Vendor) (*devmodel.Model, *Result, 
 	for i, pg := range man.Pages {
 		pages[i] = Page{URL: pg.URL, HTML: pg.HTML}
 	}
-	res, rep := p.ParseAndValidate(pages)
+	res, rep := p.ParseAndValidate(context.Background(), pages)
 	return m, res, rep
 }
 
@@ -178,7 +179,7 @@ func TestTDDWorkflow(t *testing.T) {
 		}
 		return c, edges
 	}}
-	_, rep := preliminary.ParseAndValidate(pages)
+	_, rep := preliminary.ParseAndValidate(context.Background(), pages)
 	if rep.Passed() {
 		t.Fatal("preliminary parser unexpectedly passed all tests")
 	}
@@ -191,7 +192,7 @@ func TestTDDWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rep2 := fixed.ParseAndValidate(pages)
+	_, rep2 := fixed.ParseAndValidate(context.Background(), pages)
 	if !rep2.Passed() {
 		t.Fatalf("fixed parser still fails:\n%s", rep2.Summary())
 	}
@@ -281,7 +282,7 @@ func TestVendorConstraintInValidate(t *testing.T) {
 		c.Examples = nil // a parser version that never finds Examples
 		return c, edges
 	}}
-	_, rep := broken.ParseAndValidate(pages)
+	_, rep := broken.ParseAndValidate(context.Background(), pages)
 	if rep.Passed() {
 		t.Fatal("example-less Huawei parse passed validation")
 	}

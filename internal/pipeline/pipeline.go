@@ -1,0 +1,622 @@
+// Package pipeline is the staged assimilation engine: the paper's explicit
+// workflow — Parser (§4) → formal syntax validation (§5.1) → hierarchy
+// derivation (§5.2) → empirical validation and live testing (§5.3) →
+// VDM-UDM mapping (§6) — as a first-class dataflow instead of ad-hoc
+// wiring. Each stage is typed, keyed by a content hash chained along the
+// stage graph, cached in an artifact store (in-memory, optionally mirrored
+// on disk), wrapped in telemetry spans/counters/timers, and guarded by the
+// run's context so cancellation stops the pipeline at the next stage
+// boundary. A bounded worker pool assimilates multiple vendors
+// concurrently; per-vendor results are deterministic and independent of
+// the worker count.
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"nassim/internal/configgen"
+	"nassim/internal/corpus"
+	"nassim/internal/empirical"
+	"nassim/internal/hierarchy"
+	"nassim/internal/mapper"
+	"nassim/internal/parser"
+	"nassim/internal/telemetry"
+	"nassim/internal/vdm"
+)
+
+// Stage names one pipeline stage. The string values double as the stage
+// labels in telemetry (StageTimer tables, BENCH_*.json, metric labels).
+type Stage string
+
+// The stage graph, in execution order. Parse through DeriveHierarchy run
+// for every job; the remaining stages run when the job supplies their
+// inputs (config files, a device executor, a mapper).
+const (
+	StageParse             Stage = telemetry.StageParse
+	StageSyntaxValidate    Stage = telemetry.StageSyntaxCGM
+	StageDeriveHierarchy   Stage = telemetry.StageHierarchy
+	StageEmpiricalValidate Stage = telemetry.StageEmpirical
+	StageLiveTest          Stage = telemetry.StageLiveTest
+	StageMapToUDM          Stage = telemetry.StageMapToUDM
+)
+
+// Stages lists the stage graph in execution order.
+func Stages() []Stage {
+	return []Stage{StageParse, StageSyntaxValidate, StageDeriveHierarchy,
+		StageEmpiricalValidate, StageLiveTest, StageMapToUDM}
+}
+
+func init() {
+	reg := telemetry.Default()
+	reg.SetHelp("nassim_pipeline_stage_total", "Pipeline stage executions, by stage and outcome (run, cache_hit).")
+	reg.SetHelp("nassim_pipeline_stage_seconds", "Wall time of executed (non-cached) pipeline stages.")
+	reg.SetHelp("nassim_pipeline_jobs_total", "Per-vendor pipeline jobs, by result (ok, error).")
+}
+
+// Correction is one expert fix of a flagged CLI template (§5.1).
+type Correction struct {
+	Corpus int
+	CLI    string
+}
+
+// ApplyCorrections replaces the flagged primary CLI of each addressed
+// corpus in place, preserving the corpus's non-flagged sibling CLIs. It
+// returns how many corrections were applied; out-of-range corpus indices
+// are rejected and reported in the error (the valid ones still apply).
+func ApplyCorrections(corpora []corpus.Corpus, fixes []Correction) (int, error) {
+	applied := 0
+	var rejected []int
+	for _, f := range fixes {
+		if f.Corpus < 0 || f.Corpus >= len(corpora) {
+			rejected = append(rejected, f.Corpus)
+			continue
+		}
+		c := &corpora[f.Corpus]
+		if len(c.CLIs) == 0 {
+			c.CLIs = []string{f.CLI}
+		} else {
+			c.CLIs[0] = f.CLI
+		}
+		applied++
+	}
+	if len(rejected) > 0 {
+		return applied, fmt.Errorf("pipeline: %d correction(s) rejected, corpus indices out of range [0,%d): %v",
+			len(rejected), len(corpora), rejected)
+	}
+	return applied, nil
+}
+
+// correctedCopy applies fixes to a copy of corpora, leaving the (cached)
+// input untouched. Only the CLIs slices of corrected corpora are cloned;
+// everything else is shared structurally and must stay read-only.
+func correctedCopy(corpora []corpus.Corpus, fixes []Correction) ([]corpus.Corpus, int, error) {
+	if len(fixes) == 0 {
+		return corpora, 0, nil
+	}
+	out := make([]corpus.Corpus, len(corpora))
+	copy(out, corpora)
+	for _, f := range fixes {
+		if f.Corpus >= 0 && f.Corpus < len(out) {
+			out[f.Corpus].CLIs = append([]string(nil), out[f.Corpus].CLIs...)
+		}
+	}
+	applied, err := ApplyCorrections(out, fixes)
+	return out, applied, err
+}
+
+// MapSpec enables the MapToUDM stage: recommend UDM attributes for VDM
+// parameters through a ready mapper.
+type MapSpec struct {
+	Mapper *mapper.Mapper
+	// Params selects the parameters to map; nil maps the VDM's parameters
+	// in order, capped by Limit.
+	Params []vdm.Parameter
+	Limit  int // cap when Params is nil (0 = all)
+	TopK   int // recommendations per parameter (default 10)
+	// CacheSalt distinguishes mapper states (fine-tuned vs raw) in the
+	// artifact key. The engine cannot hash a mapper's weights; callers that
+	// reuse a store across differently-trained mappers must vary the salt.
+	CacheSalt string
+}
+
+// Mapping is one mapped parameter of the MapToUDM stage.
+type Mapping struct {
+	Param           vdm.Parameter
+	Recommendations []mapper.Recommendation
+}
+
+// Job describes one vendor assimilation for the engine.
+type Job struct {
+	Vendor string
+	Pages  []parser.Page
+	// Correct maps the syntax validator's flagged templates to expert
+	// fixes (§5.1's targeted interventions); nil skips correction.
+	Correct func(flagged []vdm.InvalidCLI) []Correction
+	// ConfigFiles enables the EmpiricalValidate stage (Figure 8).
+	ConfigFiles []configgen.File
+	// Exec + ShowCmd enable the LiveTest stage (§5.3 generated-instance
+	// testing against a device).
+	Exec            empirical.Executor
+	ShowCmd         string
+	PathsPerCommand int
+	Seed            uint64
+	// Map enables the MapToUDM stage.
+	Map *MapSpec
+}
+
+// JobResult carries every artifact one vendor's pipeline run produced.
+// Artifacts may come from the cache and are shared by reference: treat
+// them as read-only.
+type JobResult struct {
+	Vendor       string
+	Corpora      []corpus.Corpus  // parsed, pre-correction (the cached parse artifact)
+	Hierarchy    []hierarchy.Edge // explicit view edges, when published
+	Completeness *corpus.Report
+	// Invalid lists the CLI templates formal syntax validation flagged
+	// before expert correction (Table 4's "#Invalid CLI Commands").
+	Invalid            []vdm.InvalidCLI
+	CorrectionsApplied int
+	VDM                *vdm.VDM
+	Derive             *hierarchy.Report
+	Empirical          *empirical.Report // nil unless the stage ran
+	Live               *empirical.LiveReport
+	Mapping            []Mapping
+	// Ran and Skipped record, in execution order, which stages executed
+	// and which were satisfied from the artifact store.
+	Ran     []Stage
+	Skipped []Stage
+}
+
+// RunStats aggregates stage outcomes over one engine run.
+type RunStats struct {
+	Jobs       int
+	StageRuns  map[Stage]int
+	StageSkips map[Stage]int
+	Wall       time.Duration
+}
+
+// Runs sums executed stages.
+func (s RunStats) Runs() int { return sumStages(s.StageRuns) }
+
+// Skips sums cache-satisfied stages.
+func (s RunStats) Skips() int { return sumStages(s.StageSkips) }
+
+func sumStages(m map[Stage]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// String renders the stats in stage order.
+func (s RunStats) String() string {
+	parts := make([]string, 0, len(s.StageRuns)+len(s.StageSkips))
+	for _, st := range Stages() {
+		r, k := s.StageRuns[st], s.StageSkips[st]
+		if r == 0 && k == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d/%d", st, r, r+k))
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("jobs=%d ran/total: %v wall=%v", s.Jobs, parts, s.Wall.Round(time.Millisecond))
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds per-vendor parallelism (<=1 runs sequentially).
+	Workers int
+	// Store is the artifact cache; nil gets a fresh MemStore. Share one
+	// store across runs to make warm re-runs skip unchanged stages.
+	Store Store
+	// CacheDir, when set, mirrors the expensive artifacts (parse output,
+	// derived VDM) on disk so later processes can warm-start.
+	CacheDir string
+	// Timer, when set, accumulates per-stage wall time of executed stages
+	// (cache hits are not observed — skipped work is skipped).
+	Timer *telemetry.StageTimer
+}
+
+// Engine runs assimilation jobs through the staged pipeline.
+type Engine struct {
+	store   Store
+	disk    *DiskStore
+	workers int
+	timer   *telemetry.StageTimer
+}
+
+// New builds an engine from a config.
+func New(cfg Config) (*Engine, error) {
+	e := &Engine{store: cfg.Store, workers: cfg.Workers, timer: cfg.Timer}
+	if e.store == nil {
+		e.store = NewMemStore()
+	}
+	if cfg.CacheDir != "" {
+		d, err := NewDiskStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.disk = d
+	}
+	return e, nil
+}
+
+// Run assimilates every job, at most Workers concurrently, and returns
+// per-job results in input order. A failed or cancelled job leaves a nil
+// result at its position and contributes to the joined error; sibling jobs
+// are unaffected. Run never leaks goroutines: it returns only after every
+// worker has exited.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*JobResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := e.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("pipeline: %s: %w", jobs[i].Vendor, err)
+					continue
+				}
+				results[i], errs[i] = e.runJob(ctx, &jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := range jobs {
+		outcome := "ok"
+		if errs[i] != nil {
+			outcome = "error"
+		}
+		telemetry.GetCounter("nassim_pipeline_jobs_total", "result", outcome).Inc()
+	}
+	return results, errors.Join(errs...)
+}
+
+// Summarize aggregates stage outcomes over a run's results (nil entries —
+// failed jobs — are skipped).
+func Summarize(results []*JobResult, wall time.Duration) RunStats {
+	s := RunStats{StageRuns: map[Stage]int{}, StageSkips: map[Stage]int{}, Wall: wall}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		s.Jobs++
+		for _, st := range r.Ran {
+			s.StageRuns[st]++
+		}
+		for _, st := range r.Skipped {
+			s.StageSkips[st]++
+		}
+	}
+	return s
+}
+
+// parseArtifact is the cached output of StageParse.
+type parseArtifact struct {
+	Corpora      []corpus.Corpus
+	Hierarchy    []hierarchy.Edge
+	Completeness *corpus.Report
+}
+
+// deriveArtifact is the cached output of StageDeriveHierarchy. The VDM is
+// persisted through its own Marshal (the CGM index is rebuilt on load).
+type deriveArtifact struct {
+	VDM    *vdm.VDM
+	Report *hierarchy.Report
+}
+
+type persistedDerive struct {
+	VDM    json.RawMessage
+	Report *hierarchy.Report
+}
+
+// codec (de)serializes one artifact type for the on-disk cache. Stages
+// without a codec cache in memory only.
+type codec[T any] struct {
+	enc func(T) ([]byte, error)
+	dec func([]byte) (T, error)
+}
+
+var parseCodec = &codec[*parseArtifact]{
+	enc: func(a *parseArtifact) ([]byte, error) { return json.Marshal(a) },
+	dec: func(data []byte) (*parseArtifact, error) {
+		var a parseArtifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return nil, err
+		}
+		return &a, nil
+	},
+}
+
+var deriveCodec = &codec[*deriveArtifact]{
+	enc: func(a *deriveArtifact) ([]byte, error) {
+		raw, err := a.VDM.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(&persistedDerive{VDM: raw, Report: a.Report})
+	},
+	dec: func(data []byte) (*deriveArtifact, error) {
+		var p persistedDerive
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, err
+		}
+		v, err := vdm.Unmarshal(p.VDM, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &deriveArtifact{VDM: v, Report: p.Report}, nil
+	},
+}
+
+// runStage executes one stage unless its artifact is already cached. The
+// wrapper checks the context at the stage boundary, consults the memory
+// store then the disk mirror, and on a live run wraps fn in a telemetry
+// span, observes the stage timer/histogram, and records the artifact. An
+// artifact produced under a cancelled context is discarded, never cached.
+func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
+	key string, disk *codec[T], fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("pipeline: %s/%s: %w", jr.Vendor, stage, err)
+	}
+	if v, ok := e.store.Get(key); ok {
+		if t, ok := v.(T); ok {
+			e.noteSkip(jr, stage)
+			return t, nil
+		}
+	}
+	if disk != nil && e.disk != nil {
+		if data, ok := e.disk.GetBytes(stage, key); ok {
+			if t, err := disk.dec(data); err == nil {
+				e.store.Put(key, t)
+				e.noteSkip(jr, stage)
+				return t, nil
+			}
+		}
+	}
+	sctx, span := telemetry.Span(ctx, "pipeline."+string(stage), "vendor", jr.Vendor)
+	start := time.Now()
+	t, err := fn(sctx)
+	elapsed := time.Since(start)
+	span.End()
+	if err == nil {
+		// Stages return partial output when cancelled mid-loop; surface
+		// the cancellation instead of caching a truncated artifact.
+		err = ctx.Err()
+	}
+	if err != nil {
+		return zero, fmt.Errorf("pipeline: %s/%s: %w", jr.Vendor, stage, err)
+	}
+	e.noteRun(jr, stage, elapsed)
+	e.store.Put(key, t)
+	if disk != nil && e.disk != nil {
+		if data, err := disk.enc(t); err == nil {
+			_ = e.disk.PutBytes(stage, key, data) // best-effort mirror
+		}
+	}
+	return t, nil
+}
+
+func (e *Engine) noteRun(jr *JobResult, stage Stage, elapsed time.Duration) {
+	jr.Ran = append(jr.Ran, stage)
+	if e.timer != nil {
+		e.timer.Observe(string(stage), elapsed)
+	}
+	telemetry.GetCounter("nassim_pipeline_stage_total", "stage", string(stage), "outcome", "run").Inc()
+	telemetry.GetHistogram("nassim_pipeline_stage_seconds", nil, "stage", string(stage)).ObserveDuration(elapsed)
+}
+
+func (e *Engine) noteSkip(jr *JobResult, stage Stage) {
+	jr.Skipped = append(jr.Skipped, stage)
+	telemetry.GetCounter("nassim_pipeline_stage_total", "stage", string(stage), "outcome", "cache_hit").Inc()
+}
+
+// runJob drives one vendor through the stage graph.
+func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
+	jr := &JobResult{Vendor: job.Vendor}
+	log := telemetry.Logger("pipeline")
+
+	pagesKey := hashPages(job.Vendor, job.Pages)
+
+	// Parse (§4): manual pages -> vendor-independent corpus + TDD report.
+	parseKey := Key(StageParse, pagesKey)
+	pa, err := runStage(ctx, e, jr, StageParse, parseKey, parseCodec,
+		func(ctx context.Context) (*parseArtifact, error) {
+			p, err := parser.New(job.Vendor)
+			if err != nil {
+				return nil, err
+			}
+			res, rep := p.ParseAndValidate(ctx, job.Pages)
+			edges := make([]hierarchy.Edge, len(res.Hierarchy))
+			for i, ed := range res.Hierarchy {
+				edges[i] = hierarchy.Edge{Parent: ed.Parent, Child: ed.Child}
+			}
+			return &parseArtifact{Corpora: res.Corpora, Hierarchy: edges, Completeness: rep}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	jr.Corpora, jr.Hierarchy, jr.Completeness = pa.Corpora, pa.Hierarchy, pa.Completeness
+
+	// SyntaxValidate (§5.1): formal syntax validation + CGM construction
+	// over the raw corpora; the flagged templates go to the expert.
+	synKey := Key(StageSyntaxValidate, parseKey)
+	invalid, err := runStage(ctx, e, jr, StageSyntaxValidate, synKey, nil,
+		func(ctx context.Context) ([]vdm.InvalidCLI, error) {
+			_, inv, _ := hierarchy.ValidateSyntax(ctx, job.Vendor, pa.Corpora, nil)
+			return inv, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	jr.Invalid = invalid
+
+	// Expert correction (not a cached stage: the fixes come from the
+	// caller and are folded into the derivation key instead).
+	var fixes []Correction
+	if job.Correct != nil {
+		fixes = job.Correct(invalid)
+	}
+	corrected, applied, err := correctedCopy(pa.Corpora, fixes)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", job.Vendor, err)
+	}
+	jr.CorrectionsApplied = applied
+
+	// DeriveHierarchy (§5.2): rebuild over the corrected corpora and
+	// derive the view hierarchy — the validated VDM.
+	fixParts := make([]string, 0, 2*len(fixes))
+	for _, f := range fixes {
+		fixParts = append(fixParts, strconv.Itoa(f.Corpus), f.CLI)
+	}
+	deriveKey := Key(StageDeriveHierarchy, synKey, HashStrings(fixParts...))
+	da, err := runStage(ctx, e, jr, StageDeriveHierarchy, deriveKey, deriveCodec,
+		func(ctx context.Context) (*deriveArtifact, error) {
+			v, rep := hierarchy.Derive(ctx, job.Vendor, corrected, pa.Hierarchy, nil)
+			return &deriveArtifact{VDM: v, Report: rep}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	jr.VDM, jr.Derive = da.VDM, da.Report
+
+	// EmpiricalValidate (§5.3, Figure 8): optional.
+	if len(job.ConfigFiles) > 0 {
+		empKey := Key(StageEmpiricalValidate, deriveKey, hashFiles(job.ConfigFiles))
+		rep, err := runStage(ctx, e, jr, StageEmpiricalValidate, empKey, nil,
+			func(ctx context.Context) (*empirical.Report, error) {
+				return empirical.ValidateConfigs(ctx, da.VDM, job.ConfigFiles), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		jr.Empirical = rep
+	}
+
+	// LiveTest (§5.3): optional; exercises commands unused by the
+	// empirical corpus against a device.
+	if job.Exec != nil {
+		paths := job.PathsPerCommand
+		if paths <= 0 {
+			paths = 1
+		}
+		var used map[int]bool
+		usedKey := ""
+		if jr.Empirical != nil {
+			used = jr.Empirical.UsedCorpora
+			usedKey = hashUsed(used)
+		}
+		liveKey := Key(StageLiveTest, deriveKey, usedKey, job.ShowCmd,
+			strconv.Itoa(paths), strconv.FormatUint(job.Seed, 10))
+		live, err := runStage(ctx, e, jr, StageLiveTest, liveKey, nil,
+			func(ctx context.Context) (*empirical.LiveReport, error) {
+				return empirical.TestUnusedCommands(ctx, da.VDM, used, job.Exec, job.ShowCmd, paths, job.Seed)
+			})
+		if err != nil {
+			return nil, err
+		}
+		jr.Live = live
+	}
+
+	// MapToUDM (§6): optional; recommend UDM attributes per parameter.
+	if job.Map != nil && job.Map.Mapper != nil {
+		spec := job.Map
+		params := spec.Params
+		if params == nil {
+			params = da.VDM.Parameters()
+			if spec.Limit > 0 && len(params) > spec.Limit {
+				params = params[:spec.Limit]
+			}
+		}
+		topK := spec.TopK
+		if topK <= 0 {
+			topK = 10
+		}
+		paramParts := make([]string, 0, 2*len(params))
+		for _, p := range params {
+			paramParts = append(paramParts, strconv.Itoa(p.Corpus), p.Name)
+		}
+		mapKey := Key(StageMapToUDM, deriveKey, spec.Mapper.Name(), spec.CacheSalt,
+			strconv.Itoa(topK), HashStrings(paramParts...))
+		mappings, err := runStage(ctx, e, jr, StageMapToUDM, mapKey, nil,
+			func(ctx context.Context) ([]Mapping, error) {
+				out := make([]Mapping, 0, len(params))
+				for i, p := range params {
+					if i&0x3f == 0 && ctx.Err() != nil {
+						return out, ctx.Err()
+					}
+					pc := mapper.ExtractContext(da.VDM, p)
+					out = append(out, Mapping{Param: p, Recommendations: spec.Mapper.Recommend(pc, topK)})
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		jr.Mapping = mappings
+	}
+
+	log.Debug("assimilated vendor",
+		"vendor", job.Vendor, "corpora", len(jr.Corpora), "invalid", len(jr.Invalid),
+		"corrected", jr.CorrectionsApplied, "stages_run", len(jr.Ran), "stages_skipped", len(jr.Skipped))
+	return jr, nil
+}
+
+func hashPages(vendor string, pages []parser.Page) string {
+	parts := make([]string, 0, 2*len(pages)+1)
+	parts = append(parts, vendor)
+	for _, p := range pages {
+		parts = append(parts, p.URL, p.HTML)
+	}
+	return HashStrings(parts...)
+}
+
+func hashFiles(files []configgen.File) string {
+	parts := make([]string, 0, len(files)*4)
+	for _, f := range files {
+		parts = append(parts, f.Name)
+		parts = append(parts, f.Lines...)
+	}
+	return HashStrings(parts...)
+}
+
+func hashUsed(used map[int]bool) string {
+	keys := make([]int, 0, len(used))
+	for k, v := range used {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = strconv.Itoa(k)
+	}
+	return HashStrings(parts...)
+}

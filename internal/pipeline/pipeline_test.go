@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/manualgen"
+	"nassim/internal/parser"
+	"nassim/internal/vdm"
+)
+
+// testJob renders a scaled synthetic manual and wires the ground-truth
+// expert corrections, like the public API does.
+func testJob(t *testing.T, v devmodel.Vendor, scale float64) (Job, *devmodel.Model) {
+	t.Helper()
+	m := devmodel.Generate(devmodel.PaperConfig(v).Scaled(scale))
+	man := manualgen.Render(m)
+	pages := make([]parser.Page, len(man.Pages))
+	for i, pg := range man.Pages {
+		pages[i] = parser.Page{URL: pg.URL, HTML: pg.HTML}
+	}
+	return Job{
+		Vendor: string(v),
+		Pages:  pages,
+		Correct: func(flagged []vdm.InvalidCLI) []Correction {
+			var out []Correction
+			for _, ic := range flagged {
+				if ic.Corpus >= 0 && ic.Corpus < len(m.Commands) {
+					out = append(out, Correction{Corpus: ic.Corpus, CLI: m.Commands[ic.Corpus].Template})
+				}
+			}
+			return out
+		},
+	}, m
+}
+
+func marshalVDM(t *testing.T, v *vdm.VDM) []byte {
+	t.Helper()
+	data, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestEngineColdThenWarm(t *testing.T) {
+	store := NewMemStore()
+	eng, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := testJob(t, devmodel.H3C, 0.02)
+
+	cold, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold[0].Skipped) != 0 || len(cold[0].Ran) == 0 {
+		t.Fatalf("cold run: ran=%v skipped=%v", cold[0].Ran, cold[0].Skipped)
+	}
+	if cold[0].CorrectionsApplied == 0 {
+		t.Error("no expert corrections applied (errors were injected)")
+	}
+
+	warm, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm[0].Ran) != 0 {
+		t.Errorf("warm run executed stages: %v", warm[0].Ran)
+	}
+	if len(warm[0].Skipped) != len(cold[0].Ran) {
+		t.Errorf("warm run skipped %v, cold ran %v", warm[0].Skipped, cold[0].Ran)
+	}
+	if !bytes.Equal(marshalVDM(t, cold[0].VDM), marshalVDM(t, warm[0].VDM)) {
+		t.Error("warm VDM differs from cold VDM")
+	}
+}
+
+func TestEngineDiskCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	job, _ := testJob(t, devmodel.Cisco, 0.02)
+
+	first, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := first.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine (empty memory store) over the same directory must
+	// warm-start the persisted stages: parse and derive.
+	second, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := second.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := map[Stage]bool{}
+	for _, st := range warm[0].Skipped {
+		skipped[st] = true
+	}
+	if !skipped[StageParse] || !skipped[StageDeriveHierarchy] {
+		t.Errorf("disk cache not consulted: skipped=%v", warm[0].Skipped)
+	}
+	if !bytes.Equal(marshalVDM(t, cold[0].VDM), marshalVDM(t, warm[0].VDM)) {
+		t.Error("disk-loaded VDM differs from cold VDM")
+	}
+}
+
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	vendors := devmodel.AllVendors
+	mkJobs := func() []Job {
+		jobs := make([]Job, len(vendors))
+		for i, v := range vendors {
+			jobs[i], _ = testJob(t, v, 0.02)
+		}
+		return jobs
+	}
+	seq, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := seq.Run(context.Background(), mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.Run(context.Background(), mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vendors {
+		if sres[i].Vendor != pres[i].Vendor {
+			t.Fatalf("result order differs at %d: %s vs %s", i, sres[i].Vendor, pres[i].Vendor)
+		}
+		if !bytes.Equal(marshalVDM(t, sres[i].VDM), marshalVDM(t, pres[i].VDM)) {
+			t.Errorf("%s: parallel VDM differs from sequential", vendors[i])
+		}
+	}
+}
+
+// TestEngineCancellation cancels the run from inside the correction
+// callback: the derivation stage must never execute, the job must fail
+// with context.Canceled, and no worker goroutine may outlive Run.
+func TestEngineCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	job, _ := testJob(t, devmodel.H3C, 0.02)
+	inner := job.Correct
+	job.Correct = func(flagged []vdm.InvalidCLI) []Correction {
+		cancel() // mid-pipeline: after syntax validation, before derivation
+		return inner(flagged)
+	}
+	eng, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.Run(ctx, []Job{job})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results[0] != nil {
+		t.Errorf("cancelled job produced a result: ran=%v", results[0].Ran)
+	}
+
+	// Run returns only after its workers exit; allow the runtime a moment
+	// to reap them before comparing.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// A cancelled sibling must not poison the store: re-running with a live
+// context executes the uncached stages instead of serving partial
+// artifacts.
+func TestEngineNoPartialArtifactCached(t *testing.T) {
+	store := NewMemStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	job, _ := testJob(t, devmodel.Nokia, 0.02)
+	inner := job.Correct
+	job.Correct = func(flagged []vdm.InvalidCLI) []Correction {
+		cancel()
+		return inner(flagged)
+	}
+	eng, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, []Job{job}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	job.Correct = inner
+	res, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[Stage]bool{}
+	for _, st := range res[0].Ran {
+		ran[st] = true
+	}
+	if !ran[StageDeriveHierarchy] {
+		t.Errorf("derivation not re-run after cancellation: ran=%v skipped=%v", res[0].Ran, res[0].Skipped)
+	}
+	if len(res[0].VDM.InvalidCLIs) != 0 {
+		t.Errorf("corrections lost: %v", res[0].VDM.InvalidCLIs)
+	}
+}
+
+func TestEngineRejectedCorrectionFailsJob(t *testing.T) {
+	job, _ := testJob(t, devmodel.H3C, 0.02)
+	job.Correct = func([]vdm.InvalidCLI) []Correction {
+		return []Correction{{Corpus: -5, CLI: "nope"}}
+	}
+	eng, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.Run(context.Background(), []Job{job})
+	if err == nil {
+		t.Fatal("out-of-range correction accepted")
+	}
+	if results[0] != nil {
+		t.Error("failed job produced a result")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []*JobResult{
+		{Ran: []Stage{StageParse, StageSyntaxValidate}},
+		nil, // failed job
+		{Ran: []Stage{StageParse}, Skipped: []Stage{StageSyntaxValidate}},
+	}
+	s := Summarize(results, 2*time.Second)
+	if s.Jobs != 2 {
+		t.Errorf("Jobs = %d", s.Jobs)
+	}
+	if s.Runs() != 3 || s.Skips() != 1 {
+		t.Errorf("Runs = %d, Skips = %d", s.Runs(), s.Skips())
+	}
+	if s.StageRuns[StageParse] != 2 || s.StageSkips[StageSyntaxValidate] != 1 {
+		t.Errorf("per-stage counts: %+v", s)
+	}
+}

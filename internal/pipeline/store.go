@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the artifact cache the engine consults before running a stage.
+// Keys are content hashes chained along the stage graph, so any change in a
+// stage's inputs — pages, corrections, config files, seeds — produces a new
+// key and forces a re-run, while unchanged inputs hit the cache and the
+// stage is skipped. Values are stage artifacts shared by reference; callers
+// must treat them as read-only.
+type Store interface {
+	Get(key string) (any, bool)
+	Put(key string, value any)
+}
+
+// MemStore is the in-memory artifact store. It is safe for concurrent use
+// by the engine's worker pool and can be shared across engine runs (and
+// across engines) to make warm re-runs skip unchanged stages.
+type MemStore struct {
+	mu      sync.RWMutex
+	entries map[string]any
+}
+
+// NewMemStore returns an empty in-memory artifact store.
+func NewMemStore() *MemStore {
+	return &MemStore{entries: map[string]any{}}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.entries[key]
+	return v, ok
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, value any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = value
+}
+
+// Len returns the number of cached artifacts.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// DiskStore persists serialized stage artifacts under a directory, one
+// file per key. It backs the MemStore for the expensive stages (parse,
+// hierarchy derivation) so a fresh process can warm-start from a previous
+// run's artifacts.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore creates (if needed) and opens an on-disk artifact cache.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+func (d *DiskStore) path(stage Stage, key string) string {
+	return filepath.Join(d.dir, string(stage)+"-"+key+".json")
+}
+
+// GetBytes loads the serialized artifact for a stage/key pair.
+func (d *DiskStore) GetBytes(stage Stage, key string) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(stage, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutBytes stores a serialized artifact. Writes go through a temp file +
+// rename so concurrent workers never observe a torn artifact.
+func (d *DiskStore) PutBytes(stage Stage, key string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, d.path(stage, key))
+}
+
+// Key derives a stage's cache key by hashing the stage name, the keys of
+// its upstream artifacts, and any extra inputs. Each part is length-framed
+// so concatenation ambiguity cannot alias two different input sets.
+func Key(stage Stage, parts ...string) string {
+	h := sha256.New()
+	var frame [8]byte
+	write := func(s string) {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(s)))
+		h.Write(frame[:])
+		h.Write([]byte(s))
+	}
+	write(string(stage))
+	for _, p := range parts {
+		write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashStrings content-hashes an ordered string sequence (page bodies,
+// config lines, parameter names) into one key part.
+func HashStrings(parts ...string) string {
+	h := sha256.New()
+	var frame [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(p)))
+		h.Write(frame[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

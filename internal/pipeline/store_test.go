@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyContentHashing(t *testing.T) {
+	if Key(StageParse, "a", "b") != Key(StageParse, "a", "b") {
+		t.Error("Key not deterministic")
+	}
+	if Key(StageParse, "a", "b") == Key(StageSyntaxValidate, "a", "b") {
+		t.Error("stage not folded into the key")
+	}
+	// Length framing: concatenation across part boundaries must not collide.
+	if HashStrings("ab", "c") == HashStrings("a", "bc") {
+		t.Error("parts not length-framed")
+	}
+	if HashStrings() == HashStrings("") {
+		t.Error("zero parts collides with one empty part")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("k"); ok {
+		t.Error("empty store claims a hit")
+	}
+	s.Put("k", 42)
+	v, ok := s.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskStore(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := HashStrings("artifact")
+	if _, ok := d.GetBytes(StageParse, key); ok {
+		t.Error("empty disk store claims a hit")
+	}
+	if err := d.PutBytes(StageParse, key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.GetBytes(StageParse, key)
+	if !ok || string(got) != `{"x":1}` {
+		t.Errorf("GetBytes = %q, %v", got, ok)
+	}
+	// A second store over the same directory sees the artifact (the
+	// warm-start-across-processes contract).
+	d2, err := NewDiskStore(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.GetBytes(StageParse, key); !ok {
+		t.Error("artifact not visible to a fresh store over the same dir")
+	}
+	if _, ok := d2.GetBytes(StageDeriveHierarchy, key); ok {
+		t.Error("artifact leaked across stages")
+	}
+}

@@ -19,6 +19,8 @@ const (
 	StageHierarchy     = "hierarchy"
 	StageCorrect       = "correct_rebuild"
 	StageEmpirical     = "empirical"
+	StageLiveTest      = "live_test"
+	StageMapToUDM      = "map_to_udm"
 	StageMapRecommend  = "mapper_recommend"
 	StageMapFineTune   = "mapper_finetune"
 	StageControllerInt = "controller_intent"

@@ -4,17 +4,25 @@
 //
 // NAssim assists NetOps engineers in Software-defined Network Assimilation
 // (SNA): on-boarding heterogeneous devices — legacy and new-vendor — into an
-// SDN network whose controller speaks a Unified Device Model (UDM). The
-// public API mirrors the paper's two phases:
+// SDN network whose controller speaks a Unified Device Model (UDM).
+//
+// The one-call entry point drives the staged pipeline engine
+// (internal/pipeline) over any number of vendors concurrently, with
+// artifact caching and context cancellation:
+//
+//	res, err := nassim.Assimilate(ctx, nassim.Options{Scale: 0.1, Workers: 4})
+//
+// The step-by-step API mirrors the paper's two phases for callers that
+// want to drive individual stages:
 //
 // VDM construction phase:
 //
 //	pages  := ...                                  // vendor manual pages (HTML)
-//	parsed, _ := nassim.ParseManual("Huawei", pages)
+//	parsed, _ := nassim.ParseManual(ctx, "Huawei", pages)
 //	// review parsed.Completeness, fix the parser, iterate (TDD, §4)
-//	model, report := nassim.BuildVDM("Huawei", parsed.Corpora, parsed.Hierarchy)
+//	model, report := nassim.BuildVDM(ctx, "Huawei", parsed.Corpora, parsed.Hierarchy)
 //	// review model.InvalidCLIs, apply expert corrections, rebuild (§5.1)
-//	empirical := nassim.ValidateConfigs(model, configFiles)   // §5.3
+//	empirical := nassim.ValidateConfigs(ctx, model, configFiles)   // §5.3
 //
 // VDM-UDM mapping phase:
 //
@@ -44,6 +52,7 @@ import (
 	"nassim/internal/mapper"
 	"nassim/internal/nlp"
 	"nassim/internal/parser"
+	"nassim/internal/pipeline"
 	"nassim/internal/telemetry"
 	"nassim/internal/udm"
 	"nassim/internal/vdm"
@@ -114,13 +123,16 @@ type ParseResult struct {
 
 // ParseManual parses vendor manual pages into the vendor-independent corpus
 // format and runs the Appendix B completeness tests (the parser TDD loop's
-// validating() step).
-func ParseManual(vendor string, pages []Page) (*ParseResult, error) {
+// validating() step). Cancellation via ctx is honored between pages.
+func ParseManual(ctx context.Context, vendor string, pages []Page) (*ParseResult, error) {
 	p, err := parser.New(vendor)
 	if err != nil {
 		return nil, err
 	}
-	res, rep := p.ParseAndValidate(pages)
+	res, rep := p.ParseAndValidate(ctx, pages)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	edges := make([]Edge, len(res.Hierarchy))
 	for i, e := range res.Hierarchy {
 		edges[i] = Edge{Parent: e.Parent, Child: e.Child}
@@ -131,24 +143,22 @@ func ParseManual(vendor string, pages []Page) (*ParseResult, error) {
 // Correction is one expert fix of a manual's CLI template, applied after
 // formal syntax validation flags it (§5.1: experts "conduct targeted
 // interventions to correct them").
-type Correction struct {
-	Corpus int
-	CLI    string
-}
+type Correction = pipeline.Correction
 
-// ApplyCorrections replaces the flagged CLIs fields in place.
-func ApplyCorrections(corpora []Corpus, fixes []Correction) {
-	for _, f := range fixes {
-		if f.Corpus >= 0 && f.Corpus < len(corpora) {
-			corpora[f.Corpus].CLIs = []string{f.CLI}
-		}
-	}
+// ApplyCorrections replaces the flagged primary CLI of each addressed
+// corpus in place, preserving any non-flagged sibling CLIs the corpus
+// documents. It returns how many corrections were applied; corrections
+// addressing out-of-range corpus indices are rejected and listed in the
+// returned error (the in-range ones still apply).
+func ApplyCorrections(corpora []Corpus, fixes []Correction) (int, error) {
+	return pipeline.ApplyCorrections(corpora, fixes)
 }
 
 // BuildVDM runs the Validator's syntax-validation and hierarchy-derivation
 // stages over a parsed corpus, producing the validated VDM (§5.1, §5.2).
-func BuildVDM(vendor string, corpora []Corpus, explicit []Edge) (*VDM, *DeriveReport) {
-	return hierarchy.Derive(vendor, corpora, explicit, nil)
+// Cancellation via ctx is honored between corpora.
+func BuildVDM(ctx context.Context, vendor string, corpora []Corpus, explicit []Edge) (*VDM, *DeriveReport) {
+	return hierarchy.Derive(ctx, vendor, corpora, explicit, nil)
 }
 
 // ValidateHierarchy checks the structural consistency of a derived VDM.
@@ -164,16 +174,18 @@ func MarshalVDM(v *VDM) ([]byte, error) { return v.Marshal() }
 func UnmarshalVDM(data []byte) (*VDM, error) { return vdm.Unmarshal(data, nil) }
 
 // ValidateConfigs runs the Figure 8 empirical-data validation workflow.
-func ValidateConfigs(v *VDM, files []ConfigFile) *EmpiricalReport {
-	return empirical.ValidateConfigs(v, files)
+// Cancellation via ctx is honored between files.
+func ValidateConfigs(ctx context.Context, v *VDM, files []ConfigFile) *EmpiricalReport {
+	return empirical.ValidateConfigs(ctx, v, files)
 }
 
 // TestUnusedCommands exercises commands unused by empirical configurations
 // against a (simulated) device reachable through exec, verifying accepted
-// instances via showCmd (§5.3).
-func TestUnusedCommands(v *VDM, used map[int]bool, exec empirical.Executor, showCmd string,
-	pathsPerCommand int, seed uint64) (*LiveReport, error) {
-	return empirical.TestUnusedCommands(v, used, exec, showCmd, pathsPerCommand, seed)
+// instances via showCmd (§5.3). Cancellation via ctx is honored between
+// commands and, for context-aware executors, inside each device exchange.
+func TestUnusedCommands(ctx context.Context, v *VDM, used map[int]bool, exec empirical.Executor,
+	showCmd string, pathsPerCommand int, seed uint64) (*LiveReport, error) {
+	return empirical.TestUnusedCommands(ctx, v, used, exec, showCmd, pathsPerCommand, seed)
 }
 
 // SessionExecutor adapts an in-process device session for TestUnusedCommands.

@@ -1,6 +1,7 @@
 package nassim_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestAssimilatePipeline(t *testing.T) {
 	for _, vendor := range nassim.Vendors() {
 		vendor := vendor
 		t.Run(vendor, func(t *testing.T) {
-			asr, err := nassim.Assimilate(vendor, 0.02)
+			asr, err := nassim.AssimilateVendor(context.Background(), vendor, 0.02)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -37,19 +38,19 @@ func TestAssimilatePipeline(t *testing.T) {
 }
 
 func TestUnknownVendorErrors(t *testing.T) {
-	if _, err := nassim.Assimilate("Arista", 0.02); err == nil {
+	if _, err := nassim.AssimilateVendor(context.Background(), "Arista", 0.02); err == nil {
 		t.Error("Arista has no manual parser; Assimilate should fail")
 	}
 	if _, err := nassim.SyntheticModel("nope", 1); err == nil {
 		t.Error("unknown vendor accepted")
 	}
-	if _, err := nassim.ParseManual("nope", nil); err == nil {
+	if _, err := nassim.ParseManual(context.Background(), "nope", nil); err == nil {
 		t.Error("unknown vendor accepted by ParseManual")
 	}
 }
 
 func TestEmpiricalValidationViaPublicAPI(t *testing.T) {
-	asr, err := nassim.Assimilate("Huawei", 0.02)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Huawei", 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestEmpiricalValidationViaPublicAPI(t *testing.T) {
 	if !ok {
 		t.Fatal("no config corpus for Huawei")
 	}
-	rep := nassim.ValidateConfigs(asr.VDM, files)
+	rep := nassim.ValidateConfigs(context.Background(), asr.VDM, files)
 	if rep.MatchingRatio() != 1.0 {
 		t.Fatalf("matching ratio = %f\n%v", rep.MatchingRatio(), rep.Failures)
 	}
@@ -77,7 +78,7 @@ func TestEmpiricalValidationViaPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	live, err := nassim.TestUnusedCommands(asr.VDM, rep.UsedCorpora, cl, dev.ShowConfigCommand(), 1, 11)
+	live, err := nassim.TestUnusedCommands(context.Background(), asr.VDM, rep.UsedCorpora, cl, dev.ShowConfigCommand(), 1, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestEmpiricalValidationViaPublicAPI(t *testing.T) {
 
 func TestMapperKindsViaPublicAPI(t *testing.T) {
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate("Huawei", 0.02)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Huawei", 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMapperKindsViaPublicAPI(t *testing.T) {
 
 func TestFineTuneOnlyNetBERT(t *testing.T) {
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate("H3C", 0.3)
+	asr, err := nassim.AssimilateVendor(context.Background(), "H3C", 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFineTuneOnlyNetBERT(t *testing.T) {
 // sanity case; the paper's cross-vendor protocol lives in internal/eval).
 func TestFineTuningImprovesRecall(t *testing.T) {
 	u := nassim.BuildUDM()
-	asr, err := nassim.Assimilate("Nokia", 0.05)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Nokia", 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +176,26 @@ func TestFineTuningImprovesRecall(t *testing.T) {
 }
 
 func TestApplyCorrections(t *testing.T) {
-	corpora := []nassim.Corpus{{CLIs: []string{"broken {"}}}
-	nassim.ApplyCorrections(corpora, []nassim.Correction{
+	corpora := []nassim.Corpus{{CLIs: []string{"broken {", "sibling <y>"}}}
+	applied, err := nassim.ApplyCorrections(corpora, []nassim.Correction{
 		{Corpus: 0, CLI: "fixed <x>"},
-		{Corpus: 99, CLI: "ignored"}, // out of range: no-op
+		{Corpus: 99, CLI: "ignored"}, // out of range: rejected and reported
 		{Corpus: -1, CLI: "ignored"},
 	})
+	if applied != 1 {
+		t.Errorf("applied = %d, want 1", applied)
+	}
+	if err == nil || !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "-1") {
+		t.Errorf("rejected indices not reported: %v", err)
+	}
 	if corpora[0].CLIs[0] != "fixed <x>" {
 		t.Errorf("correction not applied: %v", corpora[0].CLIs)
+	}
+	if corpora[0].CLIs[1] != "sibling <y>" {
+		t.Errorf("sibling CLI clobbered: %v", corpora[0].CLIs)
+	}
+	if applied, err = nassim.ApplyCorrections(corpora, nil); applied != 0 || err != nil {
+		t.Errorf("empty fixes: applied=%d err=%v", applied, err)
 	}
 }
 
@@ -219,7 +232,7 @@ func TestBuildUDMStable(t *testing.T) {
 // TestJuniperFullPipeline exercises the E13 fifth vendor through the
 // public API: assimilation, hierarchy, empirical-style intent push.
 func TestJuniperFullPipeline(t *testing.T) {
-	asr, err := nassim.Assimilate("Juniper", 0.1)
+	asr, err := nassim.AssimilateVendor(context.Background(), "Juniper", 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -149,19 +149,11 @@ func ServeDevice(d *Device, addr string) (*DeviceServer, error) { return device.
 // DialDevice opens a CLI session against a served device.
 func DialDevice(addr string) (*DeviceClient, error) { return device.Dial(addr) }
 
-// Assimilate runs the complete SNA pipeline for a synthetic vendor at the
-// given scale: render manual, parse, apply expert corrections to flagged
-// templates, and derive the validated VDM. It is the one-call entry point
-// the examples and the evaluation harness build on.
-func Assimilate(vendor string, scale float64) (*AssimilationResult, error) {
-	m, err := SyntheticModel(vendor, scale)
-	if err != nil {
-		return nil, err
-	}
-	return AssimilateModel(m)
-}
-
-// AssimilationResult bundles the artifacts of one pipeline run.
+// AssimilationResult bundles the artifacts of one vendor's pipeline run.
+// Artifacts may come from the engine's cache and are shared by reference:
+// treat them as read-only. Parsed holds the pre-correction corpora exactly
+// as the parser produced them; VDM.Corpora carries the expert-corrected
+// templates the model was derived from.
 type AssimilationResult struct {
 	Model        *DeviceModel
 	Parsed       *ParseResult
@@ -170,25 +162,13 @@ type AssimilationResult struct {
 	// PreCorrection counts the invalid CLIs found before expert correction
 	// (the Table 4 "#Invalid CLI Commands" figure).
 	PreCorrectionInvalid int
-}
-
-// AssimilateModel runs the pipeline on an existing ground-truth model.
-func AssimilateModel(m *DeviceModel) (*AssimilationResult, error) {
-	pages := SyntheticManual(m)
-	parsed, err := ParseManual(string(m.Vendor), pages)
-	if err != nil {
-		return nil, err
-	}
-	// First derivation surfaces the manual's syntax errors.
-	first, _ := BuildVDM(string(m.Vendor), parsed.Corpora, parsed.Hierarchy)
-	fixes := ExpertCorrections(m, first.InvalidCLIs)
-	ApplyCorrections(parsed.Corpora, fixes)
-	v, rep := BuildVDM(string(m.Vendor), parsed.Corpora, parsed.Hierarchy)
-	return &AssimilationResult{
-		Model:                m,
-		Parsed:               parsed,
-		VDM:                  v,
-		DeriveReport:         rep,
-		PreCorrectionInvalid: len(first.InvalidCLIs),
-	}, nil
+	// CorrectionsApplied counts the expert fixes folded into the rebuild.
+	CorrectionsApplied int
+	// Empirical and Live are set when Options enabled those stages.
+	Empirical *EmpiricalReport
+	Live      *LiveReport
+	// StagesRun and StagesSkipped record which pipeline stages executed
+	// and which were satisfied from the artifact cache.
+	StagesRun     []PipelineStage
+	StagesSkipped []PipelineStage
 }

@@ -1,6 +1,7 @@
 package nassim_test
 
 import (
+	"context"
 	"testing"
 
 	"nassim"
@@ -27,7 +28,7 @@ func TestYANGPublicAPI(t *testing.T) {
 	if len(bridge.Corpora) == 0 || len(bridge.Edges) == 0 {
 		t.Fatalf("bridge: %d corpora, %d edges", len(bridge.Corpora), len(bridge.Edges))
 	}
-	v, rep := nassim.BuildVDM("Huawei", bridge.Corpora, bridge.Edges)
+	v, rep := nassim.BuildVDM(context.Background(), "Huawei", bridge.Corpora, bridge.Edges)
 	if rep.RootView != "yang data tree" {
 		t.Errorf("root = %q", rep.RootView)
 	}
