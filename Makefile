@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline stages
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper stages
 
 check: fmt vet build race
 
@@ -35,6 +35,13 @@ bench:
 # to BENCH_pipeline.json (schema nassim-pipeline-bench/v1).
 bench-pipeline:
 	NASSIM_BENCH_OUT=BENCH_pipeline.json $(GO) test -run xxx -bench BenchmarkAssimilateParallel -benchtime 1x .
+
+# Mapper hot-path benchmarks (vectorized Recommend, parallel MapAll,
+# inverted-index TF-IDF Rank), exported to BENCH_mapper.json (schema
+# nassim-mapper-bench/v1).
+bench-mapper:
+	NASSIM_MAPPER_BENCH_OUT=BENCH_mapper.json $(GO) test -run xxx \
+		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
 
 # Per-stage pipeline timing + BENCH_telemetry.json (see README Observability).
 stages:

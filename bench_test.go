@@ -290,6 +290,121 @@ func BenchmarkPipelineStages(b *testing.B) {
 	}
 }
 
+// mapperBench collects ns/op of the mapper hot-path benchmarks and, with
+// NASSIM_MAPPER_BENCH_OUT set (make bench-mapper), exports them as
+// BENCH_mapper.json (schema nassim-mapper-bench/v1) after every
+// benchmark, so the perf trajectory of the vectorized scorer is tracked
+// across PRs like the other BENCH_*.json documents.
+type mapperBenchEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"n"`
+}
+
+var (
+	mapperBenchMu      sync.Mutex
+	mapperBenchEntries = map[string]mapperBenchEntry{}
+)
+
+func exportMapperBench(b *testing.B, name string) {
+	b.Helper()
+	out := os.Getenv("NASSIM_MAPPER_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	mapperBenchMu.Lock()
+	defer mapperBenchMu.Unlock()
+	mapperBenchEntries[name] = mapperBenchEntry{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N), N: b.N}
+	doc := struct {
+		Schema     string                      `json:"schema"`
+		Scale      float64                     `json:"scale"`
+		Benchmarks map[string]mapperBenchEntry `json:"benchmarks"`
+	}{"nassim-mapper-bench/v1", benchScale, mapperBenchEntries}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecommend measures the vectorized Equation 2 hot path: one
+// top-10 recommendation through the precombined UDM matrices (pure DL
+// scores the full tree; IR+DL shortlists through the inverted index and
+// re-ranks with KV dots per candidate).
+func BenchmarkRecommend(b *testing.B) {
+	data := setup(b)
+	d := data["Huawei"]
+	for _, kind := range []nassim.ModelKind{nassim.ModelIR, nassim.ModelSBERT, nassim.ModelIRSBERT} {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			m, err := nassim.NewMapper(benchUDM, kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := nassim.ExtractContext(d.asr.VDM, d.anns[0].Param)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if recs := m.Recommend(ctx, 10); len(recs) == 0 {
+					b.Fatal("no recommendations")
+				}
+			}
+			exportMapperBench(b, "Recommend/"+string(kind))
+		})
+	}
+}
+
+// BenchmarkMapAll measures the parallel batch path: 100 parameter
+// contexts fanned across the bounded worker pool with order-stable
+// output — the shape the pipeline's map_to_udm stage runs.
+func BenchmarkMapAll(b *testing.B) {
+	data := setup(b)
+	d := data["Huawei"]
+	m, err := nassim.NewMapper(benchUDM, nassim.ModelIRSBERT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcs := make([]nassim.ParamContext, 0, 100)
+	for i := 0; len(pcs) < 100; i++ {
+		pcs = append(pcs, nassim.ExtractContext(d.asr.VDM, d.anns[i%len(d.anns)].Param))
+	}
+	b.ReportMetric(float64(len(pcs)), "params/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.MapAll(context.Background(), pcs, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(pcs) {
+			b.Fatal("short batch")
+		}
+	}
+	exportMapperBench(b, "MapAll")
+}
+
+// BenchmarkTFIDFRank measures the IR fast path in isolation: one top-50
+// shortlist query against the UDM corpus through the inverted index and
+// accumulator scorer.
+func BenchmarkTFIDFRank(b *testing.B) {
+	data := setup(b)
+	d := data["Huawei"]
+	docs := make([][]string, benchUDM.Len())
+	for i := range docs {
+		docs[i] = nlp.Tokenize(strings.Join(benchUDM.Context(i), " "))
+	}
+	idx := nlp.NewTFIDF(docs)
+	pc := nassim.ExtractContext(d.asr.VDM, d.anns[0].Param)
+	query := nlp.Tokenize(strings.Join(pc.Sequences, " "))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ranked := idx.Rank(query, 50); len(ranked) == 0 {
+			b.Fatal("empty ranking")
+		}
+	}
+	exportMapperBench(b, "TFIDFRank")
+}
+
 func BenchmarkWeightGridSearch(b *testing.B) {
 	// A1 ablation cost: 243 weight combinations over precomputed cosines.
 	data := setup(b)

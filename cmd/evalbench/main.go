@@ -220,10 +220,15 @@ func runStages(vendor string, scale float64, seed uint64, out string) error {
 		recN = 10
 	}
 	st.Time(telemetry.StageMapRecommend, func() {
-		for _, ann := range anns[:recN] {
-			mp.Recommend(nassim.ExtractContext(v, ann.Param), 10)
+		pcs := make([]nassim.ParamContext, recN)
+		for i, ann := range anns[:recN] {
+			pcs[i] = nassim.ExtractContext(v, ann.Param)
 		}
+		_, err = mp.MapAll(ctx, pcs, 10)
 	})
+	if err != nil {
+		return err
+	}
 
 	dev, err := nassim.NewDevice(m)
 	if err != nil {

@@ -178,8 +178,12 @@ func warmup(vendor string, scale float64) error {
 		return err
 	}
 	anns := nassim.GroundTruthAnnotations(asr.Model, 200, 17)
+	pcs := make([]nassim.ParamContext, 0, min(3, len(anns)))
 	for _, ann := range anns[:min(3, len(anns))] {
-		mp.Recommend(nassim.ExtractContext(asr.VDM, ann.Param), 5)
+		pcs = append(pcs, nassim.ExtractContext(asr.VDM, ann.Param))
+	}
+	if _, err := mp.MapAll(ctx, pcs, 5); err != nil {
+		return err
 	}
 	binding := nassim.BindingFromAnnotations(anns)
 	ctrl := nassim.NewController(17)

@@ -31,15 +31,28 @@ type weightEval struct {
 
 // BuildWeightEvals precomputes row cosines for every annotation against an
 // IR shortlist of candidate attributes (shortlist <= 0 scores the full
-// tree).
+// tree). All embeddings go through one shared memo cache, so a text
+// sequence repeated across annotations (shared CLI templates, function
+// definitions, parent views) is encoded exactly once per build no matter
+// how many weight candidates the search later tries — the search itself
+// only re-mixes the precomputed rows.
 func BuildWeightEvals(tree *udm.Tree, enc nlp.Encoder, v *vdm.VDM,
 	annotations []Annotation, shortlist int) *WeightEvals {
+	embCache := map[string]nlp.Vec{}
+	embed := func(s string) nlp.Vec {
+		if vec, ok := embCache[s]; ok {
+			return vec
+		}
+		vec := enc.Encode(s)
+		embCache[s] = vec
+		return vec
+	}
 	udmEmb := make([][]nlp.Vec, tree.Len())
 	for i := range udmEmb {
 		ctx := tree.Context(i)
 		udmEmb[i] = make([]nlp.Vec, len(ctx))
 		for j, s := range ctx {
-			udmEmb[i][j] = enc.Encode(s)
+			udmEmb[i][j] = embed(s)
 		}
 	}
 	var ir *nlp.TFIDF
@@ -59,7 +72,7 @@ func BuildWeightEvals(tree *udm.Tree, enc nlp.Encoder, v *vdm.VDM,
 		ctx := ExtractContext(v, ann.Param)
 		paramEmb := make([]nlp.Vec, len(ctx.Sequences))
 		for i, s := range ctx.Sequences {
-			paramEmb[i] = enc.Encode(s)
+			paramEmb[i] = embed(s)
 		}
 		var cands []int
 		if ir != nil {
@@ -88,7 +101,9 @@ func BuildWeightEvals(tree *udm.Tree, enc nlp.Encoder, v *vdm.VDM,
 			row := make([]float64, 0, KV*KU)
 			for i := range paramEmb {
 				for j := range udmEmb[a] {
-					row = append(row, nlp.Cosine(paramEmb[i], udmEmb[a][j]))
+					// Embeddings are unit vectors: the row cosine is a plain
+					// dot product (see nlp.Dot), no norm recomputation.
+					row = append(row, nlp.Dot(paramEmb[i], udmEmb[a][j]))
 				}
 			}
 			ev.cos = append(ev.cos, row)

@@ -6,12 +6,22 @@
 // of Equation 2, and emits the top-k recommendations a NetOps expert
 // reviews. The composite IR+DL models shortlist with TF-IDF and re-rank
 // with the encoder, as in §7.3's comparison.
+//
+// The scoring hot path is vectorized: every encoder output is a unit
+// vector, so each row cosine equals a dot product, and Equation 2's
+// weighted double sum collapses to KV dots against per-attribute
+// precombined rows c_i = Σ_j w_ij·a_j stored as one flat contiguous
+// matrix. MapAll fans a parameter batch across a bounded worker pool with
+// order-stable output; Recommend is safe for concurrent use.
 package mapper
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nassim/internal/nlp"
@@ -25,6 +35,8 @@ func init() {
 	reg.SetHelp("nassim_mapper_recommendations_total", "Top-k recommendation queries served, by model kind.")
 	reg.SetHelp("nassim_mapper_recommend_seconds", "Latency of one Recommend call, by model kind.")
 	reg.SetHelp("nassim_mapper_shortlist_size", "Candidate-set size scored by the DL stage per Recommend call.")
+	reg.SetHelp("nassim_mapper_mapall_seconds", "Latency of one MapAll batch, by model kind and worker count.")
+	reg.SetHelp("nassim_mapper_mapall_params", "Batch size (parameters) per MapAll call, by model kind.")
 }
 
 // ParamContext is the extracted semantic context of one VDM parameter: the
@@ -42,16 +54,19 @@ const KV = 5
 const KU = 3
 
 // ExtractContext collects the k_V context sequences of a parameter from
-// its corpus.
+// its corpus. The first ParaDef entry naming the parameter wins; later
+// duplicate entries no longer overwrite the description silently.
 func ExtractContext(v *vdm.VDM, p vdm.Parameter) ParamContext {
 	c := &v.Corpora[p.Corpus]
 	paraInfo := ""
+search:
 	for _, pd := range c.ParaDef {
 		for _, name := range strings.FieldsFunc(pd.Paras, func(r rune) bool {
 			return r == ',' || r == ' ' || r == '\t'
 		}) {
 			if strings.Trim(name, "<>") == p.Name {
 				paraInfo = pd.Info
+				break search
 			}
 		}
 	}
@@ -91,21 +106,37 @@ func WithWeights(w []float64) Option {
 	}
 }
 
-// Mapper recommends UDM attributes for VDM parameters.
+// WithMapWorkers bounds the MapAll worker pool (default GOMAXPROCS).
+func WithMapWorkers(n int) Option {
+	return func(m *Mapper) { m.mapWorkers = n }
+}
+
+// Mapper recommends UDM attributes for VDM parameters. Recommend and
+// MapAll are safe for concurrent use; RefreshUDM and encoder fine-tuning
+// mutate shared state and must not race with in-flight queries.
 type Mapper struct {
-	tree      *udm.Tree
-	enc       nlp.Encoder // nil for pure IR
-	ir        *nlp.TFIDF  // nil for pure DL
-	shortlist int
-	weights   []float64
+	tree       *udm.Tree
+	enc        nlp.Encoder // nil for pure IR
+	ir         *nlp.TFIDF  // nil for pure DL
+	shortlist  int
+	weights    []float64
+	mapWorkers int
 
 	udmEmb [][]nlp.Vec // per attribute: KU context embeddings
+
+	// comb is the precombined UDM matrix: row (a*KV + i) holds
+	// c_i = Σ_j w[i*KU+j]·udmEmb[a][j], flat and contiguous (dim floats per
+	// row). One Recommend then costs KV dots per attribute instead of
+	// KV×KU cosines with norm recomputation.
+	comb []float64
+	dim  int
 
 	// Metric handles resolved once in New, keyed by model kind, so
 	// Recommend (called per parameter, §7.3 benchmarks it) pays atomics only.
 	telRecs    *telemetry.Counter
 	telLatency *telemetry.Histogram
 	telShort   *telemetry.Histogram
+	telBatch   *telemetry.Histogram
 }
 
 // New builds a Mapper over a UDM tree. enc nil yields the IR baseline;
@@ -126,6 +157,7 @@ func New(tree *udm.Tree, enc nlp.Encoder, useIR bool, opts ...Option) (*Mapper, 
 		m.ir = nlp.NewTFIDF(docs)
 	}
 	if enc != nil {
+		m.dim = enc.Dim()
 		m.udmEmb = make([][]nlp.Vec, tree.Len())
 		for i := range m.udmEmb {
 			ctx := tree.Context(i)
@@ -155,10 +187,12 @@ func New(tree *udm.Tree, enc nlp.Encoder, useIR bool, opts ...Option) (*Mapper, 
 		for i := range m.weights {
 			m.weights[i] /= sum
 		}
+		m.rebuildComb()
 	}
 	m.telRecs = telemetry.GetCounter("nassim_mapper_recommendations_total", "model", m.Name())
 	m.telLatency = telemetry.GetHistogram("nassim_mapper_recommend_seconds", nil, "model", m.Name())
 	m.telShort = telemetry.GetHistogram("nassim_mapper_shortlist_size", telemetry.DefSizeBuckets, "model", m.Name())
+	m.telBatch = telemetry.GetHistogram("nassim_mapper_mapall_params", telemetry.DefSizeBuckets, "model", m.Name())
 	return m, nil
 }
 
@@ -174,8 +208,29 @@ func (m *Mapper) Name() string {
 	}
 }
 
-// RefreshUDM re-encodes the UDM attribute contexts; call after fine-tuning
-// the encoder in place.
+// rebuildComb recomputes the precombined UDM matrix from the current
+// attribute embeddings and weights.
+func (m *Mapper) rebuildComb() {
+	n := m.tree.Len()
+	comb := make([]float64, n*KV*m.dim)
+	for a := 0; a < n; a++ {
+		rows := m.udmEmb[a]
+		base := a * KV * m.dim
+		for i := 0; i < KV; i++ {
+			out := comb[base+i*m.dim : base+(i+1)*m.dim]
+			for j, ae := range rows {
+				if j >= KU || len(ae) != m.dim {
+					continue
+				}
+				nlp.Axpy(m.weights[i*KU+j], ae, out)
+			}
+		}
+	}
+	m.comb = comb
+}
+
+// RefreshUDM re-encodes the UDM attribute contexts and rebuilds the
+// precombined matrices; call after fine-tuning the encoder in place.
 func (m *Mapper) RefreshUDM() {
 	if m.enc == nil {
 		return
@@ -186,12 +241,30 @@ func (m *Mapper) RefreshUDM() {
 			m.udmEmb[i][j] = m.enc.Encode(s)
 		}
 	}
+	m.rebuildComb()
 }
 
-// dlScore computes Equation 2: the weighted sum of the KV x KU pairwise
-// row cosines between the parameter's and the attribute's context
-// embedding matrices.
+// dlScore computes Equation 2 on the vectorized path: because every
+// embedding is unit-norm, each row cosine is a dot product, and the
+// weighted double sum over KV×KU row pairs collapses to KV dots against
+// the attribute's precombined rows.
 func (m *Mapper) dlScore(paramEmb []nlp.Vec, attr int) float64 {
+	base := attr * KV * m.dim
+	score := 0.0
+	for i, pe := range paramEmb {
+		if i >= KV {
+			break
+		}
+		score += nlp.Dot(pe, nlp.Vec(m.comb[base+i*m.dim:base+(i+1)*m.dim]))
+	}
+	return score
+}
+
+// dlScoreNaive is the scalar reference for Equation 2: the weighted sum of
+// the KV x KU pairwise row cosines, norms recomputed per pair. Retained as
+// the executable specification the vectorized path is differentially
+// tested against.
+func (m *Mapper) dlScoreNaive(paramEmb []nlp.Vec, attr int) float64 {
 	score := 0.0
 	for i, pe := range paramEmb {
 		for j, ae := range m.udmEmb[attr] {
@@ -204,6 +277,18 @@ func (m *Mapper) dlScore(paramEmb []nlp.Vec, attr int) float64 {
 // Recommend returns the top-k UDM attributes for a parameter context,
 // highest score first (ties break toward the lower attribute index).
 func (m *Mapper) Recommend(ctx ParamContext, k int) []Recommendation {
+	return m.recommend(ctx, k, false)
+}
+
+// RecommendNaive is Recommend on the pre-vectorization scoring path
+// (per-pair cosines, full stable sort). It exists so golden tests can
+// prove the fast path ranks identically; production callers want
+// Recommend.
+func (m *Mapper) RecommendNaive(ctx ParamContext, k int) []Recommendation {
+	return m.recommend(ctx, k, true)
+}
+
+func (m *Mapper) recommend(ctx ParamContext, k int, naive bool) []Recommendation {
 	if k <= 0 {
 		k = 10
 	}
@@ -237,21 +322,77 @@ func (m *Mapper) Recommend(ctx ParamContext, k int) []Recommendation {
 	for i, s := range ctx.Sequences {
 		paramEmb[i] = m.enc.Encode(s)
 	}
-	scored := make([]Recommendation, 0, len(candidates))
-	for _, a := range candidates {
-		scored = append(scored, Recommendation{
-			AttrIndex: a, Attr: m.tree.Attrs[a], Score: m.dlScore(paramEmb, a)})
-	}
-	sort.SliceStable(scored, func(a, b int) bool {
-		if scored[a].Score != scored[b].Score {
-			return scored[a].Score > scored[b].Score
+	scored := make([]nlp.Scored, len(candidates))
+	for ci, a := range candidates {
+		score := 0.0
+		if naive {
+			score = m.dlScoreNaive(paramEmb, a)
+		} else {
+			score = m.dlScore(paramEmb, a)
 		}
-		return scored[a].AttrIndex < scored[b].AttrIndex
-	})
-	if k < len(scored) {
-		scored = scored[:k]
+		scored[ci] = nlp.Scored{Doc: a, Score: score}
 	}
-	return scored
+	top := nlp.TopKScored(scored, k)
+	out := make([]Recommendation, len(top))
+	for i, s := range top {
+		out[i] = Recommendation{AttrIndex: s.Doc, Attr: m.tree.Attrs[s.Doc], Score: s.Score}
+	}
+	return out
+}
+
+// MapAll recommends the top-k UDM attributes for every parameter context,
+// fanning the batch across a bounded worker pool. Output is order-stable:
+// result i always belongs to ctxs[i], independent of the worker count.
+// Cancellation stops the batch between parameters and returns the
+// context's error.
+func (m *Mapper) MapAll(ctx context.Context, ctxs []ParamContext, k int) ([][]Recommendation, error) {
+	start := time.Now()
+	workers := m.mapWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	defer func() {
+		m.telBatch.Observe(float64(len(ctxs)))
+		telemetry.GetHistogram("nassim_mapper_mapall_seconds", nil,
+			"model", m.Name(), "workers", strconv.Itoa(workers)).
+			ObserveDuration(time.Since(start))
+	}()
+	results := make([][]Recommendation, len(ctxs))
+	if len(ctxs) == 0 {
+		return results, ctx.Err()
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain; the producer stops on cancellation
+				}
+				results[i] = m.Recommend(ctxs[i], k)
+			}
+		}()
+	}
+	for i := range ctxs {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // Explain renders a recommendation list with the rich semantic context the

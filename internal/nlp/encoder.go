@@ -77,7 +77,10 @@ type denseEncoder struct {
 	// embedding, which is why the weaker model can underperform even IR.
 	weighted bool
 
-	cache map[string]Vec
+	// cache memoizes sentence embeddings. It is sharded and mutex-guarded
+	// so one encoder can serve concurrent Recommend/MapAll callers; a nil
+	// cache (zero-value encoder) just disables memoization.
+	cache *vecCache
 }
 
 func (e *denseEncoder) Name() string { return e.name }
@@ -94,8 +97,10 @@ func (e *denseEncoder) canonicalize(tok string) string {
 }
 
 func (e *denseEncoder) Encode(text string) Vec {
-	if v, ok := e.cache[text]; ok {
-		return v
+	if e.cache != nil {
+		if v, ok := e.cache.get(text); ok {
+			return v
+		}
 	}
 	out := make(Vec, e.dim)
 	var common Vec
@@ -126,10 +131,9 @@ func (e *denseEncoder) Encode(text string) Vec {
 			out[i] /= norm
 		}
 	}
-	if e.cache == nil {
-		e.cache = map[string]Vec{}
+	if e.cache != nil {
+		e.cache.put(text, out)
 	}
-	e.cache[text] = out
 	return out
 }
 
@@ -143,7 +147,7 @@ func NewSimCSE(dim int, generalSyn [][2]string) Encoder {
 			canon[pair[1]] = pair[0]
 		}
 	}
-	return &denseEncoder{name: "SimCSE", dim: dim, canon: canon, anisotropy: 0.55}
+	return &denseEncoder{name: "SimCSE", dim: dim, canon: canon, anisotropy: 0.55, cache: newVecCache()}
 }
 
 // NewSBERT builds the SBERT-tier encoder: the full general-synonym
@@ -154,7 +158,7 @@ func NewSBERT(dim int, generalSyn [][2]string) Encoder {
 	for _, pair := range generalSyn {
 		canon[pair[1]] = pair[0]
 	}
-	return &denseEncoder{name: "SBERT", dim: dim, canon: canon, weighted: true}
+	return &denseEncoder{name: "SBERT", dim: dim, canon: canon, weighted: true, cache: newVecCache()}
 }
 
 // NetBERT is the domain-adapted encoder of §6.3: SBERT plus a learned
@@ -172,7 +176,7 @@ func NewNetBERT(dim int, generalSyn [][2]string) *NetBERT {
 	}
 	return &NetBERT{denseEncoder{
 		name: "NetBERT", dim: dim, canon: canon, weighted: true,
-		domain: map[string]string{},
+		domain: map[string]string{}, cache: newVecCache(),
 	}}
 }
 
@@ -359,7 +363,9 @@ func (n *NetBERT) FineTune(positives []TrainExample, negRatio, epochs int, seed 
 		}
 	}
 	// Learning new alignments invalidates cached sentence embeddings.
-	n.cache = nil
+	if n.cache != nil {
+		n.cache.reset()
+	}
 	return FineTuneStats{
 		Positives:    len(positives),
 		Negatives:    negatives,

@@ -38,12 +38,25 @@ func CosineSparse(a, b SparseVec) float64 {
 	return dot / (na * nb)
 }
 
+// posting is one inverted-index entry: a document and its tf-idf weight
+// for the term. Posting lists are stored in ascending document order.
+type posting struct {
+	doc    int32
+	weight float64
+}
+
 // TFIDF is the information-retrieval baseline of §7.3: documents are
 // indexed with tf-idf weights and queries are scored by cosine similarity.
+// Scoring runs over an inverted index (term -> posting list, with
+// precomputed document norms) and an accumulator array, so query cost
+// scales with the posting-list mass the query actually touches rather
+// than with corpus size.
 type TFIDF struct {
-	df   map[string]int
-	n    int
-	docs []SparseVec
+	df       map[string]int
+	n        int
+	docs     []SparseVec
+	postings map[string][]posting
+	docNorm  []float64
 }
 
 // NewTFIDF indexes a document collection (each document pre-tokenized).
@@ -62,8 +75,20 @@ func NewTFIDF(docs [][]string) *TFIDF {
 		}
 	}
 	t.docs = make([]SparseVec, len(docs))
+	t.postings = map[string][]posting{}
+	t.docNorm = make([]float64, len(docs))
 	for i, doc := range docs {
-		t.docs[i] = t.Vector(doc)
+		dv := t.Vector(doc)
+		t.docs[i] = dv
+		t.docNorm[i] = normSorted(dv)
+		// Zero-weight terms (idf 0: the term occurs in every document)
+		// contribute exactly 0.0 to any dot product, so skipping their
+		// postings changes no score bit.
+		for tok, w := range dv {
+			if w != 0 {
+				t.postings[tok] = append(t.postings[tok], posting{doc: int32(i), weight: w})
+			}
+		}
 	}
 	return t
 }
@@ -89,20 +114,127 @@ func (t *TFIDF) Vector(tokens []string) SparseVec {
 	return v
 }
 
+// normSorted is SparseVec.Norm with the squares accumulated in sorted
+// term order. Map-iteration accumulation is randomized per run, and the
+// resulting ULP jitter in norms (and dots) flipped near-tied rankings
+// between runs of the pre-index scorer; every sum on the ranking path is
+// now order-fixed so identical inputs rank identically in every process.
+func normSorted(v SparseVec) float64 {
+	terms := make([]string, 0, len(v))
+	for tok := range v {
+		terms = append(terms, tok)
+	}
+	sort.Strings(terms)
+	s := 0.0
+	for _, tok := range terms {
+		s += v[tok] * v[tok]
+	}
+	return math.Sqrt(s)
+}
+
 // Scored is one ranked document.
 type Scored struct {
 	Doc   int
 	Score float64
 }
 
-// Rank scores the query against all indexed documents and returns the top
+// Rank scores the query against the indexed documents and returns the top
 // k (k <= 0 ranks everything). Ties break toward the lower document index
-// so ranking is deterministic.
+// so ranking is deterministic. Only documents sharing a term with the
+// query are scored through the inverted index; documents the query never
+// touches score 0 and pad the tail in index order, exactly as the dense
+// scorer ranked them.
 func (t *TFIDF) Rank(query []string, k int) []Scored {
+	if k <= 0 || k > t.n {
+		k = t.n
+	}
 	qv := t.Vector(query)
-	out := make([]Scored, len(t.docs))
-	for i, dv := range t.docs {
-		out[i] = Scored{Doc: i, Score: CosineSparse(qv, dv)}
+	qn := normSorted(qv)
+	scored := t.scoreInverted(qv, qn)
+	h := topKHeap{k: k}
+	for _, s := range scored {
+		h.push(s)
+	}
+	out := h.sorted()
+	// Untouched documents all score exactly 0, below every accumulated
+	// score (posting weights are strictly positive): fill any remaining
+	// slots in ascending index order, the dense tie-break.
+	if len(out) < k {
+		touched := make(map[int]bool, len(scored))
+		for _, s := range scored {
+			touched[s.Doc] = true
+		}
+		for d := 0; d < t.n && len(out) < k; d++ {
+			if !touched[d] {
+				out = append(out, Scored{Doc: d})
+			}
+		}
+	}
+	return out
+}
+
+// scoreInverted accumulates cosine scores for every document that shares
+// at least one (non-zero-weight) term with the query. Query terms are
+// walked in sorted order so each document's partial sums accumulate in a
+// deterministic order — the same order rankNaive uses, making the two
+// paths bit-identical.
+func (t *TFIDF) scoreInverted(qv SparseVec, qn float64) []Scored {
+	if qn == 0 {
+		return nil
+	}
+	terms := make([]string, 0, len(qv))
+	for tok, w := range qv {
+		if w != 0 {
+			terms = append(terms, tok)
+		}
+	}
+	sort.Strings(terms)
+	acc := make([]float64, t.n)
+	visited := make([]bool, t.n)
+	var touched []int32
+	for _, tok := range terms {
+		w := qv[tok]
+		for _, p := range t.postings[tok] {
+			if !visited[p.doc] {
+				visited[p.doc] = true
+				touched = append(touched, p.doc)
+			}
+			acc[p.doc] += w * p.weight
+		}
+	}
+	out := make([]Scored, 0, len(touched))
+	for _, d := range touched {
+		out = append(out, Scored{Doc: int(d), Score: acc[d] / (qn * t.docNorm[d])})
+	}
+	return out
+}
+
+// rankNaive is the pre-inverted-index reference scorer: every document
+// scored, full stable sort. Retained as the executable specification the
+// fast path is differentially tested against.
+func (t *TFIDF) rankNaive(query []string, k int) []Scored {
+	qv := t.Vector(query)
+	qn := normSorted(qv)
+	terms := make([]string, 0, len(qv))
+	for tok, w := range qv {
+		if w != 0 {
+			terms = append(terms, tok)
+		}
+	}
+	sort.Strings(terms)
+	out := make([]Scored, t.n)
+	for i := range out {
+		dot := 0.0
+		for _, tok := range terms {
+			if w2, ok := t.docs[i][tok]; ok {
+				dot += qv[tok] * w2
+			}
+		}
+		score := 0.0
+		if dot != 0 && qn != 0 && t.docNorm[i] != 0 {
+			score = dot / (qn * t.docNorm[i])
+		}
+		out[i] = Scored{Doc: i, Score: score}
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
 	if k > 0 && k < len(out) {

@@ -1,0 +1,127 @@
+package nlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomCorpus builds a deterministic synthetic corpus with heavy term
+// overlap (many exact score ties) plus some empty and stopword-only
+// documents — the shapes that stress tie-breaking and zero-score padding.
+func randomCorpus(nDocs int, seed uint64) [][]string {
+	r := rand.New(rand.NewPCG(seed, 0xc0))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%02d", i)
+	}
+	docs := make([][]string, nDocs)
+	for i := range docs {
+		switch i % 11 {
+		case 9: // empty document
+		case 10:
+			docs[i] = []string{"the", "of", "and"} // stopwords only
+		default:
+			n := 3 + r.IntN(8)
+			for j := 0; j < n; j++ {
+				docs[i] = append(docs[i], vocab[r.IntN(len(vocab))])
+			}
+		}
+	}
+	return docs
+}
+
+// TestRankMatchesNaive is the IR golden test: the inverted-index
+// accumulator scorer must produce bit-identical scores and rankings to
+// the full-scan reference on every query, for truncated and full ranks.
+func TestRankMatchesNaive(t *testing.T) {
+	docs := randomCorpus(120, 5)
+	idx := NewTFIDF(docs)
+	r := rand.New(rand.NewPCG(8, 0x51))
+	queries := [][]string{
+		{"term00"},
+		{"term01", "term02", "term03"},
+		{"missing"},
+		{},
+		{"the", "of"}, // stopwords only -> zero query vector
+	}
+	for i := 0; i < 40; i++ {
+		q := make([]string, 1+r.IntN(6))
+		for j := range q {
+			q[j] = fmt.Sprintf("term%02d", r.IntN(45)) // includes unindexed terms
+		}
+		queries = append(queries, q)
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 3, 10, 0, len(docs), len(docs) + 7} {
+			got := idx.Rank(q, k)
+			want := idx.rankNaive(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("q=%v k=%d: len %d != %d", q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+					t.Fatalf("q=%v k=%d pos %d: fast=%+v naive=%+v", q, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRankMatchesCosineSparse pins the scorer to the mathematical
+// definition (cosine of tf-idf vectors) within floating-point tolerance —
+// the pre-index implementation summed in randomized map order, so only
+// tolerance-level agreement is defined against it.
+func TestRankMatchesCosineSparse(t *testing.T) {
+	docs := randomCorpus(80, 21)
+	idx := NewTFIDF(docs)
+	q := []string{"term01", "term05", "term05", "term17"}
+	qv := idx.Vector(q)
+	full := idx.Rank(q, 0)
+	if len(full) != len(docs) {
+		t.Fatalf("full rank = %d docs, want %d", len(full), len(docs))
+	}
+	for _, s := range full {
+		ref := CosineSparse(qv, idx.docs[s.Doc])
+		if math.Abs(s.Score-ref) > 1e-12 {
+			t.Fatalf("doc %d: score %v vs CosineSparse %v", s.Doc, s.Score, ref)
+		}
+	}
+}
+
+func TestRankZeroScorePadding(t *testing.T) {
+	docs := [][]string{
+		{"alpha", "beta"},
+		{"gamma"},
+		{"delta"},
+		{"alpha"},
+	}
+	idx := NewTFIDF(docs)
+	got := idx.Rank([]string{"alpha"}, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Docs 0 and 3 match; 1 and 2 pad with zero scores in index order.
+	if got[0].Score <= 0 || got[1].Score <= 0 {
+		t.Fatalf("matching docs not ranked first: %+v", got)
+	}
+	if got[2] != (Scored{Doc: 1}) || got[3] != (Scored{Doc: 2}) {
+		t.Fatalf("zero padding wrong: %+v", got[2:])
+	}
+}
+
+func TestRankDeterministicAcrossCalls(t *testing.T) {
+	docs := randomCorpus(100, 33)
+	idx := NewTFIDF(docs)
+	q := []string{"term00", "term01", "term02"}
+	first := idx.Rank(q, 20)
+	for i := 0; i < 10; i++ {
+		again := idx.Rank(q, 20)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("call %d pos %d: %+v != %+v", i, j, again[j], first[j])
+			}
+		}
+	}
+}

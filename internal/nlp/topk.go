@@ -1,0 +1,93 @@
+package nlp
+
+// topKHeap is a bounded min-heap of Scored: the root is the worst item
+// kept so far, so a stream of n candidates selects the k best in
+// O(n log k) instead of a full O(n log n) sort. Ordering matches the
+// ranking convention everywhere in this package: higher score first,
+// score ties broken toward the lower document index.
+type topKHeap struct {
+	k     int
+	items []Scored
+}
+
+// worse reports whether a ranks strictly below b.
+func worse(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+func (h *topKHeap) push(s Scored) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, s)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if worse(s, h.items[0]) {
+		return
+	}
+	h.items[0] = s
+	h.down(0)
+}
+
+func (h *topKHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *topKHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && worse(h.items[l], h.items[worst]) {
+			worst = l
+		}
+		if r < n && worse(h.items[r], h.items[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// sorted drains the heap into descending rank order (best first). The
+// heap is consumed.
+func (h *topKHeap) sorted() []Scored {
+	out := make([]Scored, len(h.items))
+	for n := len(h.items) - 1; n >= 0; n-- {
+		out[n] = h.items[0]
+		h.items[0] = h.items[n]
+		h.items = h.items[:n]
+		h.down(0)
+	}
+	return out
+}
+
+// TopKScored selects the k highest-scoring items (ties toward the lower
+// Doc index), equivalent to stable-sorting an index-ordered candidate
+// list by descending score and truncating to k, but in O(n log k).
+// k <= 0 or k >= len(items) returns the full ranking.
+func TopKScored(items []Scored, k int) []Scored {
+	if k <= 0 || k > len(items) {
+		k = len(items)
+	}
+	h := topKHeap{k: k}
+	for _, s := range items {
+		h.push(s)
+	}
+	return h.sorted()
+}

@@ -1,0 +1,79 @@
+package nlp
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Dot returns the inner product of two dense vectors. For unit vectors it
+// equals Cosine up to floating-point rounding (and exactly 0 whenever
+// either vector is zero, matching Cosine's zero-vector convention), which
+// is what lets the mapper collapse Equation 2's KV x KU cosines into KV
+// dot products against precombined UDM rows.
+func Dot(a, b Vec) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// Axpy accumulates alpha*x into y (y must be at least as long as x).
+func Axpy(alpha float64, x Vec, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// vecCacheShards is the shard count of the encoder memo cache. Sharding
+// keeps concurrent Recommend/MapAll callers from serializing on one lock.
+const vecCacheShards = 16
+
+var vecCacheSeed = maphash.MakeSeed()
+
+// vecCache is a sharded, mutex-guarded string->Vec memo cache. The
+// previous plain map raced as soon as two goroutines encoded through one
+// shared encoder (e.g. the pipeline mapping two vendors at once).
+type vecCache struct {
+	shards [vecCacheShards]struct {
+		mu sync.RWMutex
+		m  map[string]Vec
+	}
+}
+
+func newVecCache() *vecCache { return &vecCache{} }
+
+func (c *vecCache) shard(key string) int {
+	return int(maphash.String(vecCacheSeed, key) % vecCacheShards)
+}
+
+func (c *vecCache) get(key string) (Vec, bool) {
+	s := &c.shards[c.shard(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *vecCache) put(key string, v Vec) {
+	s := &c.shards[c.shard(key)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[string]Vec{}
+	}
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// reset drops every cached vector (fine-tuning invalidates embeddings).
+func (c *vecCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,147 @@
+package nlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+// TestDotEqualsCosineForUnitVectors is the property backing the mapper's
+// algebraic collapse of Equation 2: every vector the encoders emit is
+// unit-norm (or exactly zero, for empty text), and for those Dot and
+// Cosine agree — so replacing the per-pair cosine with a dot against a
+// precombined row is exact up to floating-point rounding.
+func TestDotEqualsCosineForUnitVectors(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	// Token-hash unit vectors.
+	for i := 0; i < 200; i++ {
+		a := tokenVector(fmt.Sprintf("tok-%d", r.IntN(1000)), 64)
+		b := tokenVector(fmt.Sprintf("tok-%d", r.IntN(1000)), 64)
+		d, c := Dot(a, b), Cosine(a, b)
+		if math.Abs(d-c) > 1e-12 {
+			t.Fatalf("unit vectors: Dot=%v Cosine=%v diff=%v", d, c, d-c)
+		}
+	}
+	// Encoder sentence embeddings (also unit vectors by construction).
+	enc := NewSBERT(48, devmodel.GeneralSynonyms())
+	texts := []string{
+		"the autonomous system number of the bgp peer",
+		"vlan identifier", "peer ipv4 address", "mtu size on the interface",
+	}
+	for _, ta := range texts {
+		for _, tb := range texts {
+			a, b := enc.Encode(ta), enc.Encode(tb)
+			d, c := Dot(a, b), Cosine(a, b)
+			if math.Abs(d-c) > 1e-12 {
+				t.Fatalf("Encode(%q)·Encode(%q): Dot=%v Cosine=%v", ta, tb, d, c)
+			}
+		}
+	}
+	// The zero-vector edge case: Encode("") has no tokens, so the
+	// embedding is all zeros and both similarities are exactly 0.
+	zero := enc.Encode("")
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatalf("Encode(\"\") is not the zero vector: %v", zero)
+		}
+	}
+	other := enc.Encode("bgp peer")
+	if d := Dot(zero, other); d != 0 {
+		t.Errorf("Dot(zero, v) = %v, want exactly 0", d)
+	}
+	if c := Cosine(zero, other); c != 0 {
+		t.Errorf("Cosine(zero, v) = %v, want exactly 0", c)
+	}
+	if Dot(zero, other) != Cosine(zero, other) {
+		t.Error("Dot and Cosine disagree on the zero vector")
+	}
+	// Mismatched or empty lengths: both define the similarity as 0.
+	if Dot(Vec{1}, Vec{1, 0}) != 0 || Dot(nil, nil) != 0 {
+		t.Error("Dot must return 0 for mismatched or empty vectors")
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, Vec{10, 20, 30}, y)
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestTopKScoredMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.IntN(60)
+		items := make([]Scored, n)
+		for i := range items {
+			// Coarse scores force plenty of exact ties.
+			items[i] = Scored{Doc: i, Score: float64(r.IntN(5))}
+		}
+		// Shuffle candidate order: selection must not depend on it.
+		r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		ref := append([]Scored(nil), items...)
+		sort.SliceStable(ref, func(a, b int) bool {
+			if ref[a].Score != ref[b].Score {
+				return ref[a].Score > ref[b].Score
+			}
+			return ref[a].Doc < ref[b].Doc
+		})
+		for _, k := range []int{0, 1, 3, n, n + 5} {
+			got := TopKScored(append([]Scored(nil), items...), k)
+			want := ref
+			if k > 0 && k < len(want) {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: len=%d want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d pos %d: got %+v want %+v", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncoderConcurrentEncode hammers one shared encoder from many
+// goroutines; run under -race it proves the sharded memo cache is safe.
+func TestEncoderConcurrentEncode(t *testing.T) {
+	enc := NewSBERT(32, devmodel.GeneralSynonyms())
+	texts := make([]string, 32)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("bgp peer as number %d on the interface", i%7)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := enc.Encode(texts[(g+i)%len(texts)])
+				if len(v) != 32 {
+					t.Errorf("dim = %d", len(v))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Cached and fresh encodings must be identical.
+	a := enc.Encode(texts[0])
+	b := enc.Encode(texts[0])
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cache returned a different vector")
+		}
+	}
+}

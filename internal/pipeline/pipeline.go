@@ -566,13 +566,20 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 			strconv.Itoa(topK), HashStrings(paramParts...))
 		mappings, err := runStage(ctx, e, jr, StageMapToUDM, mapKey, nil,
 			func(ctx context.Context) ([]Mapping, error) {
-				out := make([]Mapping, 0, len(params))
+				pcs := make([]mapper.ParamContext, len(params))
 				for i, p := range params {
-					if i&0x3f == 0 && ctx.Err() != nil {
-						return out, ctx.Err()
-					}
-					pc := mapper.ExtractContext(da.VDM, p)
-					out = append(out, Mapping{Param: p, Recommendations: spec.Mapper.Recommend(pc, topK)})
+					pcs[i] = mapper.ExtractContext(da.VDM, p)
+				}
+				// MapAll fans the batch across the mapper's worker pool with
+				// order-stable output and stops between parameters on
+				// cancellation.
+				recs, err := spec.Mapper.MapAll(ctx, pcs, topK)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]Mapping, len(params))
+				for i, p := range params {
+					out[i] = Mapping{Param: p, Recommendations: recs[i]}
 				}
 				return out, nil
 			})
