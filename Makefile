@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper stages
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper chaos stages
 
 check: fmt vet build race
 
@@ -42,6 +42,16 @@ bench-pipeline:
 bench-mapper:
 	NASSIM_MAPPER_BENCH_OUT=BENCH_mapper.json $(GO) test -run xxx \
 		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
+
+# Chaos suite: fault injection, resilient client, breaker, and the
+# end-to-end chaos assimilation tests, twice under the race detector, then
+# the resilient-exec benchmark exported to BENCH_chaos.json (schema
+# nassim-chaos-bench/v1: exec p50/p99 latency, retry counts, faults
+# delivered).
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Resilient|Breaker|Faultnet|Retry|Degrad' ./...
+	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
+		-bench BenchmarkChaosExec -benchtime 2s .
 
 # Per-stage pipeline timing + BENCH_telemetry.json (see README Observability).
 stages:

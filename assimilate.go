@@ -65,6 +65,17 @@ type Options struct {
 	LiveTest        bool
 	PathsPerCommand int    // CGM paths instantiated per live-tested command (default 1)
 	Seed            uint64 // live-test instantiation seed
+	// Chaos, with LiveTest, serves each vendor's device over TCP behind a
+	// fault-injecting listener and reaches it through a resilient client
+	// (retry, circuit breaking, session replay). Each vendor derives its
+	// own fault/jitter seeds from the profile's, so runs are deterministic
+	// for any worker count. A device that stays unreachable degrades its
+	// vendor's live report (see AssimilationResult.DegradedStages) instead
+	// of failing the run.
+	Chaos *ChaosProfile
+	// LiveFailureBudget is the live stage's transport-failure budget; see
+	// the pipeline Job field of the same name. 0 takes the default.
+	LiveFailureBudget int
 	// Timer, when set, accumulates per-stage wall time of executed
 	// (non-cached) stages.
 	Timer *StageTimer
@@ -137,6 +148,9 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 		return nil, err
 	}
 	jobs := make([]pipeline.Job, len(models))
+	// closers tears down the per-vendor chaos transports (server + client)
+	// once the run is over.
+	var closers []func()
 	for i, m := range models {
 		job := pipeline.Job{
 			Vendor: string(m.Vendor),
@@ -155,15 +169,36 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 			if err != nil {
 				return nil, err
 			}
-			job.Exec = SessionExecutor(dev.NewSession())
+			if opts.Chaos != nil {
+				p := *opts.Chaos
+				p.Seed = chaosSeed(opts.Chaos.Seed, i)
+				srv, _, err := ServeDeviceChaos(dev, "127.0.0.1:0", p)
+				if err != nil {
+					closeAll(closers)
+					return nil, err
+				}
+				// An assimilation run is thousands of exchanges, so the
+				// interactive default retry budget would run dry mid-corpus;
+				// the breaker still guards against a device that stays dead.
+				rc := DialDeviceResilient(srv.Addr(), ResilientOptions{
+					Seed:  chaosSeed(opts.Chaos.Seed, i) ^ 0xc1a05,
+					Retry: RetryPolicy{Budget: -1},
+				})
+				closers = append(closers, func() { rc.Close(); srv.Close() })
+				job.Exec = rc
+			} else {
+				job.Exec = SessionExecutor(dev.NewSession())
+			}
 			job.ShowCmd = dev.ShowConfigCommand()
 			job.PathsPerCommand = opts.PathsPerCommand
 			job.Seed = opts.Seed
+			job.LiveFailureBudget = opts.LiveFailureBudget
 		}
 		jobs[i] = job
 	}
 	start := time.Now()
 	jrs, runErr := eng.Run(ctx, jobs)
+	closeAll(closers)
 	res := &Result{
 		Results: make([]*AssimilationResult, len(jrs)),
 		Stats:   pipeline.Summarize(jrs, time.Since(start)),
@@ -184,9 +219,16 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 			Live:                 jr.Live,
 			StagesRun:            jr.Ran,
 			StagesSkipped:        jr.Skipped,
+			DegradedStages:       jr.DegradedStages,
 		}
 	}
 	return res, runErr
+}
+
+func closeAll(closers []func()) {
+	for _, c := range closers {
+		c()
+	}
 }
 
 // storeOrNil avoids handing the engine a typed-nil Store interface.

@@ -1,0 +1,117 @@
+package nassim_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"nassim"
+	"nassim/internal/telemetry"
+)
+
+// BenchmarkChaosExec measures the resilient exec path under the standard
+// chaos profile (5% resets, 10% 200ms latency spikes, one flap window):
+// each iteration is one show-command exchange through retry, breaker, and
+// replay. The interesting outputs are the latency tail the injected
+// faults produce and how many retries absorbed them; with
+// NASSIM_CHAOS_BENCH_OUT set (make chaos) they are exported as
+// BENCH_chaos.json (schema nassim-chaos-bench/v1).
+func BenchmarkChaosExec(b *testing.B) {
+	m, err := nassim.SyntheticModel("Cisco", 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := nassim.NewDevice(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, fl, err := nassim.ServeDeviceChaos(dev, "127.0.0.1:0", nassim.StandardChaosProfile(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	rc := nassim.DialDeviceResilient(srv.Addr(), nassim.ResilientOptions{
+		Seed: 17, Retry: nassim.RetryPolicy{Budget: -1}})
+	defer rc.Close()
+
+	show := dev.ShowConfigCommand()
+	retryCounter := telemetry.GetCounter("nassim_device_retries_total")
+	retriesBefore := retryCounter.Value()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := rc.Exec(show); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+
+	retries := retryCounter.Value() - retriesBefore
+	p50, p99 := latencyQuantiles(lat)
+	b.ReportMetric(float64(p50.Microseconds())/1e3, "p50_ms")
+	b.ReportMetric(float64(p99.Microseconds())/1e3, "p99_ms")
+	b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
+	exportChaosBench(b, lat, p50, p99, retries, fl.Stats())
+}
+
+// latencyQuantiles returns the p50 and p99 of the sample (nearest-rank).
+func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+func exportChaosBench(b *testing.B, lat []time.Duration, p50, p99 time.Duration,
+	retries int64, stats nassim.ChaosStats) {
+	b.Helper()
+	out := os.Getenv("NASSIM_CHAOS_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	doc := struct {
+		Schema  string  `json:"schema"`
+		N       int     `json:"n"`
+		P50Ms   float64 `json:"exec_p50_ms"`
+		P99Ms   float64 `json:"exec_p99_ms"`
+		MeanMs  float64 `json:"exec_mean_ms"`
+		Retries int64   `json:"retries"`
+		Faults  struct {
+			Conns   int64 `json:"connections"`
+			Dropped int64 `json:"dropped"`
+			Resets  int64 `json:"resets"`
+			Spikes  int64 `json:"latency_spikes"`
+		} `json:"faults_delivered"`
+	}{
+		Schema: "nassim-chaos-bench/v1", N: len(lat),
+		P50Ms:   float64(p50.Microseconds()) / 1e3,
+		P99Ms:   float64(p99.Microseconds()) / 1e3,
+		MeanMs:  float64(total.Microseconds()) / 1e3 / float64(len(lat)),
+		Retries: retries,
+	}
+	doc.Faults.Conns = stats.Conns
+	doc.Faults.Dropped = stats.Dropped
+	doc.Faults.Resets = stats.Resets
+	doc.Faults.Spikes = stats.Spikes
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package nassim_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nassim"
+	"nassim/internal/empirical"
+	"nassim/internal/pipeline"
+)
+
+// The chaos suite drives the full assimilation pipeline against
+// fault-injected device transports (see resilience.go). Tests use the
+// standard chaos profile's fault rates and flap window but shrink the
+// latency-spike magnitude: spike *duration* only stretches wall time — the
+// fault schedule and every retry decision depend on the seeded draws, not
+// on how long a spike lasts — so a 2ms spike exercises exactly the code
+// paths of a 200ms one.
+func chaosProfile(seed uint64) nassim.ChaosProfile {
+	p := nassim.StandardChaosProfile(seed)
+	p.Latency = 2 * time.Millisecond
+	return p
+}
+
+func runChaos(t *testing.T, seed uint64, workers int) *nassim.Result {
+	t.Helper()
+	p := chaosProfile(seed)
+	res, err := nassim.Assimilate(context.Background(), nassim.Options{
+		Scale: 0.02, Workers: workers, LiveTest: true, Chaos: &p, Seed: 9})
+	if err != nil {
+		t.Fatalf("chaos run (seed %d, %d workers): %v", seed, workers, err)
+	}
+	return res
+}
+
+// chaosFingerprint reduces a chaos run to its deterministic observable
+// surface. LiveResult.Err strings embed the ephemeral port of that run's
+// device server, so errors are fingerprinted as presence booleans; every
+// other field — counts, per-instance outcomes, generated config lines,
+// degradation — must be byte-identical across runs with the same seed.
+func chaosFingerprint(t *testing.T, res *nassim.Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, asr := range res.Results {
+		if asr == nil {
+			t.Fatal("nil vendor result in chaos run")
+		}
+		lr := asr.Live
+		if lr == nil {
+			t.Fatalf("%s: no live report", asr.Model.Vendor)
+		}
+		fmt.Fprintf(&b, "%s tested=%d accepted=%d verified=%d degraded=%v reason=%q failures=%d\n",
+			asr.Model.Vendor, lr.Tested, lr.Accepted, lr.Verified,
+			lr.Degraded, lr.DegradedReason, lr.ExchangeFailures)
+		for _, r := range lr.Results {
+			fmt.Fprintf(&b, "  %d %q accepted=%v verified=%v err=%v\n",
+				r.Corpus, r.Instance, r.Accepted, r.Verified, r.Err != "")
+		}
+		for _, line := range lr.NewConfigLines {
+			fmt.Fprintf(&b, "  + %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// TestChaosAllVendorsComplete is the headline robustness contract: under
+// the standard chaos profile (5% resets, 10% latency spikes, one flap
+// window) the four vendor corpora assimilate end to end with zero hard
+// failures — the resilient client absorbs every injected fault — and no
+// goroutines leak once the run's chaos transports are torn down.
+func TestChaosAllVendorsComplete(t *testing.T) {
+	before := runtime.NumGoroutine()
+	res := runChaos(t, 42, 4)
+	if len(res.Results) != 4 {
+		t.Fatalf("got %d vendor results, want 4", len(res.Results))
+	}
+	for _, asr := range res.Results {
+		if asr == nil || asr.Live == nil {
+			t.Fatal("missing vendor result under chaos")
+		}
+		if asr.Live.Tested == 0 || asr.Live.Verified == 0 {
+			t.Errorf("%s: live testing made no progress: tested=%d verified=%d",
+				asr.Model.Vendor, asr.Live.Tested, asr.Live.Verified)
+		}
+		if asr.Degraded() {
+			t.Errorf("%s: degraded under standard profile: %v (retry should absorb these faults)",
+				asr.Model.Vendor, asr.DegradedStages)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestChaosDeterministicForFixedSeed: the same chaos seed yields a
+// byte-identical run fingerprint — twice at 4 workers, and again
+// sequentially, pinning the claim that per-vendor seed derivation makes
+// fault schedules independent of scheduling.
+func TestChaosDeterministicForFixedSeed(t *testing.T) {
+	first := chaosFingerprint(t, runChaos(t, 7, 4))
+	if again := chaosFingerprint(t, runChaos(t, 7, 4)); again != first {
+		t.Errorf("same seed, same workers: fingerprints differ\n--- run 1\n%s--- run 2\n%s", first, again)
+	}
+	if seq := chaosFingerprint(t, runChaos(t, 7, 1)); seq != first {
+		t.Errorf("same seed, 1 worker: fingerprint differs from 4 workers\n--- 4w\n%s--- 1w\n%s", first, seq)
+	}
+	if other := chaosFingerprint(t, runChaos(t, 8, 4)); other == first {
+		t.Error("different seeds produced identical fingerprints — faults not actually injected?")
+	}
+}
+
+// TestChaosDeadDeviceDegradesViaBreaker: a device that drops every
+// connection must not fail the run. The client's circuit breaker opens
+// after the failure threshold, live testing degrades with the
+// machine-readable breaker_open reason, and the other pipeline stages
+// still deliver their artifacts.
+func TestChaosDeadDeviceDegradesViaBreaker(t *testing.T) {
+	p := nassim.DeadDeviceProfile()
+	res, err := nassim.Assimilate(context.Background(), nassim.Options{
+		Vendors: []string{"Cisco"}, Scale: 0.02, Workers: 1, LiveTest: true, Chaos: &p})
+	if err != nil {
+		t.Fatalf("dead device must degrade, not fail: %v", err)
+	}
+	asr := res.Results[0]
+	if asr.VDM == nil {
+		t.Fatal("earlier stages lost their artifacts")
+	}
+	if !asr.Degraded() {
+		t.Fatal("run against dead device not marked degraded")
+	}
+	if got := asr.DegradedStages[pipeline.StageLiveTest]; got != empirical.DegradedBreakerOpen {
+		t.Errorf("degraded reason = %q, want %q", got, empirical.DegradedBreakerOpen)
+	}
+	lr := asr.Live
+	if lr == nil || !lr.Degraded || lr.Verified != 0 {
+		t.Errorf("live report: %+v, want degraded with zero verified", lr)
+	}
+}

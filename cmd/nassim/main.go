@@ -513,8 +513,9 @@ func cmdRun(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "on-disk artifact cache directory (warm-starts later processes)")
 	validate := fs.Bool("validate", true, "run empirical configuration validation (Figure 8)")
 	live := fs.Bool("live", false, "live-test unused commands on an in-process simulated device")
+	chaos := fs.Bool("chaos", false, "serve live-test devices over TCP behind the standard fault-injection profile (implies -live)")
 	repeat := fs.Int("repeat", 1, "run the pipeline this many times (>1 exercises the artifact cache)")
-	seed := fs.Uint64("seed", 7, "live-test instantiation seed")
+	seed := fs.Uint64("seed", 7, "live-test instantiation seed (also drives chaos fault schedules)")
 	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
 	fs.Parse(args)
 
@@ -536,7 +537,11 @@ func cmdRun(args []string) error {
 	opts := nassim.Options{
 		Vendors: names, Scale: *scale, Workers: *workers,
 		Cache: nassim.NewPipelineCache(), CacheDir: *cacheDir,
-		Validate: *validate, LiveTest: *live, Seed: *seed, Timer: timer,
+		Validate: *validate, LiveTest: *live || *chaos, Seed: *seed, Timer: timer,
+	}
+	if *chaos {
+		p := nassim.StandardChaosProfile(*seed)
+		opts.Chaos = &p
 	}
 	for round := 1; round <= *repeat; round++ {
 		start := time.Now()
@@ -557,6 +562,11 @@ func cmdRun(args []string) error {
 			}
 			if asr.Live != nil {
 				line += fmt.Sprintf(" live_verified=%d/%d", asr.Live.Verified, asr.Live.Tested)
+			}
+			if asr.Degraded() {
+				for st, reason := range asr.DegradedStages {
+					line += fmt.Sprintf(" DEGRADED[%s=%s]", st, reason)
+				}
 			}
 			fmt.Println(line)
 		}

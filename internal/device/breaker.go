@@ -1,0 +1,152 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"nassim/internal/telemetry"
+)
+
+// ErrBreakerOpen is returned without touching the network when a device's
+// circuit breaker is open: a dead device fast-fails instead of costing a
+// full dial-and-timeout per instance.
+var ErrBreakerOpen = errors.New("device: circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive transport failures open the
+	// breaker. Default 5.
+	FailureThreshold int
+	// OpenFor is the cooldown before an open breaker admits a half-open
+	// probe. Default 5s.
+	OpenFor time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-device circuit breaker. Closed passes every call
+// through; FailureThreshold consecutive failures open it; after OpenFor
+// it admits exactly one half-open probe whose outcome either closes it
+// again or re-opens it for another cooldown. Safe for concurrent use.
+type Breaker struct {
+	cfg  BreakerConfig
+	name string
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	probing  bool
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker; name labels its telemetry gauge.
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults(), name: name}
+	b.exportState()
+	return b
+}
+
+// State returns the breaker's current state (advancing open → half-open
+// when the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. Open (and half-open with a
+// probe already in flight) returns ErrBreakerOpen.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerOpen:
+		return ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+	}
+	return nil
+}
+
+// Record feeds one call outcome back: nil closes a half-open breaker and
+// resets the failure streak; a non-nil transport error extends the streak
+// and opens the breaker at the threshold (a half-open probe failure
+// re-opens immediately).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+		if b.state != BreakerClosed {
+			b.transitionLocked(BreakerClosed)
+		}
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.cfg.FailureThreshold {
+		b.openedAt = b.cfg.Clock()
+		b.transitionLocked(BreakerOpen)
+	}
+}
+
+// advanceLocked moves open → half-open once the cooldown has elapsed.
+func (b *Breaker) advanceLocked() {
+	if b.state == BreakerOpen && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transitionLocked(BreakerHalfOpen)
+	}
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	telemetry.GetCounter("nassim_device_breaker_transitions_total", "to", to.String()).Inc()
+	b.exportState()
+}
+
+func (b *Breaker) exportState() {
+	telemetry.GetGauge("nassim_device_breaker_state", "device", b.name).Set(float64(b.state))
+}

@@ -131,6 +131,11 @@ type Response struct {
 	OK   bool
 	Msg  string   // error message when !OK
 	Data []string // configuration dump for show commands
+	// Depth is the session's view-stack depth after the command, or -1
+	// when unknown (ERR and DATA responses on the wire protocol). The
+	// resilient client uses it to track the enter chain it must replay
+	// when re-establishing a dropped session.
+	Depth int
 }
 
 // Exec executes one CLI line in the session: view navigation (quit /
@@ -140,6 +145,7 @@ type Response struct {
 // commands that enable a sub-view push it onto the view stack.
 func (s *Session) Exec(line string) Response {
 	resp := s.exec(line)
+	resp.Depth = s.Depth()
 	if resp.OK {
 		telExecOK.Inc()
 	} else {

@@ -17,7 +17,11 @@ import (
 //
 //	server greeting:  HELLO <vendor>
 //	client request:   one CLI line
-//	server response:  OK | ERR <message> | DATA <n> followed by n lines
+//	server response:  OK <depth> | ERR <message> | DATA <n> followed by n lines
+//
+// OK responses carry the session's view-stack depth after the command, so
+// a client can track the enter chain it must replay when it reconnects a
+// dropped session (bare "OK" from an older server is also accepted).
 //
 // Each connection gets its own CLI session (its own view stack); the
 // device's configuration store is shared across connections.
@@ -40,10 +44,17 @@ func Serve(dev *Device, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("device: listen: %w", err)
 	}
+	return ServeListener(dev, l), nil
+}
+
+// ServeListener serves the device on an existing listener. It is the
+// injection point for transport decorators — the fault-injection layer
+// (internal/faultnet) wraps a TCP listener and hands it here.
+func ServeListener(dev *Device, l net.Listener) *Server {
 	s := &Server{dev: dev, l: l, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
@@ -95,7 +106,7 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintln(w, line)
 			}
 		case resp.OK:
-			fmt.Fprintln(w, "OK")
+			fmt.Fprintf(w, "OK %d\n", resp.Depth)
 		default:
 			fmt.Fprintf(w, "ERR %s\n", resp.Msg)
 		}
@@ -126,20 +137,55 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ErrProtocol marks a response that violates the wire protocol (garbled
+// status line, bad DATA header, wrong greeting). Protocol violations are
+// transport-level faults — the command may or may not have executed — so
+// the retry layer classifies them as retryable.
+var ErrProtocol = errors.New("protocol violation")
+
+// Transport timeouts applied when the caller supplies no deadline of its
+// own, so a half-open connection can never block an assimilation forever.
+const (
+	// DefaultDialTimeout bounds the TCP connect plus greeting exchange.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultExchangeTimeout bounds one request/response exchange.
+	DefaultExchangeTimeout = 30 * time.Second
+)
+
 // Client is a CLI session against a remote simulated device.
 type Client struct {
 	conn   net.Conn
 	r      *bufio.Reader
 	vendor string
+	// ioTimeout is the per-exchange read/write deadline applied when the
+	// caller's context carries no deadline (DefaultExchangeTimeout unless
+	// overridden by SetIOTimeout).
+	ioTimeout time.Duration
 }
 
 // Dial connects to a device server and consumes the greeting.
+//
+// Deprecated: use DialContext, which bounds the connect and greeting
+// exchange; Dial keeps working with the default timeouts.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a device server and consumes the greeting. The
+// context's deadline and cancellation bound the TCP connect and the
+// greeting read; without a deadline, DefaultDialTimeout applies.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	d := net.Dialer{Timeout: DefaultDialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("device: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	greetDeadline := time.Now().Add(DefaultDialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(greetDeadline) {
+		greetDeadline = d
+	}
+	conn.SetDeadline(greetDeadline)
+	c := &Client{conn: conn, r: bufio.NewReader(conn), ioTimeout: DefaultExchangeTimeout}
 	greeting, err := c.readLine()
 	if err != nil {
 		conn.Close()
@@ -147,11 +193,16 @@ func Dial(addr string) (*Client, error) {
 	}
 	if !strings.HasPrefix(greeting, "HELLO ") {
 		conn.Close()
-		return nil, fmt.Errorf("device: unexpected greeting %q", greeting)
+		return nil, fmt.Errorf("device: unexpected greeting %q: %w", greeting, ErrProtocol)
 	}
+	conn.SetDeadline(time.Time{})
 	c.vendor = strings.TrimPrefix(greeting, "HELLO ")
 	return c, nil
 }
+
+// SetIOTimeout overrides the per-exchange deadline applied when no
+// context deadline is in force (0 disables the safety net).
+func (c *Client) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
 
 // Vendor returns the vendor announced by the device.
 func (c *Client) Vendor() string { return c.vendor }
@@ -167,22 +218,39 @@ func (c *Client) readLine() (string, error) {
 // ExecContext is Exec honoring the context's deadline and cancellation:
 // the context's deadline (when set) is pushed onto the connection before
 // the exchange, so a session run under a timed-out assimilation aborts in
-// the transport instead of blocking on a dead device.
+// the transport instead of blocking on a dead device. Without a context
+// deadline the client's per-exchange ioTimeout applies.
 func (c *Client) ExecContext(ctx context.Context, line string) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
-	if deadline, ok := ctx.Deadline(); ok {
+	deadline, ok := ctx.Deadline()
+	if !ok && c.ioTimeout > 0 {
+		deadline, ok = time.Now().Add(c.ioTimeout), true
+	}
+	if ok {
 		if err := c.conn.SetDeadline(deadline); err != nil {
 			return Response{}, fmt.Errorf("device: set deadline: %w", err)
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	return c.Exec(line)
+	return c.exec(line)
 }
 
-// Exec sends one CLI line and decodes the response.
+// Exec sends one CLI line and decodes the response, bounded by the
+// client's per-exchange deadline so a half-open connection fails instead
+// of blocking forever.
 func (c *Client) Exec(line string) (Response, error) {
+	if c.ioTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return Response{}, fmt.Errorf("device: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	return c.exec(line)
+}
+
+func (c *Client) exec(line string) (Response, error) {
 	if strings.ContainsAny(line, "\r\n") {
 		return Response{}, errors.New("device: CLI line must not contain newlines")
 	}
@@ -195,13 +263,19 @@ func (c *Client) Exec(line string) (Response, error) {
 	}
 	switch {
 	case status == "OK":
-		return Response{OK: true}, nil
+		return Response{OK: true, Depth: -1}, nil
+	case strings.HasPrefix(status, "OK "):
+		d, err := strconv.Atoi(strings.TrimPrefix(status, "OK "))
+		if err != nil || d < 0 {
+			return Response{}, fmt.Errorf("device: bad OK depth %q: %w", status, ErrProtocol)
+		}
+		return Response{OK: true, Depth: d}, nil
 	case strings.HasPrefix(status, "ERR "):
-		return Response{OK: false, Msg: strings.TrimPrefix(status, "ERR ")}, nil
+		return Response{OK: false, Msg: strings.TrimPrefix(status, "ERR "), Depth: -1}, nil
 	case strings.HasPrefix(status, "DATA "):
 		n, err := strconv.Atoi(strings.TrimPrefix(status, "DATA "))
 		if err != nil || n < 0 {
-			return Response{}, fmt.Errorf("device: bad DATA header %q", status)
+			return Response{}, fmt.Errorf("device: bad DATA header %q: %w", status, ErrProtocol)
 		}
 		data := make([]string, 0, n)
 		for i := 0; i < n; i++ {
@@ -211,9 +285,9 @@ func (c *Client) Exec(line string) (Response, error) {
 			}
 			data = append(data, line)
 		}
-		return Response{OK: true, Data: data}, nil
+		return Response{OK: true, Data: data, Depth: -1}, nil
 	}
-	return Response{}, fmt.Errorf("device: unexpected status %q", status)
+	return Response{}, fmt.Errorf("device: unexpected status %q: %w", status, ErrProtocol)
 }
 
 // Close terminates the session.

@@ -65,7 +65,8 @@ func TestProtocolGreetingAndFraming(t *testing.T) {
 	}
 	fmt.Fprintln(conn, inst)
 	resp, _ = r.ReadString('\n')
-	if strings.TrimSpace(resp) != "OK" {
+	// OK responses carry the view-stack depth after the command.
+	if !strings.HasPrefix(strings.TrimSpace(resp), "OK ") {
 		t.Fatalf("resp = %q for %q", resp, inst)
 	}
 	// Show -> DATA n + n lines.

@@ -1,0 +1,130 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"os"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy tunes the resilient client's per-exchange retries:
+// exponential backoff with jitter, a per-attempt transport deadline, and
+// a lifetime retry budget so a persistently flaky device cannot stretch
+// an assimilation unboundedly.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per exchange (the first
+	// attempt plus retries). Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it up to MaxDelay. Defaults 10ms / 1s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter randomizes each backoff by ±Jitter fraction (default 0.2),
+	// drawn from the client's seeded stream so runs stay deterministic.
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt (dial or exchange)
+	// when the caller's context has no sooner deadline. Default 2s.
+	AttemptTimeout time.Duration
+	// Budget is the lifetime retry allowance of one client; once spent,
+	// failures surface immediately. Default 64; negative is unlimited.
+	Budget int
+}
+
+// DefaultRetryPolicy returns the retry policy the resilient client uses
+// when the caller leaves Retry zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    4,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       time.Second,
+		Jitter:         0.2,
+		AttemptTimeout: 2 * time.Second,
+		Budget:         64,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = def.Jitter
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = def.AttemptTimeout
+	}
+	if p.Budget == 0 {
+		p.Budget = def.Budget
+	}
+	return p
+}
+
+// backoff returns the delay before retry number attempt (1-based), with
+// deterministic jitter drawn from rng.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+	}
+	return d
+}
+
+// Retryable classifies an exchange error: true means the failure is a
+// transient transport fault (reset, timeout, EOF, protocol garble) worth
+// retrying on a fresh connection; false means retrying cannot help —
+// the caller cancelled, the circuit breaker is open, or the error is
+// semantic (an ERR response is not an error at all).
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrBreakerOpen):
+		return false
+	case errors.Is(err, ErrProtocol):
+		return true
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return true
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE), errors.Is(err, net.ErrClosed):
+		return true
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// sleepCtx sleeps for d unless ctx ends first, returning the context's
+// error in that case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

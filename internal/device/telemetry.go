@@ -9,11 +9,23 @@ var (
 	telConns    = telemetry.GetCounter("nassim_device_connections_total")
 	telExecOK   = telemetry.GetCounter("nassim_device_exec_total", "result", "ok")
 	telExecFail = telemetry.GetCounter("nassim_device_exec_total", "result", "error")
+	telRetries  = telemetry.GetCounter("nassim_device_retries_total")
+	telReplays  = telemetry.GetCounter("nassim_device_session_replays_total")
 )
+
+// telExecAttempt resolves the per-attempt latency histogram by outcome.
+func telExecAttempt(outcome string) *telemetry.Histogram {
+	return telemetry.GetHistogram("nassim_device_exec_attempt_seconds", nil, "outcome", outcome)
+}
 
 func init() {
 	reg := telemetry.Default()
 	reg.SetHelp("nassim_device_sessions_opened_total", "CLI sessions opened on simulated devices.")
 	reg.SetHelp("nassim_device_connections_total", "TCP connections accepted by device servers.")
 	reg.SetHelp("nassim_device_exec_total", "CLI lines executed by device sessions, by outcome.")
+	reg.SetHelp("nassim_device_retries_total", "Exchange retries performed by resilient clients.")
+	reg.SetHelp("nassim_device_session_replays_total", "View-stack replays after a resilient reconnect.")
+	reg.SetHelp("nassim_device_exec_attempt_seconds", "Latency of individual exchange attempts, by outcome.")
+	reg.SetHelp("nassim_device_breaker_state", "Circuit-breaker state per device (0 closed, 1 open, 2 half-open).")
+	reg.SetHelp("nassim_device_breaker_transitions_total", "Circuit-breaker state transitions, by target state.")
 }

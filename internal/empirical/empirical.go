@@ -11,6 +11,7 @@ package empirical
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"strings"
@@ -30,6 +31,7 @@ func init() {
 	reg.SetHelp("nassim_empirical_lines_total", "Configuration lines checked, by match outcome.")
 	reg.SetHelp("nassim_empirical_validate_seconds", "Wall time of one ValidateConfigs run.")
 	reg.SetHelp("nassim_empirical_live_instances_total", "Generated instances issued to a live device, by outcome.")
+	reg.SetHelp("nassim_live_degraded_total", "Live-testing runs that degraded instead of completing, by reason.")
 }
 
 // Failure records one configuration line the workflow could not validate,
@@ -214,6 +216,18 @@ type LiveResult struct {
 	Err      string
 }
 
+// Machine-readable reasons a live-testing run degraded instead of
+// completing. They are stable strings: operators key alerts on them and
+// the pipeline surfaces them per stage.
+const (
+	// DegradedBreakerOpen: the device's circuit breaker opened — the
+	// endpoint is effectively down and further exchanges would fast-fail.
+	DegradedBreakerOpen = "breaker_open"
+	// DegradedExchangeBudget: transport failures exceeded the run's
+	// failure budget; the partial report covers what completed.
+	DegradedExchangeBudget = "exchange_budget_exhausted"
+)
+
 // LiveReport summarizes a generated-instance testing run (§5.3).
 type LiveReport struct {
 	Tested   int
@@ -223,7 +237,42 @@ type LiveReport struct {
 	// NewConfigLines are the verified instances: per the paper they become
 	// empirical configurations for the next round of Figure 8 validation.
 	NewConfigLines []string
+
+	// Degraded marks a run that stopped early because the device transport
+	// kept failing. The counts above cover the commands actually exercised;
+	// DegradedReason says why the run stopped (one of the Degraded*
+	// constants) and ExchangeFailures counts the transport errors absorbed.
+	Degraded         bool
+	DegradedReason   string
+	ExchangeFailures int
 }
+
+// DegradedArtifact reports whether the run degraded and why — the
+// pipeline's Degradable interface, which keeps partial live reports out
+// of the artifact cache.
+func (r *LiveReport) DegradedArtifact() (reason string, degraded bool) {
+	return r.DegradedReason, r.Degraded
+}
+
+// LiveOptions tunes TestUnusedCommandsOpts. The zero value matches the
+// historical defaults.
+type LiveOptions struct {
+	// PathsPerCommand bounds the CGM paths instantiated per unused command
+	// (minimum 1).
+	PathsPerCommand int
+	// Seed drives parameter-value instantiation.
+	Seed uint64
+	// FailureBudget is the number of transport failures tolerated before
+	// the run degrades (returns a partial report with Degraded set) instead
+	// of erroring. 0 takes DefaultFailureBudget; negative disables
+	// degradation — the first transport failure is returned as an error,
+	// the pre-budget behavior.
+	FailureBudget int
+}
+
+// DefaultFailureBudget is the transport-failure budget applied when
+// LiveOptions.FailureBudget is zero.
+const DefaultFailureBudget = 16
 
 // Executor issues one CLI line to a device and reports the outcome; it is
 // satisfied by *device.Client (over TCP) and by sessionExecutor below.
@@ -330,22 +379,67 @@ func InstantiatePath(path []cgm.PathElem, r *rand.Rand) string {
 }
 
 // TestUnusedCommands exercises every corpus not covered by the empirical
-// configurations (§5.3): enumerate up to pathsPerCommand CGM paths,
-// instantiate them, navigate the device into one of the command's working
-// views, issue the instance, and verify it by re-reading the running
-// configuration with showCmd. Verified instances are returned as new
-// empirical configuration lines for the next Figure 8 round. Cancellation
-// via ctx is honored between commands and, when the executor implements
-// ContextExecutor, inside each device exchange.
+// configurations (§5.3) with the pre-budget error semantics: the first
+// transport failure aborts the run with an error. New callers should use
+// TestUnusedCommandsOpts, which degrades gracefully on flaky devices.
 func TestUnusedCommands(ctx context.Context, v *vdm.VDM, used map[int]bool, exec Executor, showCmd string,
 	pathsPerCommand int, seed uint64) (*LiveReport, error) {
-	if pathsPerCommand <= 0 {
-		pathsPerCommand = 1
+	return TestUnusedCommandsOpts(ctx, v, used, exec, showCmd, LiveOptions{
+		PathsPerCommand: pathsPerCommand, Seed: seed, FailureBudget: -1})
+}
+
+// TestUnusedCommandsOpts exercises every corpus not covered by the
+// empirical configurations (§5.3): enumerate up to PathsPerCommand CGM
+// paths, instantiate them, navigate the device into one of the command's
+// working views, issue the instance, and verify it by re-reading the
+// running configuration with showCmd. Verified instances are returned as
+// new empirical configuration lines for the next Figure 8 round.
+//
+// Transport failures (dropped connections, timeouts, protocol garbage —
+// anything the executor returns as an error) are absorbed up to the
+// options' FailureBudget: the affected instance is recorded as failed and
+// the run moves on. When the budget is exhausted, or the executor reports
+// an open circuit breaker, the run stops and returns the partial report
+// with Degraded set and a machine-readable DegradedReason — not an error,
+// so callers keep the coverage the run did achieve. Cancellation via ctx
+// is still an error, honored between commands and, when the executor
+// implements ContextExecutor, inside each device exchange.
+func TestUnusedCommandsOpts(ctx context.Context, v *vdm.VDM, used map[int]bool, exec Executor, showCmd string,
+	opts LiveOptions) (*LiveReport, error) {
+	if opts.PathsPerCommand <= 0 {
+		opts.PathsPerCommand = 1
+	}
+	budget := opts.FailureBudget
+	if budget == 0 {
+		budget = DefaultFailureBudget
 	}
 	ctx, span := telemetry.Span(ctx, "validate.live", "vendor", v.Vendor)
 	defer span.End()
-	r := rand.New(rand.NewPCG(seed, 0x11fe))
+	r := rand.New(rand.NewPCG(opts.Seed, 0x11fe))
 	rep := &LiveReport{}
+	// absorb classifies one transport failure: hard error (cancellation or
+	// a disabled budget) aborts the run, an open breaker or an exhausted
+	// budget degrades it, anything else is tolerated and the caller skips
+	// to the next instance.
+	absorb := func(err error) (stop bool, hard error) {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return true, ctxErr
+		}
+		if budget < 0 {
+			return true, err
+		}
+		rep.ExchangeFailures++
+		if errors.Is(err, device.ErrBreakerOpen) {
+			rep.Degraded, rep.DegradedReason = true, DegradedBreakerOpen
+			return true, nil
+		}
+		if rep.ExchangeFailures >= budget {
+			rep.Degraded, rep.DegradedReason = true, DegradedExchangeBudget
+			return true, nil
+		}
+		return false, nil
+	}
+corpora:
 	for i := range v.Corpora {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -366,57 +460,86 @@ func TestUnusedCommands(ctx context.Context, v *vdm.VDM, used map[int]bool, exec
 			rep.Results = append(rep.Results, LiveResult{Corpus: i, Err: err.Error()})
 			continue
 		}
-		for _, path := range g.Paths(pathsPerCommand) {
+		for _, path := range g.Paths(opts.PathsPerCommand) {
 			inst := InstantiatePath(path, r)
 			rep.Tested++
 			res := LiveResult{Corpus: i, Instance: inst}
-			if _, err := execCtx(ctx, exec, "return"); err != nil {
-				return nil, err
-			}
-			failed := false
-			for _, line := range chain {
-				resp, err := execCtx(ctx, exec, line)
-				if err != nil {
-					return nil, err
-				}
-				if !resp.OK {
-					res.Err = "navigation rejected: " + resp.Msg
-					failed = true
-					break
-				}
-			}
-			if !failed {
-				resp, err := execCtx(ctx, exec, inst)
-				if err != nil {
-					return nil, err
-				}
-				if resp.OK {
-					res.Accepted = true
-					rep.Accepted++
-					show, err := execCtx(ctx, exec, showCmd)
-					if err != nil {
-						return nil, err
-					}
-					for _, line := range show.Data {
-						if strings.TrimSpace(line) == inst {
-							res.Verified = true
-							rep.Verified++
-							rep.NewConfigLines = append(rep.NewConfigLines, inst)
-							break
-						}
-					}
-				} else {
-					res.Err = resp.Msg
-				}
-			}
+			stop, hard := runInstance(ctx, exec, chain, inst, showCmd, &res, rep, absorb)
 			rep.Results = append(rep.Results, res)
+			if hard != nil {
+				return nil, hard
+			}
+			if stop {
+				break corpora
+			}
 		}
 	}
 	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "accepted").Add(int64(rep.Accepted))
 	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "rejected").
 		Add(int64(rep.Tested - rep.Accepted))
 	telemetry.GetCounter("nassim_empirical_live_instances_total", "result", "verified").Add(int64(rep.Verified))
+	if rep.Degraded {
+		telemetry.GetCounter("nassim_live_degraded_total", "reason", rep.DegradedReason).Inc()
+		telemetry.Logger(telemetry.ComponentEmpirical).Warn("live testing degraded",
+			"vendor", v.Vendor, "reason", rep.DegradedReason,
+			"exchange_failures", rep.ExchangeFailures, "tested", rep.Tested)
+	}
 	telemetry.Logger(telemetry.ComponentEmpirical).Debug("live-tested unused commands",
 		"vendor", v.Vendor, "tested", rep.Tested, "accepted", rep.Accepted, "verified", rep.Verified)
 	return rep, nil
+}
+
+// runInstance exercises one generated instance: reset to the root view,
+// replay the enter chain, issue the instance, verify via the show command.
+// Semantic rejections are recorded in res and end the instance; transport
+// failures go through absorb, whose verdict is propagated — stop ends the
+// whole run (degradation), hard aborts it with an error, and neither
+// means the instance is skipped and the run continues.
+func runInstance(ctx context.Context, exec Executor, chain []string, inst, showCmd string,
+	res *LiveResult, rep *LiveReport, absorb func(error) (bool, error)) (stop bool, hard error) {
+	exchange := func(line string) (device.Response, bool) {
+		resp, err := execCtx(ctx, exec, line)
+		if err == nil {
+			return resp, true
+		}
+		res.Err = err.Error()
+		stop, hard = absorb(err)
+		return device.Response{}, false
+	}
+	if _, ok := exchange("return"); !ok {
+		return stop, hard
+	}
+	for _, line := range chain {
+		resp, ok := exchange(line)
+		if !ok {
+			return stop, hard
+		}
+		if !resp.OK {
+			res.Err = "navigation rejected: " + resp.Msg
+			return false, nil
+		}
+	}
+	resp, ok := exchange(inst)
+	if !ok {
+		return stop, hard
+	}
+	if !resp.OK {
+		res.Err = resp.Msg
+		return false, nil
+	}
+	res.Accepted = true
+	rep.Accepted++
+	show, ok := exchange(showCmd)
+	if !ok {
+		return stop, hard
+	}
+	for _, line := range show.Data {
+		if strings.TrimSpace(line) == inst {
+			res.Verified = true
+			rep.Verified++
+			rep.NewConfigLines = append(rep.NewConfigLines, inst)
+			break
+		}
+	}
+	return false, nil
 }

@@ -2,6 +2,7 @@ package empirical
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -305,5 +306,105 @@ func TestEnterChainErrors(t *testing.T) {
 			}
 			break
 		}
+	}
+}
+
+// flakyExec wraps an executor, injecting a transport error per the fail
+// callback (keyed by 1-based call number).
+type flakyExec struct {
+	inner Executor
+	fail  func(call int) error
+	calls int
+}
+
+func (f *flakyExec) Exec(line string) (device.Response, error) {
+	f.calls++
+	if err := f.fail(f.calls); err != nil {
+		return device.Response{}, err
+	}
+	return f.inner.Exec(line)
+}
+
+func liveFixture(t *testing.T) (*vdm.VDM, Executor, string) {
+	t.Helper()
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Cisco).Scaled(0.02))
+	v := buildVDM(t, m)
+	dev, err := device.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, SessionExecutor(dev.NewSession()), dev.ShowConfigCommand()
+}
+
+func TestLiveDegradesOnBudgetExhaustion(t *testing.T) {
+	v, exec, show := liveFixture(t)
+	broken := &flakyExec{inner: exec, fail: func(int) error { return errors.New("connection reset") }}
+	rep, err := TestUnusedCommandsOpts(context.Background(), v, map[int]bool{}, broken, show,
+		LiveOptions{FailureBudget: 3})
+	if err != nil {
+		t.Fatalf("degradation surfaced as an error: %v", err)
+	}
+	if !rep.Degraded || rep.DegradedReason != DegradedExchangeBudget {
+		t.Fatalf("rep = %+v, want degraded with reason %s", rep, DegradedExchangeBudget)
+	}
+	if rep.ExchangeFailures != 3 {
+		t.Fatalf("exchange failures = %d, want the budget of 3", rep.ExchangeFailures)
+	}
+}
+
+func TestLiveDegradesOnOpenBreaker(t *testing.T) {
+	v, exec, show := liveFixture(t)
+	dead := &flakyExec{inner: exec, fail: func(int) error { return device.ErrBreakerOpen }}
+	rep, err := TestUnusedCommandsOpts(context.Background(), v, map[int]bool{}, dead, show, LiveOptions{})
+	if err != nil {
+		t.Fatalf("open breaker surfaced as an error: %v", err)
+	}
+	if !rep.Degraded || rep.DegradedReason != DegradedBreakerOpen {
+		t.Fatalf("rep = %+v, want degraded with reason %s", rep, DegradedBreakerOpen)
+	}
+	if rep.ExchangeFailures != 1 {
+		t.Fatalf("exchange failures = %d, want fast degradation on the first fast-fail", rep.ExchangeFailures)
+	}
+}
+
+func TestLiveToleratesFailuresWithinBudget(t *testing.T) {
+	v, exec, show := liveFixture(t)
+	// Two early transport failures, then a healthy device: the run must
+	// complete undegraded with the failures absorbed.
+	flaky := &flakyExec{inner: exec, fail: func(call int) error {
+		if call == 2 || call == 5 {
+			return errors.New("i/o timeout")
+		}
+		return nil
+	}}
+	rep, err := TestUnusedCommandsOpts(context.Background(), v, map[int]bool{}, flaky, show, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("degraded (%s) despite failures within budget", rep.DegradedReason)
+	}
+	if rep.ExchangeFailures != 2 {
+		t.Fatalf("exchange failures = %d, want 2", rep.ExchangeFailures)
+	}
+	if rep.Verified == 0 {
+		t.Fatal("nothing verified despite a mostly-healthy device")
+	}
+}
+
+func TestLiveLegacyEntryPointStillErrors(t *testing.T) {
+	v, exec, show := liveFixture(t)
+	broken := &flakyExec{inner: exec, fail: func(int) error { return errors.New("connection reset") }}
+	if _, err := TestUnusedCommands(context.Background(), v, map[int]bool{}, broken, show, 1, 3); err == nil {
+		t.Fatal("legacy entry point absorbed a transport failure")
+	}
+}
+
+func TestLiveCancellationIsNotDegradation(t *testing.T) {
+	v, exec, show := liveFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TestUnusedCommandsOpts(ctx, v, map[int]bool{}, exec, show, LiveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,209 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections through the wrapped listener and echoes
+// one line per read, exercising the injected write path.
+func echoServer(t *testing.T, p Profile) (*Listener, string) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, p)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		wg.Wait()
+	})
+	return l, l.Addr().String()
+}
+
+func TestTransparentWhenZeroProfile(t *testing.T) {
+	_, addr := echoServer(t, Profile{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "ping\n" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+}
+
+func TestDeadProfileDropsEveryConn(t *testing.T) {
+	l, addr := echoServer(t, Profile{Dead: true})
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+			t.Fatalf("conn %d: read err = %v, want EOF", i, err)
+		}
+		conn.Close()
+	}
+	if s := l.Stats(); s.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", s.Dropped)
+	}
+}
+
+func TestFlapWindowDropsExactlyItsConns(t *testing.T) {
+	l, addr := echoServer(t, Profile{FlapAfter: 2, FlapCount: 2})
+	alive := 0
+	for i := 0; i < 6; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Write([]byte("x\n")); err == nil {
+			if _, err := conn.Read(make([]byte, 8)); err == nil {
+				alive++
+			}
+		}
+		conn.Close()
+	}
+	if alive != 4 {
+		t.Fatalf("alive conns = %d, want 4 (flap window drops conns 2 and 3)", alive)
+	}
+	if s := l.Stats(); s.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", s.Dropped)
+	}
+}
+
+// faultSchedule records which writes on one conn fail, by round-tripping
+// lines until the conn dies.
+func faultSchedule(t *testing.T, p Profile, rounds int) []bool {
+	t.Helper()
+	_, addr := echoServer(t, p)
+	var outcomes []bool
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { conn.Close() }() // conn is reassigned on reconnect
+	for i := 0; i < rounds; i++ {
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		ok := false
+		if _, err := conn.Write([]byte("ping\n")); err == nil {
+			buf := make([]byte, 16)
+			if n, err := conn.Read(buf); err == nil && string(buf[:n]) == "ping\n" {
+				ok = true
+			}
+		}
+		outcomes = append(outcomes, ok)
+		if !ok {
+			// Reconnect: a reset kills the conn for good.
+			conn.Close()
+			conn, err = net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return outcomes
+}
+
+func TestSameSeedSameFaultSchedule(t *testing.T) {
+	p := Profile{Seed: 42, ResetRate: 0.3}
+	a := faultSchedule(t, p, 20)
+	b := faultSchedule(t, p, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at exchange %d: %v vs %v", i, a, b)
+		}
+	}
+	failed := 0
+	for _, ok := range a {
+		if !ok {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("30% reset rate over 20 exchanges injected nothing")
+	}
+}
+
+func TestGarbleCorruptsStatusLine(t *testing.T) {
+	// GarbleRate 1: every response line is overwritten with '#'.
+	l, addr := echoServer(t, Profile{Seed: 1, GarbleRate: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "#####\n" {
+		t.Fatalf("garbled echo = %q", buf[:n])
+	}
+	if s := l.Stats(); s.Garbled == 0 {
+		t.Fatal("no garbles recorded")
+	}
+}
+
+func TestLatencySpikeDelaysResponse(t *testing.T) {
+	_, addr := echoServer(t, Profile{Seed: 1, LatencyRate: 1, Latency: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 50ms spike", d)
+	}
+}

@@ -58,6 +58,28 @@ func init() {
 	reg.SetHelp("nassim_pipeline_stage_total", "Pipeline stage executions, by stage and outcome (run, cache_hit).")
 	reg.SetHelp("nassim_pipeline_stage_seconds", "Wall time of executed (non-cached) pipeline stages.")
 	reg.SetHelp("nassim_pipeline_jobs_total", "Per-vendor pipeline jobs, by result (ok, error).")
+	reg.SetHelp("nassim_pipeline_stage_retries_total", "Pipeline stage re-executions after a failed attempt, by stage.")
+	reg.SetHelp("nassim_pipeline_degraded_stages_total", "Pipeline stages that produced a degraded artifact, by stage.")
+}
+
+// Degradable is implemented by stage artifacts that can represent a
+// partial result produced under failure (e.g. *empirical.LiveReport when
+// the device's transport failure budget ran out). The engine returns a
+// degraded artifact to the caller but never caches it: a cached degraded
+// artifact would pin the failure long after the fault that caused it has
+// cleared.
+type Degradable interface {
+	// DegradedArtifact returns a machine-readable reason and whether the
+	// artifact is degraded.
+	DegradedArtifact() (reason string, degraded bool)
+}
+
+// StageRetry is the per-stage retry policy for failed stage executions.
+type StageRetry struct {
+	// Attempts is the total number of executions allowed (minimum 1).
+	Attempts int
+	// Backoff is the fixed wait between attempts.
+	Backoff time.Duration
 }
 
 // Correction is one expert fix of a flagged CLI template (§5.1).
@@ -147,6 +169,13 @@ type Job struct {
 	ShowCmd         string
 	PathsPerCommand int
 	Seed            uint64
+	// LiveFailureBudget is the transport-failure budget of the LiveTest
+	// stage: once exceeded (or when the device's circuit breaker opens)
+	// the stage yields a partial LiveReport marked Degraded instead of
+	// failing the job. 0 takes empirical.DefaultFailureBudget; negative
+	// restores the pre-budget behavior where the first transport failure
+	// errors the job.
+	LiveFailureBudget int
 	// Map enables the MapToUDM stage.
 	Map *MapSpec
 }
@@ -172,7 +201,14 @@ type JobResult struct {
 	// and which were satisfied from the artifact store.
 	Ran     []Stage
 	Skipped []Stage
+	// DegradedStages maps each stage that produced a degraded (partial)
+	// artifact to its machine-readable reason. Degraded artifacts are
+	// returned in the fields above but never cached.
+	DegradedStages map[Stage]string
 }
+
+// Degraded reports whether any stage produced a degraded artifact.
+func (jr *JobResult) Degraded() bool { return len(jr.DegradedStages) > 0 }
 
 // RunStats aggregates stage outcomes over one engine run.
 type RunStats struct {
@@ -223,6 +259,12 @@ type Config struct {
 	// Timer, when set, accumulates per-stage wall time of executed stages
 	// (cache hits are not observed — skipped work is skipped).
 	Timer *telemetry.StageTimer
+	// StageRetries re-executes listed stages after a failed attempt.
+	// Cancellation is never retried, and a degraded artifact is a success
+	// (the stage absorbed its failures); retries fire only on hard stage
+	// errors, e.g. live testing against a device whose transport keeps
+	// failing with degradation disabled.
+	StageRetries map[Stage]StageRetry
 }
 
 // Engine runs assimilation jobs through the staged pipeline.
@@ -231,11 +273,18 @@ type Engine struct {
 	disk    *DiskStore
 	workers int
 	timer   *telemetry.StageTimer
+	retries map[Stage]StageRetry
 }
 
 // New builds an engine from a config.
 func New(cfg Config) (*Engine, error) {
 	e := &Engine{store: cfg.Store, workers: cfg.Workers, timer: cfg.Timer}
+	if len(cfg.StageRetries) > 0 {
+		e.retries = make(map[Stage]StageRetry, len(cfg.StageRetries))
+		for k, v := range cfg.StageRetries {
+			e.retries[k] = v
+		}
+	}
 	if e.store == nil {
 		e.store = NewMemStore()
 	}
@@ -377,8 +426,12 @@ var deriveCodec = &codec[*deriveArtifact]{
 // runStage executes one stage unless its artifact is already cached. The
 // wrapper checks the context at the stage boundary, consults the memory
 // store then the disk mirror, and on a live run wraps fn in a telemetry
-// span, observes the stage timer/histogram, and records the artifact. An
-// artifact produced under a cancelled context is discarded, never cached.
+// span, observes the stage timer/histogram, and records the artifact.
+// Failed attempts are re-executed per the engine's per-stage retry
+// policy (cancellation is never retried). An artifact produced under a
+// cancelled context is discarded, and a Degradable artifact reporting
+// degradation is returned but never cached — the next run with the same
+// key re-executes the stage against a hopefully-recovered device.
 func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 	key string, disk *codec[T], fn func(context.Context) (T, error)) (T, error) {
 	var zero T
@@ -400,20 +453,59 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 			}
 		}
 	}
-	sctx, span := telemetry.Span(ctx, "pipeline."+string(stage), "vendor", jr.Vendor)
-	start := time.Now()
-	t, err := fn(sctx)
-	elapsed := time.Since(start)
-	span.End()
-	if err == nil {
-		// Stages return partial output when cancelled mid-loop; surface
-		// the cancellation instead of caching a truncated artifact.
-		err = ctx.Err()
+	attempts := e.retries[stage].Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var t T
+	var err error
+	var elapsed time.Duration
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			telemetry.GetCounter("nassim_pipeline_stage_retries_total", "stage", string(stage)).Inc()
+			if backoff := e.retries[stage].Backoff; backoff > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(backoff):
+				}
+			}
+		}
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		sctx, span := telemetry.Span(ctx, "pipeline."+string(stage), "vendor", jr.Vendor)
+		start := time.Now()
+		t, err = fn(sctx)
+		elapsed = time.Since(start)
+		span.End()
+		if err == nil {
+			// Stages return partial output when cancelled mid-loop; surface
+			// the cancellation instead of caching a truncated artifact.
+			err = ctx.Err()
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
 	}
 	if err != nil {
 		return zero, fmt.Errorf("pipeline: %s/%s: %w", jr.Vendor, stage, err)
 	}
 	e.noteRun(jr, stage, elapsed)
+	if d, ok := any(t).(Degradable); ok {
+		if reason, degraded := d.DegradedArtifact(); degraded {
+			if jr.DegradedStages == nil {
+				jr.DegradedStages = map[Stage]string{}
+			}
+			jr.DegradedStages[stage] = reason
+			telemetry.GetCounter("nassim_pipeline_degraded_stages_total", "stage", string(stage)).Inc()
+			telemetry.Logger("pipeline").Warn("stage degraded; artifact not cached",
+				"vendor", jr.Vendor, "stage", string(stage), "reason", reason)
+			return t, nil
+		}
+	}
 	e.store.Put(key, t)
 	if disk != nil && e.disk != nil {
 		if data, err := disk.enc(t); err == nil {
@@ -533,10 +625,13 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 			usedKey = hashUsed(used)
 		}
 		liveKey := Key(StageLiveTest, deriveKey, usedKey, job.ShowCmd,
-			strconv.Itoa(paths), strconv.FormatUint(job.Seed, 10))
+			strconv.Itoa(paths), strconv.FormatUint(job.Seed, 10),
+			strconv.Itoa(job.LiveFailureBudget))
 		live, err := runStage(ctx, e, jr, StageLiveTest, liveKey, nil,
 			func(ctx context.Context) (*empirical.LiveReport, error) {
-				return empirical.TestUnusedCommands(ctx, da.VDM, used, job.Exec, job.ShowCmd, paths, job.Seed)
+				return empirical.TestUnusedCommandsOpts(ctx, da.VDM, used, job.Exec, job.ShowCmd,
+					empirical.LiveOptions{PathsPerCommand: paths, Seed: job.Seed,
+						FailureBudget: job.LiveFailureBudget})
 			})
 		if err != nil {
 			return nil, err

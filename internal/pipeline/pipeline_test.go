@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"nassim/internal/device"
 	"nassim/internal/devmodel"
+	"nassim/internal/empirical"
 	"nassim/internal/manualgen"
 	"nassim/internal/parser"
 	"nassim/internal/vdm"
@@ -259,5 +261,137 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.StageRuns[StageParse] != 2 || s.StageSkips[StageSyntaxValidate] != 1 {
 		t.Errorf("per-stage counts: %+v", s)
+	}
+}
+
+// switchExec injects transport failures: every call while broken, plus
+// the first failFirst calls regardless.
+type switchExec struct {
+	inner     empirical.Executor
+	broken    bool
+	failFirst int
+	calls     int
+	fails     int
+}
+
+func (s *switchExec) Exec(line string) (device.Response, error) {
+	s.calls++
+	if s.broken || s.calls <= s.failFirst {
+		s.fails++
+		return device.Response{}, errors.New("connection reset by peer")
+	}
+	return s.inner.Exec(line)
+}
+
+// liveJob extends a testJob with a live-testing device whose transport
+// the test can break and heal.
+func liveJob(t *testing.T, v devmodel.Vendor) (Job, *switchExec) {
+	t.Helper()
+	job, m := testJob(t, v, 0.02)
+	dev, err := device.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := &switchExec{inner: empirical.SessionExecutor(dev.NewSession())}
+	job.Exec = sw
+	job.ShowCmd = dev.ShowConfigCommand()
+	job.Seed = 7
+	return job, sw
+}
+
+// TestEngineDoesNotCacheDegradedLiveArtifact is the regression test for
+// degraded-artifact caching: a live_test run degraded by a flaky device
+// must not satisfy the next run from the cache — once the device heals,
+// the stage re-executes and only then is its (complete) artifact cached.
+func TestEngineDoesNotCacheDegradedLiveArtifact(t *testing.T) {
+	job, sw := liveJob(t, devmodel.H3C)
+	sw.broken = true
+	eng, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatalf("degraded live stage failed the job: %v", err)
+	}
+	if first[0].Live == nil || !first[0].Live.Degraded {
+		t.Fatalf("live report = %+v, want degraded", first[0].Live)
+	}
+	if !first[0].Degraded() || first[0].DegradedStages[StageLiveTest] != empirical.DegradedExchangeBudget {
+		t.Fatalf("degraded stages = %v", first[0].DegradedStages)
+	}
+
+	// Device heals: the stage must re-execute, not replay the degraded
+	// artifact from the cache.
+	sw.broken = false
+	second, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranLive := false
+	for _, st := range second[0].Ran {
+		if st == StageLiveTest {
+			ranLive = true
+		}
+	}
+	if !ranLive {
+		t.Fatalf("healed run served live_test from cache (ran=%v skipped=%v): degraded artifact was cached",
+			second[0].Ran, second[0].Skipped)
+	}
+	if second[0].Live.Degraded || second[0].Degraded() {
+		t.Fatalf("healed run still degraded: %+v", second[0].Live)
+	}
+	if second[0].Live.Verified == 0 {
+		t.Fatal("healed run verified nothing")
+	}
+
+	// The complete artifact IS cached: a third run skips the stage.
+	third, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range third[0].Ran {
+		if st == StageLiveTest {
+			t.Fatalf("complete live artifact not cached (ran=%v)", third[0].Ran)
+		}
+	}
+}
+
+// TestEngineStageRetryRecovers exercises Config.StageRetries: with
+// degradation disabled, a transport failure errors the stage, and the
+// retry policy re-executes it against the healed device.
+func TestEngineStageRetryRecovers(t *testing.T) {
+	job, sw := liveJob(t, devmodel.Cisco)
+	job.LiveFailureBudget = -1 // pre-budget semantics: first failure errors
+	sw.failFirst = 1           // the first exchange fails, then the device is healthy
+
+	eng, err := New(Config{StageRetries: map[Stage]StageRetry{
+		StageLiveTest: {Attempts: 3, Backoff: time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatalf("retried stage still failed: %v", err)
+	}
+	if res[0].Live == nil || res[0].Live.Degraded {
+		t.Fatalf("live = %+v", res[0].Live)
+	}
+	if sw.fails == 0 {
+		t.Fatal("no failure was injected — the retry was not exercised")
+	}
+
+	// Without a retry policy the same failure mode errors the job.
+	job2, sw2 := liveJob(t, devmodel.Cisco)
+	job2.LiveFailureBudget = -1
+	sw2.broken = true
+	plain, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Run(context.Background(), []Job{job2}); err == nil {
+		t.Fatal("transport failure with degradation and retries disabled did not error")
 	}
 }

@@ -171,4 +171,13 @@ type AssimilationResult struct {
 	// and which were satisfied from the artifact cache.
 	StagesRun     []PipelineStage
 	StagesSkipped []PipelineStage
+	// DegradedStages maps each stage that yielded a partial (degraded)
+	// artifact — e.g. live testing against a device that kept dropping
+	// connections — to its machine-readable reason. Degraded artifacts are
+	// never cached; a later run re-executes those stages.
+	DegradedStages map[PipelineStage]string
 }
+
+// Degraded reports whether any stage of this vendor's run produced a
+// degraded artifact.
+func (r *AssimilationResult) Degraded() bool { return len(r.DegradedStages) > 0 }
