@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper chaos stages
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend chaos stages
 
 check: fmt vet build race
 
@@ -42,6 +42,14 @@ bench-pipeline:
 bench-mapper:
 	NASSIM_MAPPER_BENCH_OUT=BENCH_mapper.json $(GO) test -run xxx \
 		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
+
+# Front-end benchmarks (byte-tokenizer parse pool, compiled-template
+# cache, memoized empirical matching at paper corpus scale), exported to
+# BENCH_frontend.json (schema nassim-frontend-bench/v1) with derived
+# seed-vs-optimized speedups.
+bench-frontend:
+	NASSIM_FRONTEND_BENCH_OUT=BENCH_frontend.json $(GO) test -run xxx \
+		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs' -benchtime 5x .
 
 # Chaos suite: fault injection, resilient client, breaker, and the
 # end-to-end chaos assimilation tests, twice under the race detector, then

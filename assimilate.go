@@ -51,6 +51,11 @@ type Options struct {
 	// Workers bounds per-vendor parallelism; <= 1 runs sequentially.
 	// Results are deterministic and identical for any worker count.
 	Workers int
+	// StageWorkers bounds the intra-stage fan-out of the front-end stages
+	// (manual pages parsed concurrently, configuration files matched
+	// concurrently) within each vendor job; <= 1 keeps those stages
+	// sequential. Results are identical for any value.
+	StageWorkers int
 	// Cache is the artifact store consulted before every stage; nil uses a
 	// fresh store (no reuse across calls).
 	Cache *PipelineCache
@@ -141,8 +146,8 @@ func AssimilateModel(ctx context.Context, m *DeviceModel) (*AssimilationResult, 
 // assimilateModels builds one engine job per model and runs them.
 func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) (*Result, error) {
 	eng, err := pipeline.New(pipeline.Config{
-		Workers: opts.Workers, Store: storeOrNil(opts.Cache),
-		CacheDir: opts.CacheDir, Timer: opts.Timer,
+		Workers: opts.Workers, StageWorkers: opts.StageWorkers,
+		Store: storeOrNil(opts.Cache), CacheDir: opts.CacheDir, Timer: opts.Timer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,209 @@
+package nassim_test
+
+// Front-end benchmarks (make bench-frontend): manual parsing, template
+// compilation, and empirical config matching — the §3/§4 half of the
+// pipeline this PR parallelized and de-allocated. With
+// NASSIM_FRONTEND_BENCH_OUT set, results are exported as
+// BENCH_frontend.json (schema nassim-frontend-bench/v1) including derived
+// seed-vs-new speedups, comparable across PRs like the other BENCH_*.json
+// documents. The "seed" side pairs the 1-worker parse with the retained
+// naive validator (the pre-optimization code path); on a single-core
+// runner the speedup therefore measures the algorithmic wins (interning,
+// memo tables, compiled-template cache, candidate pruning), and the worker
+// pools add on top of it with the cores to use them.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"nassim"
+	"nassim/internal/cgm"
+	"nassim/internal/empirical"
+)
+
+type frontendBenchEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"n"`
+}
+
+var (
+	frontendBenchMu      sync.Mutex
+	frontendBenchEntries = map[string]frontendBenchEntry{}
+)
+
+// exportFrontendBench records one benchmark result and rewrites the export
+// document, so partial runs (CI smoke: one iteration of one benchmark)
+// still produce valid JSON.
+func exportFrontendBench(b *testing.B, name string) {
+	b.Helper()
+	out := os.Getenv("NASSIM_FRONTEND_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	frontendBenchMu.Lock()
+	defer frontendBenchMu.Unlock()
+	frontendBenchEntries[name] = frontendBenchEntry{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N), N: b.N}
+	derived := map[string]float64{}
+	get := func(name string) (float64, bool) {
+		e, ok := frontendBenchEntries[name]
+		return e.NsPerOp, ok
+	}
+	if w1, ok1 := get("ParseAll/workers1"); ok1 {
+		if w8, ok8 := get("ParseAll/workers8"); ok8 && w8 > 0 {
+			derived["parse_speedup_8v1"] = w1 / w8
+		}
+	}
+	if naive, okN := get("ValidateConfigs/naive"); okN {
+		if w8, ok8 := get("ValidateConfigs/workers8"); ok8 && w8 > 0 {
+			derived["validate_speedup_seed_vs_8"] = naive / w8
+		}
+	}
+	if p1, ok := get("ParseAll/workers1"); ok {
+		if vn, okN := get("ValidateConfigs/naive"); okN {
+			if p8, ok8 := get("ParseAll/workers8"); ok8 {
+				if v8, okV := get("ValidateConfigs/workers8"); okV && p8+v8 > 0 {
+					derived["parse_validate_seed_ns"] = p1 + vn
+					derived["parse_validate_new8_ns"] = p8 + v8
+					derived["parse_validate_speedup"] = (p1 + vn) / (p8 + v8)
+				}
+			}
+		}
+	}
+	if cold, okC := get("CompileTemplates/cold"); okC {
+		if warm, okW := get("CompileTemplates/warm"); okW && warm > 0 {
+			derived["compile_speedup_warm_vs_cold"] = cold / warm
+		}
+	}
+	doc := struct {
+		Schema     string                        `json:"schema"`
+		Scale      float64                       `json:"scale"`
+		Benchmarks map[string]frontendBenchEntry `json:"benchmarks"`
+		Derived    map[string]float64            `json:"derived"`
+	}{"nassim-frontend-bench/v1", benchScale, frontendBenchEntries, derived}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkParseAll parses all four vendor manuals per op, sequentially
+// and through the 8-worker page pool.
+func BenchmarkParseAll(b *testing.B) {
+	data := setup(b)
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workers8", 8}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			pages := 0
+			for _, vendor := range nassim.Vendors() {
+				pages += len(data[vendor].pages)
+			}
+			b.ReportMetric(float64(pages), "pages/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, vendor := range nassim.Vendors() {
+					pr, err := nassim.ParseManualWorkers(context.Background(), vendor, data[vendor].pages, variant.workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(pr.Corpora) == 0 {
+						b.Fatal("no corpora")
+					}
+				}
+			}
+			exportFrontendBench(b, "ParseAll/"+variant.name)
+		})
+	}
+}
+
+// BenchmarkCompileTemplates builds the CGM index over every vendor's
+// corpora per op. cold empties the compiled-template cache each iteration;
+// warm reuses it — the cross-corpora/cross-vendor hit path.
+func BenchmarkCompileTemplates(b *testing.B) {
+	data := setup(b)
+	var all []string
+	for _, vendor := range nassim.Vendors() {
+		for _, c := range data[vendor].asr.Parsed.Corpora {
+			all = append(all, c.PrimaryCLI())
+		}
+	}
+	compile := func() {
+		ix := cgm.NewIndex()
+		for j, tmpl := range all {
+			_ = ix.Add(nassim.CorpusID(j), tmpl, nil)
+		}
+	}
+	b.ReportMetric(float64(len(all)), "templates/op")
+	for _, variant := range []string{"cold", "warm"} {
+		variant := variant
+		b.Run(variant, func(b *testing.B) {
+			if variant == "warm" {
+				compile() // prime the cache
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if variant == "cold" {
+					b.StopTimer()
+					cgm.ResetTemplateCache()
+					b.StartTimer()
+				}
+				compile()
+			}
+			exportFrontendBench(b, "CompileTemplates/"+variant)
+		})
+	}
+}
+
+// BenchmarkValidateConfigs matches the paper-scale Huawei config corpus
+// (§7.2 skew: many files, few distinct templates) against the VDM: the
+// retained naive reference, the memoized path sequential, and the memoized
+// path with the 8-file-worker pool.
+func BenchmarkValidateConfigs(b *testing.B) {
+	data := setup(b)
+	d := data["Huawei"]
+	files, ok := nassim.SyntheticConfigs(d.model, 1.0)
+	if !ok {
+		b.Fatal("no Huawei config corpus")
+	}
+	lines := 0
+	for _, f := range files {
+		lines += len(f.Lines)
+	}
+	run := func(b *testing.B, fn func() *nassim.EmpiricalReport) {
+		b.ReportMetric(float64(lines), "lines/op")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rep := fn(); rep.MatchingRatio() != 1.0 {
+				b.Fatalf("ratio = %f", rep.MatchingRatio())
+			}
+		}
+	}
+	ctx := context.Background()
+	b.Run("naive", func(b *testing.B) {
+		run(b, func() *nassim.EmpiricalReport {
+			return empirical.ValidateConfigsNaive(ctx, d.asr.VDM, files)
+		})
+		exportFrontendBench(b, "ValidateConfigs/naive")
+	})
+	b.Run("workers1", func(b *testing.B) {
+		run(b, func() *nassim.EmpiricalReport {
+			return nassim.ValidateConfigsWorkers(ctx, d.asr.VDM, files, 1)
+		})
+		exportFrontendBench(b, "ValidateConfigs/workers1")
+	})
+	b.Run("workers8", func(b *testing.B) {
+		run(b, func() *nassim.EmpiricalReport {
+			return nassim.ValidateConfigsWorkers(ctx, d.asr.VDM, files, 8)
+		})
+		exportFrontendBench(b, "ValidateConfigs/workers8")
+	})
+}

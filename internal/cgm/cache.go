@@ -1,0 +1,82 @@
+package cgm
+
+import (
+	"sync"
+
+	"nassim/internal/clisyntax"
+)
+
+// graphCache memoizes compiled CGMs by template content for the default
+// type resolver. Industry-standard commands repeat verbatim across vendor
+// corpora and across devices of one fleet, so each distinct template is
+// lexed, parsed and compiled into an FSM exactly once per process. Cached
+// *Graph values are immutable after Build and safe to share between
+// indices and goroutines. Custom resolvers bypass the cache (their type
+// assignments are caller-specific).
+type graphCache struct {
+	shards [graphCacheShards]graphCacheShard
+}
+
+const graphCacheShards = 16
+
+type graphCacheShard struct {
+	mu sync.RWMutex
+	m  map[string]graphCacheEntry
+}
+
+type graphCacheEntry struct {
+	g   *Graph
+	err error
+}
+
+var sharedGraphCache = func() *graphCache {
+	c := &graphCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]graphCacheEntry)
+	}
+	return c
+}()
+
+func fromTemplateCached(tmpl string) (*Graph, error) {
+	s := &sharedGraphCache.shards[fnv1a(tmpl)%graphCacheShards]
+	s.mu.RLock()
+	e, ok := s.m[tmpl]
+	s.mu.RUnlock()
+	if ok {
+		telGraphCacheHits.Inc()
+		// The syntax-check counters keep per-call semantics even when the
+		// compiled graph is reused; the cached parse is one map lookup.
+		clisyntax.ParseCached(tmpl)
+		return e.g, e.err
+	}
+	n, err := clisyntax.ParseCached(tmpl)
+	var g *Graph
+	if err == nil {
+		g = Build(n, nil)
+	}
+	s.mu.Lock()
+	s.m[tmpl] = graphCacheEntry{g: g, err: err}
+	s.mu.Unlock()
+	return g, err
+}
+
+// ResetTemplateCache empties the process-wide compiled-template cache and
+// the underlying syntax parse cache (tests and long-running services).
+func ResetTemplateCache() {
+	for i := range sharedGraphCache.shards {
+		s := &sharedGraphCache.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]graphCacheEntry)
+		s.mu.Unlock()
+	}
+	clisyntax.ResetParseCache()
+}
+
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package cgm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+var indexTemplates = []struct{ id, tmpl string }{
+	{"0", "qos <policy-name>"},
+	{"1", "qos ipv4-family"},
+	{"2", "interface <name>"},
+	{"3", "interface <name> shutdown"},
+	{"4", "ip address <addr> <mask>"},
+	{"5", "qos queue <index> [ weight <w> ]"},
+	{"10", "qos { inbound | outbound }"},
+}
+
+func buildIndexOrder(t *testing.T, order []int) *Index {
+	t.Helper()
+	ix := NewIndex()
+	for _, i := range order {
+		e := indexTemplates[i]
+		if err := ix.Add(e.id, e.tmpl, nil); err != nil {
+			t.Fatalf("Add(%q): %v", e.id, err)
+		}
+	}
+	return ix
+}
+
+// TestMatchShuffledCorporaDeterminism is the regression test for index
+// determinism under the compiled-template cache: two indices holding the
+// same template set in different registration orders must answer Match and
+// MatchBest identically, including result order.
+func TestMatchShuffledCorporaDeterminism(t *testing.T) {
+	forward := buildIndexOrder(t, []int{0, 1, 2, 3, 4, 5, 6})
+	shuffled := buildIndexOrder(t, []int{6, 3, 0, 5, 1, 4, 2})
+	instances := []string{
+		"qos ipv4-family", "qos best-effort", "qos inbound",
+		"interface eth0", "interface eth0 shutdown",
+		"ip address 10.0.0.1 255.255.255.0",
+		"qos queue 3 weight 10", "qos queue 3",
+		"no such command", "",
+	}
+	for _, ins := range instances {
+		if got, want := shuffled.Match(ins), forward.Match(ins); !reflect.DeepEqual(got, want) {
+			t.Errorf("Match(%q): shuffled %v, forward %v", ins, got, want)
+		}
+		if got, want := shuffled.MatchBest(ins), forward.MatchBest(ins); !reflect.DeepEqual(got, want) {
+			t.Errorf("MatchBest(%q): shuffled %v, forward %v", ins, got, want)
+		}
+	}
+	// Natural order: "10" sorts after "5" numerically (lexicographic would
+	// put it first) — matching the insertion order of sequential corpus IDs.
+	if got := forward.Match("qos inbound"); !reflect.DeepEqual(got, []string{"0", "10"}) {
+		t.Errorf("Match(qos inbound) = %v, want [0 10]", got)
+	}
+}
+
+// TestIndexMatchLinearScanGolden compares the pruned index answer with a
+// brute-force scan over every registered graph.
+func TestIndexMatchLinearScanGolden(t *testing.T) {
+	ix := buildIndexOrder(t, []int{0, 1, 2, 3, 4, 5, 6})
+	instances := []string{
+		"qos ipv4-family", "qos inbound", "interface eth0 shutdown",
+		"ip address 10.0.0.1 255.255.255.0", "qos queue 3 weight 10",
+		"interface", "qos", "ip address 10.0.0.1",
+		"interface eth0 shutdown now", "x y z",
+	}
+	for _, ins := range instances {
+		var naive []string
+		for _, id := range ix.IDs() {
+			if ix.Graph(id).Match(ins) {
+				naive = append(naive, id)
+			}
+		}
+		sortNaturalIDs(naive)
+		if got := ix.Match(ins); !reflect.DeepEqual(got, naive) {
+			t.Errorf("Match(%q) = %v, linear scan %v", ins, got, naive)
+		}
+	}
+}
+
+// TestTemplateCacheShares checks that the default-resolver path hands out
+// one shared graph per distinct template, and that custom resolvers bypass
+// the cache.
+func TestTemplateCacheShares(t *testing.T) {
+	ResetTemplateCache()
+	g1, err := FromTemplate("router bgp <as>", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromTemplate("router bgp <as>", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("default-resolver FromTemplate should share the compiled graph")
+	}
+	g3, err := FromTemplate("router bgp <as>", devmodel.InferType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("custom-resolver FromTemplate must bypass the shared cache")
+	}
+}
+
+// TestTemplateCacheErrors checks invalid templates fail identically on the
+// cached path, hit or miss.
+func TestTemplateCacheErrors(t *testing.T) {
+	ResetTemplateCache()
+	for i := 0; i < 2; i++ {
+		if _, err := FromTemplate("broken { group", nil); err == nil {
+			t.Fatalf("round %d: invalid template must fail", i)
+		}
+	}
+}
+
+// TestTokenBounds checks the min/max token counts the index prunes with.
+func TestTokenBounds(t *testing.T) {
+	cases := []struct {
+		tmpl     string
+		min, max int
+	}{
+		{"interface <name>", 2, 2},
+		{"qos queue <index> [ weight <w> ]", 3, 5},
+		{"a { b | c d } [ e ]", 2, 4},
+		{"a [ b ] [ c ] [ d ]", 1, 4},
+	}
+	for _, c := range cases {
+		g, err := FromTemplate(c.tmpl, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", c.tmpl, err)
+		}
+		lo, hi := g.TokenBounds()
+		if lo != c.min || hi != c.max {
+			t.Errorf("%q: bounds [%d,%d], want [%d,%d]", c.tmpl, lo, hi, c.min, c.max)
+		}
+	}
+}
+
+func ExampleIndex_Match() {
+	ix := NewIndex()
+	_ = ix.Add("0", "interface <name>", nil)
+	fmt.Println(ix.Match("interface eth0"))
+	// Output: [0]
+}

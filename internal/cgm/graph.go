@@ -43,6 +43,60 @@ type Graph struct {
 	succ     [][]int
 	root     int
 	terminal int
+
+	// minToks/maxToks bound the token count of any accepting run, computed
+	// once at build time. The index uses them as a second pruning level
+	// after the leading keyword: an instance whose token count falls
+	// outside the bounds cannot match, so the FSM never runs.
+	minToks, maxToks int
+}
+
+// TokenBounds returns the minimum and maximum number of tokens any
+// root-to-terminal path of the graph consumes.
+func (g *Graph) TokenBounds() (min, max int) { return g.minToks, g.maxToks }
+
+// computeTokenBounds runs a memoized DFS over the (acyclic) FSM. Keyword
+// and parameter states consume one token each; root and terminal none.
+func (g *Graph) computeTokenBounds() {
+	const unset = -1
+	mins := make([]int, len(g.nodes))
+	maxs := make([]int, len(g.nodes))
+	for i := range mins {
+		mins[i] = unset
+	}
+	var dfs func(id int) (int, int)
+	dfs = func(id int) (int, int) {
+		if id == g.terminal {
+			return 0, 0
+		}
+		if mins[id] != unset {
+			return mins[id], maxs[id]
+		}
+		w := 0
+		if k := g.nodes[id].kind; k == KindKeyword || k == KindParam {
+			w = 1
+		}
+		lo, hi := int(^uint(0)>>1), -1
+		for _, s := range g.succ[id] {
+			smin, smax := dfs(s)
+			if smax < 0 {
+				continue // dead end: no path to terminal through s
+			}
+			if smin < lo {
+				lo = smin
+			}
+			if smax > hi {
+				hi = smax
+			}
+		}
+		if hi < 0 {
+			mins[id], maxs[id] = 0, -1 // no accepting path from here
+			return 0, -1
+		}
+		mins[id], maxs[id] = w+lo, w+hi
+		return mins[id], maxs[id]
+	}
+	g.minToks, g.maxToks = dfs(g.root)
 }
 
 // TypeResolver maps a parameter placeholder name to its value domain.
@@ -157,13 +211,20 @@ func Build(n *clisyntax.Node, typeOf TypeResolver) *Graph {
 	if f.skippable {
 		b.addEdge(g.root, g.terminal)
 	}
+	g.computeTokenBounds()
 	return g
 }
 
 // FromTemplate parses a template and builds its CGM. It fails exactly when
 // formal syntax validation fails, so only validated templates get graphs.
+// With the default resolver (typeOf == nil) the compiled graph comes from a
+// process-wide content-keyed cache: identical templates across corpora and
+// vendors compile once, and the immutable *Graph is shared.
 func FromTemplate(tmpl string, typeOf TypeResolver) (*Graph, error) {
-	n, err := clisyntax.Parse(tmpl)
+	if typeOf == nil {
+		return fromTemplateCached(tmpl)
+	}
+	n, err := clisyntax.ParseCached(tmpl)
 	if err != nil {
 		return nil, err
 	}

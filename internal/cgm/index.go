@@ -2,6 +2,7 @@ package cgm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -19,6 +20,9 @@ type Index struct {
 type indexEntry struct {
 	id string
 	g  *Graph
+	// Token-count bounds of the graph, copied here so the Match hot loop
+	// prunes without touching the graph's cache lines.
+	minToks, maxToks int
 }
 
 // NewIndex returns an empty template index.
@@ -41,29 +45,41 @@ func (ix *Index) Add(id, template string, typeOf TypeResolver) error {
 	telTemplatesAdded.Inc()
 	ix.graphs[id] = g
 	ix.order = append(ix.order, id)
+	minT, maxT := g.TokenBounds()
 	for _, s := range g.succ[g.root] {
 		n := g.nodes[s]
 		if n.kind == KindKeyword {
-			ix.byFirst[n.text] = append(ix.byFirst[n.text], indexEntry{id: id, g: g})
+			ix.byFirst[n.text] = append(ix.byFirst[n.text], indexEntry{id: id, g: g, minToks: minT, maxToks: maxT})
 		}
 	}
 	return nil
 }
 
-// Match returns the IDs of all templates the instance matches, in insertion
-// order of registration.
+// Match returns the IDs of all templates the instance matches. Candidates
+// sharing the instance's leading keyword are pruned by their token-count
+// bounds before the FSM runs. Results come back in natural ID order
+// (numeric when both IDs are decimal, lexicographic otherwise), which is
+// independent of registration order — two indices built from differently
+// ordered corpora answer identically — and coincides with insertion order
+// for the sequentially numbered corpus IDs the pipeline uses.
 func (ix *Index) Match(instance string) []string {
 	telMatchAttempts.Inc()
 	toks := strings.Fields(instance)
 	if len(toks) == 0 {
 		return nil
 	}
+	n := len(toks)
 	var out []string
 	for _, e := range ix.byFirst[toks[0]] {
+		if n < e.minToks || n > e.maxToks {
+			telMatchPruned.Inc()
+			continue
+		}
 		if e.g.MatchTokens(toks) {
 			out = append(out, e.id)
 		}
 	}
+	sortNaturalIDs(out)
 	return out
 }
 
@@ -77,9 +93,14 @@ func (ix *Index) MatchBest(instance string) []string {
 	if len(toks) == 0 {
 		return nil
 	}
+	n := len(toks)
 	best := -1
 	var out []string
 	for _, e := range ix.byFirst[toks[0]] {
+		if n < e.minToks || n > e.maxToks {
+			telMatchPruned.Inc()
+			continue
+		}
 		score := e.g.Specificity(toks)
 		if score < 0 {
 			continue
@@ -92,7 +113,42 @@ func (ix *Index) MatchBest(instance string) []string {
 			out = append(out, e.id)
 		}
 	}
+	sortNaturalIDs(out)
 	return out
+}
+
+// sortNaturalIDs orders template IDs numerically when both are plain
+// decimals and lexicographically otherwise, making Match results a pure
+// function of the registered template set.
+func sortNaturalIDs(ids []string) {
+	if len(ids) < 2 {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool { return naturalLessID(ids[i], ids[j]) })
+}
+
+func naturalLessID(a, b string) bool {
+	na, aok := parseDecimal(a)
+	nb, bok := parseDecimal(b)
+	if aok && bok {
+		return na < nb
+	}
+	return a < b
+}
+
+func parseDecimal(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // Graph returns the CGM registered under the ID, or nil.

@@ -10,6 +10,8 @@ var (
 	telTemplateErrors = telemetry.GetCounter("nassim_cgm_template_errors_total")
 	telMatchAttempts  = telemetry.GetCounter("nassim_cgm_match_attempts_total")
 	telMatchSteps     = telemetry.GetCounter("nassim_cgm_match_steps_total")
+	telMatchPruned    = telemetry.GetCounter("nassim_cgm_match_pruned_total")
+	telGraphCacheHits = telemetry.GetCounter("nassim_cgm_graph_cache_hits_total")
 )
 
 func init() {
@@ -18,4 +20,6 @@ func init() {
 	reg.SetHelp("nassim_cgm_template_errors_total", "Templates rejected by formal syntax validation during CGM build.")
 	reg.SetHelp("nassim_cgm_match_attempts_total", "Instance-to-template match lookups against the CGM index.")
 	reg.SetHelp("nassim_cgm_match_steps_total", "Candidate FSM states examined across all CGM token matches.")
+	reg.SetHelp("nassim_cgm_match_pruned_total", "Index candidates skipped by the token-length bound without running the FSM.")
+	reg.SetHelp("nassim_cgm_graph_cache_hits_total", "CGM builds answered from the content-keyed compiled-template cache.")
 }

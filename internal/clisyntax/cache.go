@@ -1,0 +1,87 @@
+package clisyntax
+
+import (
+	"sync"
+
+	"nassim/internal/telemetry"
+)
+
+// parseCache memoizes Parse results by template content. Vendor manuals
+// repeat the same command templates across pages and corpora (and across
+// vendors for industry-standard commands), so identical templates need
+// lexing and parsing exactly once per process. Cached *Node structures are
+// shared: they are immutable after Parse, and callers must not modify them.
+type parseCache struct {
+	shards [parseCacheShards]parseCacheShard
+}
+
+const parseCacheShards = 16
+
+type parseCacheShard struct {
+	mu sync.RWMutex
+	m  map[string]parseCacheEntry
+}
+
+type parseCacheEntry struct {
+	node *Node
+	err  error
+}
+
+var sharedParseCache = func() *parseCache {
+	c := &parseCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]parseCacheEntry)
+	}
+	return c
+}()
+
+var telParseCacheHits = telemetry.GetCounter("nassim_syntax_parse_cache_hits_total")
+
+func init() {
+	telemetry.Default().SetHelp("nassim_syntax_parse_cache_hits_total",
+		"CLI template parses answered from the content-keyed parse cache.")
+}
+
+// ParseCached is Parse through the process-wide content-keyed cache. The
+// telemetry counters keep per-call semantics: every call counts as one
+// checked template (and one invalid template on error), hit or miss, so
+// counts stay identical to the uncached path.
+func ParseCached(template string) (*Node, error) {
+	s := &sharedParseCache.shards[fnv1a(template)%parseCacheShards]
+	s.mu.RLock()
+	e, ok := s.m[template]
+	s.mu.RUnlock()
+	if ok {
+		telParseCacheHits.Inc()
+		telChecked.Inc()
+		if e.err != nil {
+			telInvalid.Inc()
+		}
+		return e.node, e.err
+	}
+	n, err := Parse(template)
+	s.mu.Lock()
+	s.m[template] = parseCacheEntry{node: n, err: err}
+	s.mu.Unlock()
+	return n, err
+}
+
+// ResetParseCache empties the process-wide template parse cache (tests and
+// long-running services that want to drop corpus-specific entries).
+func ResetParseCache() {
+	for i := range sharedParseCache.shards {
+		s := &sharedParseCache.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]parseCacheEntry)
+		s.mu.Unlock()
+	}
+}
+
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"nassim/internal/cgm"
@@ -25,8 +27,13 @@ import (
 	"nassim/internal/vdm"
 )
 
+// telMemoHits counts per-line work answered from the run's memo tables
+// (template matching and hierarchy checks).
+var telMemoHits = telemetry.GetCounter("nassim_empirical_memo_hits_total")
+
 func init() {
 	reg := telemetry.Default()
+	reg.SetHelp("nassim_empirical_memo_hits_total", "Line matches and hierarchy checks answered from validation memo tables.")
 	reg.SetHelp("nassim_empirical_files_total", "Configuration files run through Figure 8 validation.")
 	reg.SetHelp("nassim_empirical_lines_total", "Configuration lines checked, by match outcome.")
 	reg.SetHelp("nassim_empirical_validate_seconds", "Wall time of one ValidateConfigs run.")
@@ -91,14 +98,315 @@ type frame struct {
 	candidates []int // corpus indices the line at this level matched
 }
 
+// Options tunes ValidateConfigsOpts. The zero value matches the historical
+// sequential behavior.
+type Options struct {
+	// Workers bounds the per-file fan-out; values below 2 keep the
+	// sequential path.
+	Workers int
+}
+
 // ValidateConfigs runs the Figure 8 workflow over a configuration corpus.
 // Cancellation via ctx is honored between files; the partial report is
 // then incomplete and the caller should check ctx.Err() before using it.
 func ValidateConfigs(ctx context.Context, v *vdm.VDM, files []configgen.File) *Report {
+	return ValidateConfigsOpts(ctx, v, files, Options{})
+}
+
+// ValidateConfigsOpts is ValidateConfigs with tuning. Files are validated
+// independently (the stanza stack is per-file), fanned out over a bounded
+// worker pool and reduced in file order, so the report is identical to the
+// sequential path on a complete run. Two memo tables cut the per-line cost:
+// template matching is memoized on the unique line, and hierarchy checking
+// on (parent candidate set, line) — device fleets repeat the same stanzas
+// across hundreds of files.
+func ValidateConfigsOpts(ctx context.Context, v *vdm.VDM, files []configgen.File, opts Options) *Report {
 	_, span := telemetry.Span(ctx, "validate.empirical",
-		"vendor", v.Vendor, "files", len(files))
+		"vendor", v.Vendor, "files", len(files), "workers", opts.Workers)
 	defer span.End()
 	start := time.Now()
+
+	m := newMatcher(v)
+	results := make([]*fileReport, len(files))
+	one := func(i int) { results[i] = m.validateFile(files[i]) }
+	workers := opts.Workers
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers < 2 {
+		for i := range files {
+			if ctx.Err() != nil {
+				break
+			}
+			one(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					one(i)
+				}
+			}()
+		}
+		for i := range files {
+			if ctx.Err() != nil {
+				break
+			}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
+	unique := map[string]bool{}
+	for _, fr := range results {
+		if fr == nil {
+			continue // file skipped by cancellation
+		}
+		rep.TotalLines += fr.totalLines
+		rep.MatchedLines += fr.matchedLines
+		rep.Failures = append(rep.Failures, fr.failures...)
+		for c := range fr.usedCorpora {
+			rep.UsedCorpora[c] = true
+		}
+		for l := range fr.unique {
+			unique[l] = true
+		}
+	}
+	rep.UniqueLines = len(unique)
+
+	telemetry.GetCounter("nassim_empirical_files_total").Add(int64(rep.Files))
+	telemetry.GetCounter("nassim_empirical_lines_total", "result", "matched").Add(int64(rep.MatchedLines))
+	telemetry.GetCounter("nassim_empirical_lines_total", "result", "unmatched").
+		Add(int64(rep.TotalLines - rep.MatchedLines))
+	telemetry.GetHistogram("nassim_empirical_validate_seconds", nil).ObserveDuration(time.Since(start))
+	telemetry.Logger(telemetry.ComponentEmpirical).Debug("validated configurations",
+		"vendor", v.Vendor, "files", rep.Files, "lines", rep.TotalLines,
+		"matched", rep.MatchedLines, "failures", len(rep.Failures),
+		"templates_used", rep.UsedTemplates(), "elapsed", time.Since(start))
+	return rep
+}
+
+// fileReport is the per-file slice of the report, reduced in file order.
+type fileReport struct {
+	totalLines   int
+	matchedLines int
+	usedCorpora  map[int]bool
+	unique       map[string]bool
+	failures     []Failure
+}
+
+// matcher holds the precomputed VDM lookups and the shared memo tables one
+// ValidateConfigsOpts run uses across its file workers.
+type matcher struct {
+	v *vdm.VDM
+	// parentViews[c] is the set of working views of corpus c (the naive
+	// path scanned the slice per check).
+	parentViews []map[string]bool
+	// enters[c] lists the views corpus c enables — the inversion of
+	// VDM.Views, computed once instead of one full map scan per Enters
+	// call per line.
+	enters   [][]string
+	candMemo [memoShards]candShard
+	survMemo [memoShards]survShard
+}
+
+const memoShards = 16
+
+type candShard struct {
+	mu sync.RWMutex
+	m  map[string][]int
+}
+
+type survShard struct {
+	mu sync.RWMutex
+	m  map[string]survivorSet
+}
+
+// survivorSet is a memoized hierarchy-check outcome. The survivors slice
+// is shared between frames and memo entries and must never be mutated.
+type survivorSet struct {
+	ok        bool
+	survivors []int
+}
+
+func newMatcher(v *vdm.VDM) *matcher {
+	m := &matcher{
+		v:           v,
+		parentViews: make([]map[string]bool, len(v.Corpora)),
+		enters:      make([][]string, len(v.Corpora)),
+	}
+	for c := range v.Corpora {
+		pv := make(map[string]bool, len(v.Corpora[c].ParentViews))
+		for _, w := range v.Corpora[c].ParentViews {
+			pv[w] = true
+		}
+		m.parentViews[c] = pv
+	}
+	for name, info := range v.Views {
+		if info.EnterCorpus >= 0 && info.EnterCorpus < len(m.enters) {
+			m.enters[info.EnterCorpus] = append(m.enters[info.EnterCorpus], name)
+		}
+	}
+	for c := range m.enters {
+		sort.Strings(m.enters[c])
+	}
+	for i := range m.candMemo {
+		m.candMemo[i].m = make(map[string][]int)
+		m.survMemo[i].m = make(map[string]survivorSet)
+	}
+	return m
+}
+
+// candidates resolves a line to its corpus candidates through the memo
+// table: each unique line runs the CGM index once per validation run.
+func (m *matcher) candidates(line string) []int {
+	s := &m.candMemo[memoShard(line)]
+	s.mu.RLock()
+	cands, ok := s.m[line]
+	s.mu.RUnlock()
+	if ok {
+		telMemoHits.Inc()
+		return cands
+	}
+	for _, id := range m.v.Index.Match(line) {
+		if i, err := vdm.ParseCorpusID(id); err == nil {
+			cands = append(cands, i)
+		}
+	}
+	s.mu.Lock()
+	s.m[line] = cands
+	s.mu.Unlock()
+	return cands
+}
+
+// survivors runs the memoized hierarchy check: which candidates of line
+// may appear under the given parent candidates (nil parents means top
+// level, checked against the root view). The survivor membership depends
+// only on the candidate sets, not their order, so the list is built in
+// candidate order — deterministic regardless of which worker gets there
+// first.
+func (m *matcher) survivors(parents []int, line string, cands []int) (bool, []int) {
+	key := survKey(parents, line)
+	s := &m.survMemo[memoShard(key)]
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		telMemoHits.Inc()
+		return e.ok, e.survivors
+	}
+	var out []int
+	if parents == nil {
+		for _, c := range cands {
+			if m.parentViews[c][m.v.RootView] {
+				out = append(out, c)
+			}
+		}
+	} else {
+		// Views any parent candidate enters; survivor candidates must work
+		// under one of them.
+		enterUnion := map[string]bool{}
+		for _, p := range parents {
+			for _, w := range m.enters[p] {
+				enterUnion[w] = true
+			}
+		}
+		for _, c := range cands {
+			for _, w := range m.v.Corpora[c].ParentViews {
+				if enterUnion[w] {
+					out = append(out, c)
+					break
+				}
+			}
+		}
+	}
+	e = survivorSet{ok: len(out) > 0, survivors: out}
+	s.mu.Lock()
+	s.m[key] = e
+	s.mu.Unlock()
+	return e.ok, e.survivors
+}
+
+// survKey renders (parent candidate list, line) into a memo key. Parent
+// lists come out of the survivors memo itself, so equal sets share one
+// canonical order and key.
+func survKey(parents []int, line string) string {
+	var b strings.Builder
+	b.Grow(4*len(parents) + 1 + len(line))
+	for _, p := range parents {
+		b.WriteString(fmt.Sprintf("%d,", p))
+	}
+	b.WriteByte('\x00')
+	b.WriteString(line)
+	return b.String()
+}
+
+func memoShard(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % memoShards
+}
+
+// validateFile walks one configuration file's stanza structure, exactly
+// like the naive reference but through the matcher's memo tables.
+func (m *matcher) validateFile(f configgen.File) *fileReport {
+	fr := &fileReport{usedCorpora: map[int]bool{}, unique: map[string]bool{}}
+	var stack []frame
+	for lineNo, raw := range f.Lines {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fr.totalLines++
+		fr.unique[line] = true
+		indent := indentOf(raw)
+		for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+			stack = stack[:len(stack)-1]
+		}
+
+		cands := m.candidates(line)
+		if len(cands) == 0 {
+			fr.failures = append(fr.failures, Failure{
+				File: f.Name, LineNo: lineNo, Line: line,
+				Reason: "not found matched CLI template"})
+			// Leave the stack level open so children still get a parent
+			// context from higher up.
+			continue
+		}
+
+		var parents []int
+		if len(stack) > 0 {
+			parents = stack[len(stack)-1].candidates
+		}
+		ok, survivors := m.survivors(parents, line, cands)
+		if !ok {
+			fr.failures = append(fr.failures, Failure{
+				File: f.Name, LineNo: lineNo, Line: line,
+				Reason: "unmatched hierarchy"})
+			continue
+		}
+		fr.matchedLines++
+		for _, c := range survivors {
+			fr.usedCorpora[c] = true
+		}
+		stack = append(stack, frame{indent: indent, candidates: survivors})
+	}
+	return fr
+}
+
+// ValidateConfigsNaive is the original sequential implementation, kept
+// verbatim (minus telemetry) as the golden reference the equivalence tests
+// hold ValidateConfigsOpts against — the RecommendNaive pattern.
+func ValidateConfigsNaive(ctx context.Context, v *vdm.VDM, files []configgen.File) *Report {
 	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
 	unique := map[string]bool{}
 	for _, f := range files {
@@ -128,16 +436,12 @@ func ValidateConfigs(ctx context.Context, v *vdm.VDM, files []configgen.File) *R
 				rep.Failures = append(rep.Failures, Failure{
 					File: f.Name, LineNo: lineNo, Line: line,
 					Reason: "not found matched CLI template"})
-				// Leave the stack level open so children still get a
-				// parent context from higher up.
 				continue
 			}
 
 			ok := false
 			var survivors []int
 			if len(stack) == 0 {
-				// Top-level instance: the template must work under the
-				// root view.
 				for _, c := range cands {
 					if containsStr(v.Corpora[c].ParentViews, v.RootView) {
 						ok = true
@@ -175,16 +479,6 @@ func ValidateConfigs(ctx context.Context, v *vdm.VDM, files []configgen.File) *R
 		}
 	}
 	rep.UniqueLines = len(unique)
-
-	telemetry.GetCounter("nassim_empirical_files_total").Add(int64(rep.Files))
-	telemetry.GetCounter("nassim_empirical_lines_total", "result", "matched").Add(int64(rep.MatchedLines))
-	telemetry.GetCounter("nassim_empirical_lines_total", "result", "unmatched").
-		Add(int64(rep.TotalLines - rep.MatchedLines))
-	telemetry.GetHistogram("nassim_empirical_validate_seconds", nil).ObserveDuration(time.Since(start))
-	telemetry.Logger(telemetry.ComponentEmpirical).Debug("validated configurations",
-		"vendor", v.Vendor, "files", rep.Files, "lines", rep.TotalLines,
-		"matched", rep.MatchedLines, "failures", len(rep.Failures),
-		"templates_used", rep.UsedTemplates(), "elapsed", time.Since(start))
 	return rep
 }
 

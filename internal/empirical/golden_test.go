@@ -1,0 +1,74 @@
+package empirical
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"nassim/internal/configgen"
+	"nassim/internal/devmodel"
+)
+
+// requireReportsEqual compares two reports field by field, including
+// failure order.
+func requireReportsEqual(t *testing.T, label string, want, got *Report) {
+	t.Helper()
+	if want.Files != got.Files || want.TotalLines != got.TotalLines ||
+		want.UniqueLines != got.UniqueLines || want.MatchedLines != got.MatchedLines {
+		t.Fatalf("%s: counts differ: want %v, got %v", label, want, got)
+	}
+	if !reflect.DeepEqual(want.UsedCorpora, got.UsedCorpora) {
+		t.Fatalf("%s: used corpora differ: want %d entries, got %d", label, len(want.UsedCorpora), len(got.UsedCorpora))
+	}
+	if !reflect.DeepEqual(want.Failures, got.Failures) {
+		t.Fatalf("%s: failures differ: want %d, got %d", label, len(want.Failures), len(got.Failures))
+	}
+}
+
+// TestValidateConfigsMatchesNaive is the golden equivalence test for the
+// memoized/parallel validator: on full runs it must produce the exact
+// report of the original sequential implementation, at any worker count.
+func TestValidateConfigsMatchesNaive(t *testing.T) {
+	for _, vendor := range []devmodel.Vendor{devmodel.Huawei, devmodel.Nokia} {
+		vendor := vendor
+		t.Run(string(vendor), func(t *testing.T) {
+			m := devmodel.Generate(devmodel.PaperConfig(vendor).Scaled(0.02))
+			v := buildVDM(t, m)
+			cfg, ok := configgen.PaperConfig(vendor)
+			if !ok {
+				t.Fatal("no config corpus for vendor")
+			}
+			corpus := configgen.Generate(m, cfg.Scaled(0.05))
+			ctx := context.Background()
+			want := ValidateConfigsNaive(ctx, v, corpus.Files)
+			if want.TotalLines == 0 {
+				t.Fatal("no configuration lines generated")
+			}
+			for _, workers := range []int{0, 1, 2, 8} {
+				got := ValidateConfigsOpts(ctx, v, corpus.Files, Options{Workers: workers})
+				requireReportsEqual(t, string(vendor), want, got)
+			}
+			// A second memo-warm run must answer identically.
+			got := ValidateConfigsOpts(ctx, v, corpus.Files, Options{Workers: 8})
+			requireReportsEqual(t, string(vendor)+"/warm", want, got)
+		})
+	}
+}
+
+// TestValidateConfigsEmptyAndForeign pins the edge behavior of the
+// optimized path against the naive one on inputs the fleet never produces.
+func TestValidateConfigsEmptyAndForeign(t *testing.T) {
+	m := devmodel.Generate(devmodel.PaperConfig(devmodel.Huawei).Scaled(0.02))
+	v := buildVDM(t, m)
+	cases := [][]configgen.File{
+		{},
+		{{Name: "empty.cfg", Lines: nil}},
+		{{Name: "foreign.cfg", Lines: []string{"no such command here", "  indented gibberish x", "", "   "}}},
+	}
+	ctx := context.Background()
+	for _, files := range cases {
+		want := ValidateConfigsNaive(ctx, v, files)
+		got := ValidateConfigsOpts(ctx, v, files, Options{Workers: 4})
+		requireReportsEqual(t, "case", want, got)
+	}
+}

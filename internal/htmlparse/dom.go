@@ -23,6 +23,14 @@ type Node struct {
 	Attrs    []Attr
 	Parent   *Node
 	Children []*Node
+
+	// classes caches the split class attribute (computed once at parse
+	// time): the vendor parsers run many whole-tree class queries per
+	// page, and re-splitting the attribute on every HasClass call was a
+	// dominant allocation source. classesSet marks the cache as valid so
+	// hand-built nodes still fall back to on-demand splitting.
+	classes    []string
+	classesSet bool
 }
 
 // Attr returns the value of the named attribute and whether it was present.
@@ -37,11 +45,29 @@ func (n *Node) Attr(name string) (string, bool) {
 
 // Classes returns the element's CSS classes.
 func (n *Node) Classes() []string {
+	if n.classesSet {
+		return n.classes
+	}
 	v, ok := n.Attr("class")
 	if !ok {
 		return nil
 	}
 	return strings.Fields(v)
+}
+
+// cacheClasses splits the class attribute once at parse time, interning
+// each class token so equal class lists across nodes share storage.
+func (n *Node) cacheClasses(pool *Intern) {
+	n.classesSet = true
+	v, ok := n.Attr("class")
+	if !ok || v == "" {
+		return
+	}
+	fields := strings.Fields(v)
+	for i, f := range fields {
+		fields[i] = pool.InternString(f)
+	}
+	n.classes = fields
 }
 
 // HasClass reports whether the element carries the given CSS class.
@@ -197,15 +223,42 @@ var impliedEndTags = map[string][]string{
 	"option": {"option"},
 }
 
+// tokenSource abstracts the two tokenizers for the DOM builder.
+type tokenSource interface {
+	Next() (Token, bool)
+}
+
 // Parse builds a DOM tree from an HTML document. It never fails: malformed
-// markup degrades to text or is repaired with implied end tags, matching the
-// tolerance needed for real vendor manuals.
+// markup degrades to text or is repaired with implied end tags, matching
+// the tolerance needed for real vendor manuals. Parsing runs through the
+// byte-backed tokenizer and the shared interning pool; ParseReference
+// retains the original string path as the golden reference.
 func Parse(src string) *Node {
+	return ParseBytes([]byte(src), nil)
+}
+
+// ParseBytes builds a DOM tree straight from document bytes through the
+// single-pass ByteTokenizer, interning repeated names in pool (nil uses
+// the shared default pool). It is safe to call concurrently; workers of a
+// parallel manual parse share one pool.
+func ParseBytes(src []byte, pool *Intern) *Node {
+	return buildDOM(NewByteTokenizer(src, pool), pool)
+}
+
+// ParseReference is the pre-interning string-tokenizer parse path, kept
+// as the reference implementation for golden and fuzz equivalence tests.
+func ParseReference(src string) *Node {
+	return buildDOM(NewTokenizer(src), nil)
+}
+
+func buildDOM(z tokenSource, pool *Intern) *Node {
+	if pool == nil {
+		pool = defaultIntern
+	}
 	doc := &Node{Type: DocumentNode}
 	stack := []*Node{doc}
 	top := func() *Node { return stack[len(stack)-1] }
 
-	z := NewTokenizer(src)
 	for {
 		tok, ok := z.Next()
 		if !ok {
@@ -223,6 +276,7 @@ func Parse(src string) *Node {
 			// Ignored: the DOM does not model doctypes.
 		case SelfClosingToken:
 			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Parent: top()}
+			el.cacheClasses(pool)
 			top().Children = append(top().Children, el)
 		case StartTagToken:
 			if closes, ok := impliedEndTags[tok.Data]; ok {
@@ -242,6 +296,7 @@ func Parse(src string) *Node {
 				}
 			}
 			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Parent: top()}
+			el.cacheClasses(pool)
 			top().Children = append(top().Children, el)
 			stack = append(stack, el)
 		case EndTagToken:

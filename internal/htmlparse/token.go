@@ -234,10 +234,11 @@ func (z *Tokenizer) startTag() Token {
 	}
 	tok := Token{Type: typ, Data: name, Attrs: attrs}
 	// Raw-text elements: swallow content up to the matching close tag so that
-	// scripts containing '<' do not confuse the DOM builder.
+	// scripts containing '<' do not confuse the DOM builder. The search is
+	// ASCII-case-folded byte-wise (not ToLower-then-Index, whose offsets
+	// drift when a rune's lowercase form has a different byte length).
 	if typ == StartTagToken && rawTextTags[name] {
-		closeTag := "</" + name
-		idx := strings.Index(strings.ToLower(z.src[z.pos:]), closeTag)
+		idx := indexFoldASCIIString(z.src[z.pos:], "</"+name)
 		if idx < 0 {
 			z.pos = len(z.src)
 		} else {

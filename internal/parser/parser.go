@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"nassim/internal/corpus"
@@ -50,7 +51,12 @@ type parsePageFunc func(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge)
 type Parser struct {
 	vendor    string
 	parsePage parsePageFunc
+	workers   int
 }
+
+// SetWorkers bounds the page-level fan-out of Parse. Values below 2 keep
+// the sequential path; the zero value therefore means sequential.
+func (p *Parser) SetWorkers(n int) { p.workers = n }
 
 // New returns the built-in parser for a vendor ("Huawei", "Cisco", "Nokia",
 // "H3C"; case-insensitive).
@@ -87,28 +93,25 @@ func init() {
 // ctx is honored between pages; the partial result is then incomplete and
 // the caller should check ctx.Err() before using it.
 func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
-	ctx, span := telemetry.Span(ctx, "parse.manual", "vendor", p.vendor, "pages", len(pages))
+	ctx, span := telemetry.Span(ctx, "parse.manual", "vendor", p.vendor, "pages", len(pages), "workers", p.workers)
 	defer span.End()
 	start := time.Now()
 	res := &Result{}
+	pageResults := p.parsePages(ctx, pages)
+	// Ordered reduction: corpora in page order, explicit hierarchy edges
+	// deduplicated in page order — byte-identical to the sequential loop.
 	edgeSeen := map[ViewEdge]bool{}
-	for _, page := range pages {
-		if ctx.Err() != nil {
-			break
+	for _, pr := range pageResults {
+		if !pr.done {
+			continue // page skipped by cancellation
 		}
-		_, pageSpan := telemetry.Span(ctx, "parse.page", "url", page.URL)
-		doc := htmlparse.Parse(page.HTML)
-		c, edges := p.parsePage(doc)
-		c.Vendor = p.vendor
-		c.SourceURL = page.URL
-		res.Corpora = append(res.Corpora, c)
-		for _, e := range edges {
+		res.Corpora = append(res.Corpora, pr.corpus)
+		for _, e := range pr.edges {
 			if !edgeSeen[e] {
 				edgeSeen[e] = true
 				res.Hierarchy = append(res.Hierarchy, e)
 			}
 		}
-		pageSpan.End()
 	}
 	telemetry.GetCounter("nassim_parser_pages_parsed_total", "vendor", p.vendor).Add(int64(len(pages)))
 	telemetry.GetCounter("nassim_parser_corpora_total", "vendor", p.vendor).Add(int64(len(res.Corpora)))
@@ -117,6 +120,66 @@ func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
 		"vendor", p.vendor, "pages", len(pages), "corpora", len(res.Corpora),
 		"explicit_edges", len(res.Hierarchy), "elapsed", time.Since(start))
 	return res
+}
+
+// pageResult is the outcome of parsing one page, collected positionally so
+// the fan-out stays order-stable.
+type pageResult struct {
+	corpus corpus.Corpus
+	edges  []ViewEdge
+	done   bool
+}
+
+// parsePages runs the vendor parsing() over every page, fanning out over a
+// bounded worker pool when SetWorkers allows (the same order-stable,
+// ctx-cancellable idiom as mapper.MapAll). Results land at their page index
+// regardless of completion order. Each worker drives its own byte tokenizer
+// (per-tokenizer scratch buffers) over the shared interning pool.
+func (p *Parser) parsePages(ctx context.Context, pages []Page) []pageResult {
+	results := make([]pageResult, len(pages))
+	one := func(i int) {
+		page := pages[i]
+		_, pageSpan := telemetry.Span(ctx, "parse.page", "url", page.URL)
+		doc := htmlparse.Parse(page.HTML)
+		c, edges := p.parsePage(doc)
+		c.Vendor = p.vendor
+		c.SourceURL = page.URL
+		results[i] = pageResult{corpus: c, edges: edges, done: true}
+		pageSpan.End()
+	}
+	workers := p.workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers < 2 {
+		for i := range pages {
+			if ctx.Err() != nil {
+				break
+			}
+			one(i)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				one(i)
+			}
+		}()
+	}
+	for i := range pages {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
 }
 
 // Validate is the base-class validating() method: it runs the Appendix B

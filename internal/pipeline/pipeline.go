@@ -250,6 +250,13 @@ func (s RunStats) String() string {
 type Config struct {
 	// Workers bounds per-vendor parallelism (<=1 runs sequentially).
 	Workers int
+	// StageWorkers bounds the intra-stage fan-out of the front-end stages:
+	// manual pages parsed concurrently within one vendor's Parse stage and
+	// configuration files matched concurrently within EmpiricalValidate.
+	// Values below 2 keep those stages sequential. Stage outputs are
+	// identical at any worker count, so StageWorkers stays out of the
+	// artifact cache keys.
+	StageWorkers int
 	// Store is the artifact cache; nil gets a fresh MemStore. Share one
 	// store across runs to make warm re-runs skip unchanged stages.
 	Store Store
@@ -269,16 +276,17 @@ type Config struct {
 
 // Engine runs assimilation jobs through the staged pipeline.
 type Engine struct {
-	store   Store
-	disk    *DiskStore
-	workers int
-	timer   *telemetry.StageTimer
-	retries map[Stage]StageRetry
+	store        Store
+	disk         *DiskStore
+	workers      int
+	stageWorkers int
+	timer        *telemetry.StageTimer
+	retries      map[Stage]StageRetry
 }
 
 // New builds an engine from a config.
 func New(cfg Config) (*Engine, error) {
-	e := &Engine{store: cfg.Store, workers: cfg.Workers, timer: cfg.Timer}
+	e := &Engine{store: cfg.Store, workers: cfg.Workers, stageWorkers: cfg.StageWorkers, timer: cfg.Timer}
 	if len(cfg.StageRetries) > 0 {
 		e.retries = make(map[Stage]StageRetry, len(cfg.StageRetries))
 		for k, v := range cfg.StageRetries {
@@ -544,6 +552,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.SetWorkers(e.stageWorkers)
 			res, rep := p.ParseAndValidate(ctx, job.Pages)
 			edges := make([]hierarchy.Edge, len(res.Hierarchy))
 			for i, ed := range res.Hierarchy {
@@ -603,7 +612,8 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 		empKey := Key(StageEmpiricalValidate, deriveKey, hashFiles(job.ConfigFiles))
 		rep, err := runStage(ctx, e, jr, StageEmpiricalValidate, empKey, nil,
 			func(ctx context.Context) (*empirical.Report, error) {
-				return empirical.ValidateConfigs(ctx, da.VDM, job.ConfigFiles), nil
+				return empirical.ValidateConfigsOpts(ctx, da.VDM, job.ConfigFiles,
+					empirical.Options{Workers: e.stageWorkers}), nil
 			})
 		if err != nil {
 			return nil, err

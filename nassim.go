@@ -125,10 +125,18 @@ type ParseResult struct {
 // format and runs the Appendix B completeness tests (the parser TDD loop's
 // validating() step). Cancellation via ctx is honored between pages.
 func ParseManual(ctx context.Context, vendor string, pages []Page) (*ParseResult, error) {
+	return ParseManualWorkers(ctx, vendor, pages, 0)
+}
+
+// ParseManualWorkers is ParseManual with a bounded per-page worker pool
+// (values below 2 parse sequentially). The result is identical at any
+// worker count.
+func ParseManualWorkers(ctx context.Context, vendor string, pages []Page, workers int) (*ParseResult, error) {
 	p, err := parser.New(vendor)
 	if err != nil {
 		return nil, err
 	}
+	p.SetWorkers(workers)
 	res, rep := p.ParseAndValidate(ctx, pages)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -177,6 +185,13 @@ func UnmarshalVDM(data []byte) (*VDM, error) { return vdm.Unmarshal(data, nil) }
 // Cancellation via ctx is honored between files.
 func ValidateConfigs(ctx context.Context, v *VDM, files []ConfigFile) *EmpiricalReport {
 	return empirical.ValidateConfigs(ctx, v, files)
+}
+
+// ValidateConfigsWorkers is ValidateConfigs with a bounded per-file worker
+// pool (values below 2 validate sequentially). The report is identical at
+// any worker count.
+func ValidateConfigsWorkers(ctx context.Context, v *VDM, files []ConfigFile, workers int) *EmpiricalReport {
+	return empirical.ValidateConfigsOpts(ctx, v, files, empirical.Options{Workers: workers})
 }
 
 // TestUnusedCommands exercises commands unused by empirical configurations
