@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend chaos stages
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-all benchdiff chaos stages
 
 check: fmt vet build race
 
@@ -61,6 +61,28 @@ chaos:
 	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
 
-# Per-stage pipeline timing + BENCH_telemetry.json (see README Observability).
+# Per-stage pipeline timing + BENCH_telemetry.json, plus the run manifest
+# (see README Observability).
 stages:
-	$(GO) run ./cmd/evalbench -stages -scale 0.1
+	$(GO) run ./cmd/evalbench -stages -scale 0.1 -manifest-out RUN_MANIFEST.json
+
+# Regenerate every committed BENCH_*.json baseline.
+bench-all: bench-pipeline bench-mapper bench-frontend stages
+	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
+		-bench BenchmarkChaosExec -benchtime 2s .
+
+# Regression gate: regenerate every benchmark into out/ and diff against
+# the committed baselines (cmd/benchdiff exits non-zero on regression).
+BENCHDIFF_OUT ?= benchout
+benchdiff:
+	mkdir -p $(BENCHDIFF_OUT)
+	NASSIM_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_pipeline.json $(GO) test -run xxx -bench BenchmarkAssimilateParallel -benchtime 1x .
+	NASSIM_MAPPER_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_mapper.json $(GO) test -run xxx \
+		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
+	NASSIM_FRONTEND_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_frontend.json $(GO) test -run xxx \
+		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs' -benchtime 5x .
+	NASSIM_CHAOS_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_chaos.json $(GO) test -run '^$$' \
+		-bench BenchmarkChaosExec -benchtime 2s .
+	$(GO) run ./cmd/evalbench -stages -scale 0.1 -telemetry-out $(BENCHDIFF_OUT)/BENCH_telemetry.json \
+		-manifest-out $(BENCHDIFF_OUT)/RUN_MANIFEST.json
+	$(GO) run ./cmd/benchdiff -baseline . -current $(BENCHDIFF_OUT)

@@ -2,8 +2,10 @@ package nassim
 
 import (
 	"context"
+	"path/filepath"
 	"time"
 
+	"nassim/internal/obsreport"
 	"nassim/internal/pipeline"
 	"nassim/internal/telemetry"
 	"nassim/internal/vdm"
@@ -84,6 +86,19 @@ type Options struct {
 	// Timer, when set, accumulates per-stage wall time of executed
 	// (non-cached) stages.
 	Timer *StageTimer
+	// Report builds the run observatory's per-run manifest: input content
+	// hashes, per-stage outcomes and attempts, cache hit/miss, worker-pool
+	// utilization, metrics delta, and a span summary, with every duration
+	// and timestamp quarantined in the manifest's timing block. The result
+	// carries it, /debug/lastrun serves it, and with CacheDir set it is
+	// also written under CacheDir/manifests/.
+	Report bool
+	// ProfileStages, when set, brackets every actual stage execution with
+	// pprof CPU + heap captures written to this directory (the flight
+	// recorder). CPU profiling is process-global, so overlapping stages
+	// serialize on the recorder; run with Workers <= 1 for faithful
+	// per-stage attribution.
+	ProfileStages string
 }
 
 // Result is the outcome of one Assimilate run.
@@ -95,6 +110,11 @@ type Result struct {
 	// Stats aggregates stage outcomes: Stats.Skips() > 0 means the
 	// artifact cache satisfied stages without re-running them.
 	Stats PipelineStats
+	// Report is the per-run manifest when Options.Report was set.
+	Report *RunReport
+	// Profiles lists the flight recorder's capture files when
+	// Options.ProfileStages was set.
+	Profiles []string
 }
 
 // Assimilate runs the complete SNA pipeline for the requested vendors:
@@ -145,10 +165,16 @@ func AssimilateModel(ctx context.Context, m *DeviceModel) (*AssimilationResult, 
 
 // assimilateModels builds one engine job per model and runs them.
 func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) (*Result, error) {
-	eng, err := pipeline.New(pipeline.Config{
+	cfg := pipeline.Config{
 		Workers: opts.Workers, StageWorkers: opts.StageWorkers,
 		Store: storeOrNil(opts.Cache), CacheDir: opts.CacheDir, Timer: opts.Timer,
-	})
+	}
+	var flight *obsreport.FlightRecorder
+	if opts.ProfileStages != "" {
+		flight = obsreport.NewFlightRecorder(opts.ProfileStages)
+		cfg.StageHook = flight.StageHook()
+	}
+	eng, err := pipeline.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,12 +227,43 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 		}
 		jobs[i] = job
 	}
+	var collector *obsreport.Collector
+	if opts.Report {
+		collector = obsreport.NewCollector()
+	}
 	start := time.Now()
 	jrs, runErr := eng.Run(ctx, jobs)
 	closeAll(closers)
 	res := &Result{
 		Results: make([]*AssimilationResult, len(jrs)),
 		Stats:   pipeline.Summarize(jrs, time.Since(start)),
+	}
+	if collector != nil {
+		info := obsreport.RunInfo{
+			Workers: opts.Workers, StageWorkers: opts.StageWorkers,
+			Scale: opts.Scale, Seed: opts.Seed,
+			Validate: opts.Validate, LiveTest: opts.LiveTest,
+			Chaos: opts.Chaos != nil, LiveFailureBudget: opts.LiveFailureBudget,
+		}
+		for _, m := range models {
+			info.Vendors = append(info.Vendors, string(m.Vendor))
+		}
+		res.Report = collector.Build(info, jrs)
+		telemetry.SetLastRun(res.Report)
+		if opts.CacheDir != "" {
+			dir := filepath.Join(opts.CacheDir, "manifests")
+			if err := res.Report.WriteFile(filepath.Join(dir, res.Report.RunID+".json")); err != nil {
+				Logger("obsreport").Warn("manifest write failed", "err", err)
+			} else if err := res.Report.WriteFile(filepath.Join(dir, "latest.json")); err != nil {
+				Logger("obsreport").Warn("manifest write failed", "err", err)
+			}
+		}
+	}
+	if flight != nil {
+		res.Profiles = flight.Captures()
+		if err := flight.Err(); err != nil {
+			Logger("obsreport").Warn("flight recorder", "err", err)
+		}
 	}
 	for i, jr := range jrs {
 		if jr == nil {

@@ -41,6 +41,7 @@ func main() {
 	stages := flag.Bool("stages", false, "time each pipeline stage and export BENCH_telemetry.json")
 	vendor := flag.String("vendor", "Huawei", "vendor for the -stages pipeline run")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "stage-timing export path for -stages")
+	manifestOut := flag.String("manifest-out", "", "also write the -stages assimilation's run manifest (schema "+nassim.RunReportSchema+") to this file")
 	jsonOut := flag.String("json", "", "also export the run's results as JSON to this file")
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	if *stages || *all {
-		if err := runStages(*vendor, *scale, *seed, *telemetryOut); err != nil {
+		if err := runStages(*vendor, *scale, *seed, *telemetryOut, *manifestOut); err != nil {
 			fmt.Fprintln(os.Stderr, "evalbench: stages:", err)
 			os.Exit(1)
 		}
@@ -190,15 +191,21 @@ func main() {
 // The VDM-construction stages run through the pipeline engine, which
 // caches the parse and syntax artifacts and derives the corrected VDM
 // exactly once (the previous hand-sequenced flow rebuilt it twice).
-func runStages(vendor string, scale float64, seed uint64, out string) error {
+func runStages(vendor string, scale float64, seed uint64, out, manifestOut string) error {
 	ctx := context.Background()
 	st := telemetry.NewStageTimer()
 	res, err := nassim.Assimilate(ctx, nassim.Options{
 		Vendors: []string{vendor}, Scale: scale, Validate: true,
-		Seed: seed, Timer: st,
+		Seed: seed, Timer: st, Report: manifestOut != "",
 	})
 	if err != nil {
 		return err
+	}
+	if manifestOut != "" && res.Report != nil {
+		if err := res.Report.WriteFile(manifestOut); err != nil {
+			return err
+		}
+		fmt.Printf("run manifest: %s (%s)\n", manifestOut, res.Report.Summary())
 	}
 	asr := res.Results[0]
 	m, v := asr.Model, asr.VDM

@@ -156,10 +156,14 @@ run "nassim <subcommand> -h" for subcommand flags.
 // have samples from every pipeline stage in serve mode.
 func warmup(vendor string, scale float64) error {
 	ctx := context.Background()
-	asr, err := nassim.AssimilateVendor(ctx, vendor, scale)
+	// Report:true records the warm-up's run manifest, so /debug/lastrun
+	// serves content as soon as the endpoints come up.
+	res, err := nassim.Assimilate(ctx, nassim.Options{
+		Vendors: []string{vendor}, Scale: scale, Report: true})
 	if err != nil {
 		return err
 	}
+	asr := res.Results[0]
 	dev, err := nassim.NewDevice(asr.Model)
 	if err != nil {
 		return err
@@ -517,6 +521,9 @@ func cmdRun(args []string) error {
 	repeat := fs.Int("repeat", 1, "run the pipeline this many times (>1 exercises the artifact cache)")
 	seed := fs.Uint64("seed", 7, "live-test instantiation seed (also drives chaos fault schedules)")
 	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+	report := fs.String("report", "", "write the per-run manifest (schema "+nassim.RunReportSchema+") to this file (\"-\" prints it)")
+	traceOut := fs.String("trace-out", "", "export recorded spans as a Chrome trace-event file after the run (enables tracing if off)")
+	profileStages := fs.String("profile-stages", "", "flight recorder: write per-stage pprof CPU+heap captures to this directory (forces -workers 1)")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -533,22 +540,36 @@ func cmdRun(args []string) error {
 			names = append(names, v)
 		}
 	}
+	if *profileStages != "" && *workers != 1 {
+		fmt.Println("profile-stages: forcing -workers 1 (CPU profiling is process-global; overlapping stages would misattribute samples)")
+		*workers = 1
+	}
+	if *traceOut != "" && nassim.TraceSnapshot() == nil {
+		nassim.EnableTracing(4096)
+	}
 	timer := nassim.NewStageTimer()
 	opts := nassim.Options{
 		Vendors: names, Scale: *scale, Workers: *workers,
 		Cache: nassim.NewPipelineCache(), CacheDir: *cacheDir,
 		Validate: *validate, LiveTest: *live || *chaos, Seed: *seed, Timer: timer,
+		Report: *report != "", ProfileStages: *profileStages,
 	}
 	if *chaos {
 		p := nassim.StandardChaosProfile(*seed)
 		opts.Chaos = &p
 	}
+	var manifest *nassim.RunReport
+	var profiles []string
 	for round := 1; round <= *repeat; round++ {
 		start := time.Now()
 		res, err := nassim.Assimilate(ctx, opts)
 		if err != nil {
 			return err
 		}
+		if res.Report != nil {
+			manifest = res.Report // keep the last (warmest) round's manifest
+		}
+		profiles = append(profiles, res.Profiles...)
 		fmt.Printf("round %d (%v): %s\n", round, time.Since(start).Round(time.Millisecond), res.Stats)
 		for _, asr := range res.Results {
 			if asr == nil {
@@ -572,5 +593,36 @@ func cmdRun(args []string) error {
 		}
 	}
 	fmt.Printf("stage timing (executed stages only):\n%s", timer.Table())
+	if manifest != nil {
+		fmt.Println("manifest:", manifest.Summary())
+		if *report == "-" {
+			data, err := manifest.MarshalIndent()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(data)
+		} else if err := manifest.WriteFile(*report); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote run manifest to %s\n", *report)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := nassim.ExportChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+	if len(profiles) > 0 {
+		fmt.Printf("flight recorder: %d pprof capture(s) in %s\n", len(profiles), *profileStages)
+	}
 	return nil
 }

@@ -32,7 +32,20 @@ type frontendBenchEntry struct {
 var (
 	frontendBenchMu      sync.Mutex
 	frontendBenchEntries = map[string]frontendBenchEntry{}
+	frontendDerivedExtra = map[string]float64{}
 )
+
+// recordFrontendDerived adds a directly-measured derived figure (e.g. a
+// worker pool's busy-time utilization) to the export document. Higher is
+// better for everything in derived, which is how benchdiff gates it.
+func recordFrontendDerived(name string, v float64) {
+	if os.Getenv("NASSIM_FRONTEND_BENCH_OUT") == "" {
+		return
+	}
+	frontendBenchMu.Lock()
+	defer frontendBenchMu.Unlock()
+	frontendDerivedExtra[name] = v
+}
 
 // exportFrontendBench records one benchmark result and rewrites the export
 // document, so partial runs (CI smoke: one iteration of one benchmark)
@@ -78,6 +91,9 @@ func exportFrontendBench(b *testing.B, name string) {
 			derived["compile_speedup_warm_vs_cold"] = cold / warm
 		}
 	}
+	for k, v := range frontendDerivedExtra {
+		derived[k] = v
+	}
 	doc := struct {
 		Schema     string                        `json:"schema"`
 		Scale      float64                       `json:"scale"`
@@ -108,6 +124,10 @@ func BenchmarkParseAll(b *testing.B) {
 				pages += len(data[vendor].pages)
 			}
 			b.ReportMetric(float64(pages), "pages/op")
+			// Accumulate the page pool's busy time across iterations: low
+			// utilization at workers=8 is the ROADMAP item 4 diagnosis (the
+			// fan-out exists but the workers starve).
+			var busyNS, slotNS int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, vendor := range nassim.Vendors() {
@@ -118,7 +138,14 @@ func BenchmarkParseAll(b *testing.B) {
 					if len(pr.Corpora) == 0 {
 						b.Fatal("no corpora")
 					}
+					busyNS += pr.Pool.Busy().Nanoseconds()
+					slotNS += int64(pr.Pool.Workers) * pr.Pool.WallNS
 				}
+			}
+			if slotNS > 0 {
+				util := float64(busyNS) / float64(slotNS)
+				b.ReportMetric(util, "utilization")
+				recordFrontendDerived("parse_worker_utilization_"+variant.name, util)
 			}
 			exportFrontendBench(b, "ParseAll/"+variant.name)
 		})
@@ -201,9 +228,18 @@ func BenchmarkValidateConfigs(b *testing.B) {
 		exportFrontendBench(b, "ValidateConfigs/workers1")
 	})
 	b.Run("workers8", func(b *testing.B) {
+		var busyNS, slotNS int64
 		run(b, func() *nassim.EmpiricalReport {
-			return nassim.ValidateConfigsWorkers(ctx, d.asr.VDM, files, 8)
+			rep := nassim.ValidateConfigsWorkers(ctx, d.asr.VDM, files, 8)
+			busyNS += rep.Pool.Busy().Nanoseconds()
+			slotNS += int64(rep.Pool.Workers) * rep.Pool.WallNS
+			return rep
 		})
+		if slotNS > 0 {
+			util := float64(busyNS) / float64(slotNS)
+			b.ReportMetric(util, "utilization")
+			recordFrontendDerived("validate_worker_utilization_workers8", util)
+		}
 		exportFrontendBench(b, "ValidateConfigs/workers8")
 	})
 }

@@ -1,0 +1,466 @@
+// Package benchdiff compares committed benchmark baselines against fresh
+// runs — the regression gate of the run observatory. It understands every
+// BENCH_*.json schema the repo emits and flattens each into a flat list of
+// directional metrics: lower-better timings (ns_per_op, stage wall time,
+// chaos latency percentiles), higher-better derived figures (parallel
+// speedups, cache ratios, worker utilization), and informational counts
+// that are reported when they move but never fail the gate. A metric is a
+// regression when it worsens past its tolerance — generous by default so
+// shared-runner noise does not fail builds, tightenable per invocation.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Direction classifies how a metric's value relates to quality.
+type Direction int
+
+const (
+	// LowerBetter marks timings and failure counts: growth is a regression.
+	LowerBetter Direction = iota
+	// HigherBetter marks speedups, ratios, utilization: shrink regresses.
+	HigherBetter
+	// Info metrics (sample sizes, fault counts) are reported when they
+	// change but never regress.
+	Info
+)
+
+func (d Direction) String() string {
+	switch d {
+	case LowerBetter:
+		return "lower-better"
+	case HigherBetter:
+		return "higher-better"
+	default:
+		return "info"
+	}
+}
+
+// Metric is one flattened benchmark figure.
+type Metric struct {
+	Name  string
+	Value float64
+	Dir   Direction
+	// Tol, when > 0, is the schema-suggested tolerance for this metric:
+	// single-shot stage timings (one call, no iteration averaging) are far
+	// noisier than ns_per_op figures and get a wider gate. A caller's
+	// Tolerances.PerMetric entry still wins.
+	Tol float64
+	// Floor, when > 0, is an absolute noise floor in the metric's own unit:
+	// a change whose absolute delta stays under it never regresses, whatever
+	// the ratio says. Millisecond-scale single-shot timings need this — a
+	// 2ms stage can "triple" on scheduler jitter alone.
+	Floor float64
+}
+
+// SingleShotTolerance is the suggested tolerance for timings measured from
+// one execution: they may double before the gate trips.
+const SingleShotTolerance = 1.0
+
+// SpeedupTolerance is the suggested tolerance for derived speedup ratios.
+// Parallel speedups measured on shared machines swing hard with scheduler
+// load — a burst that lands on one variant but not the other moves the
+// ratio alone — so only a drop past 50%, a real collapse, trips the gate.
+// (1.0 would make a higher-better ratio ungateable: a positive value
+// cannot drop more than 100%.)
+const SpeedupTolerance = 0.5
+
+// ShortBenchNS is the total measured time (b.N x ns_per_op) below which a
+// Go benchmark's ns_per_op is treated as burst-sensitive rather than
+// averaged: whether five 120ms iterations or two hundred 40µs ones, a
+// measurement that completes in under a second can land entirely inside
+// one host-load burst, so such entries gate at SingleShotTolerance.
+const ShortBenchNS = 1e9
+
+// Absolute noise floors for single-shot timings: below 25ms of wall time a
+// one-execution measurement is at scheduler-jitter resolution and ratios
+// carry no signal. A genuine algorithmic regression in such a stage clears
+// the floor easily.
+const (
+	SingleShotFloorNS      = 25e6  // stage avg_ns / wall_ns documents
+	SingleShotFloorSeconds = 0.025 // telemetry *_seconds histogram metrics
+)
+
+// Schemas this package understands.
+const (
+	SchemaTelemetry = "nassim-telemetry-bench/v1"
+	SchemaPipeline  = "nassim-pipeline-bench/v1"
+	SchemaMapper    = "nassim-mapper-bench/v1"
+	SchemaFrontend  = "nassim-frontend-bench/v1"
+	SchemaChaos     = "nassim-chaos-bench/v1"
+)
+
+// Flatten parses one BENCH_*.json document and flattens it into
+// directional metrics. The document's "schema" field selects the layout.
+func Flatten(doc []byte) (string, []Metric, error) {
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(doc, &head); err != nil {
+		return "", nil, fmt.Errorf("benchdiff: not a JSON document: %w", err)
+	}
+	var ms []Metric
+	var err error
+	switch head.Schema {
+	case SchemaTelemetry:
+		ms, err = flattenTelemetry(doc)
+	case SchemaPipeline:
+		ms, err = flattenPipeline(doc)
+	case SchemaMapper:
+		ms, err = flattenBenchmarks(doc, false)
+	case SchemaFrontend:
+		ms, err = flattenBenchmarks(doc, true)
+	case SchemaChaos:
+		ms, err = flattenChaos(doc)
+	case "":
+		return "", nil, fmt.Errorf("benchdiff: document has no schema field")
+	default:
+		return "", nil, fmt.Errorf("benchdiff: unknown schema %q", head.Schema)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return head.Schema, ms, nil
+}
+
+type stageRec struct {
+	Name    string `json:"name"`
+	Calls   int    `json:"calls"`
+	TotalNS int64  `json:"total_ns"`
+	AvgNS   int64  `json:"avg_ns"`
+}
+
+func stageMetrics(stages []stageRec) []Metric {
+	var ms []Metric
+	for _, s := range stages {
+		// Stage tables come from one pipeline run, not b.N iterations: use
+		// the single-shot gate.
+		ms = append(ms,
+			Metric{Name: "stage." + s.Name + ".avg_ns", Value: float64(s.AvgNS), Dir: LowerBetter,
+				Tol: SingleShotTolerance, Floor: SingleShotFloorNS},
+			Metric{Name: "stage." + s.Name + ".calls", Value: float64(s.Calls), Dir: Info},
+		)
+	}
+	return ms
+}
+
+func flattenTelemetry(doc []byte) ([]Metric, error) {
+	var d struct {
+		Stages  []stageRec         `json:"stages"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	ms := stageMetrics(d.Stages)
+	for k, v := range d.Metrics {
+		// The registry snapshot mixes counters and duration histograms;
+		// duration sums/averages gate as timings, the rest is informational.
+		dir := Info
+		tol, floor := 0.0, 0.0
+		if strings.Contains(k, "_seconds") &&
+			(strings.HasSuffix(metricBase(k), "_sum") || strings.HasSuffix(metricBase(k), "_avg")) {
+			dir = LowerBetter
+			tol = SingleShotTolerance // one run's histogram, not an average over b.N
+			floor = SingleShotFloorSeconds
+		}
+		ms = append(ms, Metric{Name: "metric." + k, Value: v, Dir: dir, Tol: tol, Floor: floor})
+	}
+	return ms, nil
+}
+
+// metricBase strips a flattened metric key's {labels} suffix.
+func metricBase(k string) string {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i]
+	}
+	return k
+}
+
+func flattenPipeline(doc []byte) ([]Metric, error) {
+	var d struct {
+		Jobs   int        `json:"jobs"`
+		WallNS int64      `json:"wall_ns"`
+		Stages []stageRec `json:"stages"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	ms := []Metric{
+		{Name: "wall_ns", Value: float64(d.WallNS), Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorNS},
+		{Name: "jobs", Value: float64(d.Jobs), Dir: Info},
+	}
+	return append(ms, stageMetrics(d.Stages)...), nil
+}
+
+// flattenBenchmarks handles the mapper and frontend documents: a
+// benchmarks map of ns_per_op entries, plus (frontend) a derived map of
+// higher-better figures.
+func flattenBenchmarks(doc []byte, derived bool) ([]Metric, error) {
+	var d struct {
+		Benchmarks map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+			N       int     `json:"n"`
+		} `json:"benchmarks"`
+		Derived map[string]float64 `json:"derived"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	var ms []Metric
+	for k, v := range d.Benchmarks {
+		tol := 0.0
+		if v.N > 0 && v.NsPerOp*float64(v.N) < ShortBenchNS {
+			tol = SingleShotTolerance
+		}
+		ms = append(ms, Metric{Name: "bench." + k + ".ns_per_op", Value: v.NsPerOp, Dir: LowerBetter, Tol: tol})
+	}
+	if derived {
+		for k, v := range d.Derived {
+			// Speedup ratios swing with scheduler load far more than the
+			// utilization and cache-ratio figures do (a fan-out near 1.0x —
+			// ROADMAP item 4 — can land either side of it run to run);
+			// give them the wider speedup gate so only a real collapse fails.
+			tol := 0.0
+			if strings.Contains(k, "speedup") {
+				tol = SpeedupTolerance
+			}
+			ms = append(ms, Metric{Name: "derived." + k, Value: v, Dir: HigherBetter, Tol: tol})
+		}
+	}
+	return ms, nil
+}
+
+func flattenChaos(doc []byte) ([]Metric, error) {
+	var d struct {
+		N       int     `json:"n"`
+		P50Ms   float64 `json:"exec_p50_ms"`
+		P99Ms   float64 `json:"exec_p99_ms"`
+		MeanMs  float64 `json:"exec_mean_ms"`
+		Retries int64   `json:"retries"`
+		Faults  struct {
+			Conns   int64 `json:"connections"`
+			Dropped int64 `json:"dropped"`
+			Resets  int64 `json:"resets"`
+			Spikes  int64 `json:"latency_spikes"`
+		} `json:"faults_delivered"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	return []Metric{
+		{Name: "exec_p50_ms", Value: d.P50Ms, Dir: LowerBetter},
+		{Name: "exec_p99_ms", Value: d.P99Ms, Dir: LowerBetter},
+		{Name: "exec_mean_ms", Value: d.MeanMs, Dir: LowerBetter},
+		{Name: "retries", Value: float64(d.Retries), Dir: LowerBetter},
+		{Name: "n", Value: float64(d.N), Dir: Info},
+		{Name: "faults.connections", Value: float64(d.Faults.Conns), Dir: Info},
+		{Name: "faults.dropped", Value: float64(d.Faults.Dropped), Dir: Info},
+		{Name: "faults.resets", Value: float64(d.Faults.Resets), Dir: Info},
+		{Name: "faults.latency_spikes", Value: float64(d.Faults.Spikes), Dir: Info},
+	}, nil
+}
+
+// Tolerances sets the allowed fractional worsening before a metric
+// regresses. Defaults are deliberately loose: CI timing on shared runners
+// is noisy, and a gate that cries wolf gets deleted.
+type Tolerances struct {
+	// Timing is the allowed fractional increase of a lower-better metric
+	// (0.5 = may grow 50%). <= 0 takes the default.
+	Timing float64
+	// Derived is the allowed fractional decrease of a higher-better metric.
+	// <= 0 takes the default.
+	Derived float64
+	// PerMetric overrides the tolerance for specific metric names.
+	PerMetric map[string]float64
+}
+
+// Default tolerances.
+const (
+	DefaultTimingTolerance  = 0.50
+	DefaultDerivedTolerance = 0.25
+)
+
+func (t Tolerances) timing() float64 {
+	if t.Timing > 0 {
+		return t.Timing
+	}
+	return DefaultTimingTolerance
+}
+
+func (t Tolerances) derived() float64 {
+	if t.Derived > 0 {
+		return t.Derived
+	}
+	return DefaultDerivedTolerance
+}
+
+func (t Tolerances) forMetric(m Metric) float64 {
+	if v, ok := t.PerMetric[m.Name]; ok {
+		return v
+	}
+	if m.Tol > 0 {
+		return m.Tol
+	}
+	if m.Dir == HigherBetter {
+		return t.derived()
+	}
+	return t.timing()
+}
+
+// Delta is one metric's baseline-vs-current comparison.
+type Delta struct {
+	Name      string    `json:"name"`
+	Dir       Direction `json:"-"`
+	Direction string    `json:"direction"`
+	Base      float64   `json:"base"`
+	Cur       float64   `json:"current"`
+	// Change is the signed fractional change, (cur-base)/base; +Inf when
+	// the baseline is zero and the current value is not.
+	Change float64 `json:"change"`
+	// Threshold is the tolerance this delta was gated against.
+	Threshold float64 `json:"threshold"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Result is one document pair's comparison.
+type Result struct {
+	Schema string  `json:"schema"`
+	Deltas []Delta `json:"deltas"`
+	// MissingCurrent lists baseline metrics absent from the current run;
+	// AddedCurrent the reverse. Missing metrics count as regressions — a
+	// benchmark silently dropped is exactly what a gate must catch.
+	MissingCurrent []string `json:"missing_current,omitempty"`
+	AddedCurrent   []string `json:"added_current,omitempty"`
+}
+
+// Regressions returns the deltas that failed the gate.
+func (r *Result) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the comparison must fail the build.
+func (r *Result) Failed() bool {
+	return len(r.MissingCurrent) > 0 || len(r.Regressions()) > 0
+}
+
+// Compare flattens both documents (which must share a schema) and gates
+// every baseline metric against its current value.
+func Compare(baseline, current []byte, tol Tolerances) (*Result, error) {
+	bs, bms, err := Flatten(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cs, cms, err := Flatten(current)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if bs != cs {
+		return nil, fmt.Errorf("benchdiff: schema mismatch: baseline %q vs current %q", bs, cs)
+	}
+	cur := make(map[string]Metric, len(cms))
+	for _, m := range cms {
+		cur[m.Name] = m
+	}
+	res := &Result{Schema: bs}
+	seen := map[string]bool{}
+	for _, bm := range bms {
+		seen[bm.Name] = true
+		cm, ok := cur[bm.Name]
+		if !ok {
+			res.MissingCurrent = append(res.MissingCurrent, bm.Name)
+			continue
+		}
+		d := Delta{Name: bm.Name, Dir: bm.Dir, Direction: bm.Dir.String(),
+			Base: bm.Value, Cur: cm.Value,
+			Threshold: tol.forMetric(bm)}
+		switch {
+		case bm.Value == 0 && cm.Value == 0:
+			d.Change = 0
+		case bm.Value == 0:
+			d.Change = math.Inf(1)
+		default:
+			d.Change = (cm.Value - bm.Value) / math.Abs(bm.Value)
+		}
+		switch bm.Dir {
+		case LowerBetter:
+			d.Regressed = d.Change > d.Threshold
+		case HigherBetter:
+			d.Regressed = d.Change < -d.Threshold
+		}
+		if d.Regressed && bm.Floor > 0 && math.Abs(cm.Value-bm.Value) < bm.Floor {
+			// Under the absolute noise floor the ratio is jitter, not signal.
+			d.Regressed = false
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, cm := range cms {
+		if !seen[cm.Name] {
+			res.AddedCurrent = append(res.AddedCurrent, cm.Name)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result as an aligned human-readable table; changed or
+// regressed metrics first, unchanged informational rows summarized.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Schema)
+	fmt.Fprintf(&b, "  %-52s %14s %14s %9s  %s\n", "metric", "baseline", "current", "change", "verdict")
+	quiet := 0
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = fmt.Sprintf("REGRESSED (>%g%% %s)", 100*d.Threshold, worseWord(d.Dir))
+		} else if d.Dir == Info {
+			if d.Change == 0 {
+				quiet++
+				continue
+			}
+			verdict = "info"
+		} else if d.Change == 0 {
+			quiet++
+			continue
+		}
+		fmt.Fprintf(&b, "  %-52s %14s %14s %+8.1f%%  %s\n",
+			d.Name, fmtVal(d.Base), fmtVal(d.Cur), 100*d.Change, verdict)
+	}
+	for _, name := range r.MissingCurrent {
+		fmt.Fprintf(&b, "  %-52s %14s %14s %9s  MISSING from current run\n", name, "-", "-", "")
+	}
+	for _, name := range r.AddedCurrent {
+		fmt.Fprintf(&b, "  %-52s %14s %14s %9s  new metric (no baseline)\n", name, "-", "-", "")
+	}
+	if quiet > 0 {
+		fmt.Fprintf(&b, "  (%d unchanged metric(s) hidden)\n", quiet)
+	}
+	return b.String()
+}
+
+func worseWord(d Direction) string {
+	if d == HigherBetter {
+		return "drop"
+	}
+	return "growth"
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

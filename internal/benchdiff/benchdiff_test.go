@@ -1,0 +1,260 @@
+package benchdiff
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const frontendBase = `{
+  "schema": "nassim-frontend-bench/v1",
+  "scale": 0.05,
+  "benchmarks": {
+    "ParseAll/workers1": {"ns_per_op": 1000000, "n": 2000},
+    "ParseAll/workers8": {"ns_per_op": 500000, "n": 4000}
+  },
+  "derived": {"parse_speedup_8w": 2.0}
+}`
+
+func TestCompareCleanPass(t *testing.T) {
+	cur := strings.Replace(frontendBase, `"ns_per_op": 1000000`, `"ns_per_op": 1100000`, 1)
+	res, err := Compare([]byte(frontendBase), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("10%% growth within default tolerance failed: %+v", res.Regressions())
+	}
+	if res.Schema != SchemaFrontend {
+		t.Errorf("schema = %q", res.Schema)
+	}
+}
+
+func TestCompareTimingRegression(t *testing.T) {
+	cur := strings.Replace(frontendBase, `"ns_per_op": 1000000`, `"ns_per_op": 1600000`, 1)
+	res, err := Compare([]byte(frontendBase), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Name != "bench.ParseAll/workers1.ns_per_op" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if !res.Failed() {
+		t.Error("60% timing growth did not fail")
+	}
+	if !strings.Contains(res.Table(), "REGRESSED") {
+		t.Errorf("table lacks verdict:\n%s", res.Table())
+	}
+}
+
+func TestCompareDerivedRegression(t *testing.T) {
+	// A speedup collapse (2.0 -> 0.9, past the 50% speedup gate) must fail
+	// even though every timing is fine: higher-better metrics gate on drops.
+	cur := strings.Replace(frontendBase, `"parse_speedup_8w": 2.0`, `"parse_speedup_8w": 0.9`, 1)
+	res, err := Compare([]byte(frontendBase), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Name != "derived.parse_speedup_8w" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	// An improvement in the same metric must not.
+	cur = strings.Replace(frontendBase, `"parse_speedup_8w": 2.0`, `"parse_speedup_8w": 4.0`, 1)
+	res, err = Compare([]byte(frontendBase), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("speedup improvement failed the gate: %+v", res.Regressions())
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	cur := strings.Replace(frontendBase,
+		`"ParseAll/workers8": {"ns_per_op": 500000, "n": 4000}`, `"X": {"ns_per_op": 1, "n": 1}`, 1)
+	res, err := Compare([]byte(frontendBase), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("dropped benchmark did not fail the gate")
+	}
+	if len(res.MissingCurrent) != 1 || len(res.AddedCurrent) != 1 {
+		t.Fatalf("missing=%v added=%v", res.MissingCurrent, res.AddedCurrent)
+	}
+}
+
+// TestSingleShotTolerance: one-run stage timings gate at the wider
+// single-shot threshold (may double), but not beyond. Magnitudes sit well
+// above the absolute noise floor so only the ratio is under test.
+func TestSingleShotTolerance(t *testing.T) {
+	base := `{"schema":"nassim-pipeline-bench/v1","jobs":4,"wall_ns":400000000,
+		"stages":[{"name":"parse","calls":4,"total_ns":400000000,"avg_ns":100000000}]}`
+	within := strings.Replace(base, `"avg_ns":100000000`, `"avg_ns":180000000`, 1) // +80%
+	res, err := Compare([]byte(base), []byte(within), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("+80%% single-shot stage timing failed the 2x gate: %+v", res.Regressions())
+	}
+	beyond := strings.Replace(base, `"avg_ns":100000000`, `"avg_ns":250000000`, 1) // +150%
+	res, err = Compare([]byte(base), []byte(beyond), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := res.Regressions(); len(regs) != 1 || regs[0].Name != "stage.parse.avg_ns" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+// TestShortBenchTolerance: a benchmark whose total measured time (n x
+// ns_per_op) fits inside one host-load burst gates at the single-shot
+// threshold, not the default.
+func TestShortBenchTolerance(t *testing.T) {
+	base := `{"schema":"nassim-mapper-bench/v1","scale":0.05,
+		"benchmarks":{"TFIDFRank":{"ns_per_op":43000,"n":200}}}` // 8.6ms total
+	within := strings.Replace(base, `"ns_per_op":43000`, `"ns_per_op":78000`, 1) // +81%
+	res, err := Compare([]byte(base), []byte(within), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("+81%% short-bench timing failed the 2x gate: %+v", res.Regressions())
+	}
+	beyond := strings.Replace(base, `"ns_per_op":43000`, `"ns_per_op":99000`, 1) // +130%
+	res, err = Compare([]byte(base), []byte(beyond), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := res.Regressions(); len(regs) != 1 || regs[0].Name != "bench.TFIDFRank.ns_per_op" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+// TestAbsoluteNoiseFloor: a millisecond-scale single-shot stage may triple
+// on scheduler jitter (delta under the 25ms floor) without regressing, but
+// a growth that clears the floor still fails.
+func TestAbsoluteNoiseFloor(t *testing.T) {
+	base := `{"schema":"nassim-pipeline-bench/v1","jobs":4,"wall_ns":400000000,
+		"stages":[{"name":"syntax_cgm","calls":4,"total_ns":8000000,"avg_ns":2000000}]}`
+	jitter := strings.Replace(base, `"avg_ns":2000000`, `"avg_ns":6700000`, 1) // +235%, delta 4.7ms
+	res, err := Compare([]byte(base), []byte(jitter), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("sub-floor jitter on a 2ms stage failed the gate: %+v", res.Regressions())
+	}
+	real := strings.Replace(base, `"avg_ns":2000000`, `"avg_ns":50000000`, 1) // delta 48ms
+	res, err = Compare([]byte(base), []byte(real), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := res.Regressions(); len(regs) != 1 || regs[0].Name != "stage.syntax_cgm.avg_ns" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+func TestPerMetricThreshold(t *testing.T) {
+	cur := strings.Replace(frontendBase, `"ns_per_op": 1000000`, `"ns_per_op": 1200000`, 1)
+	tol := Tolerances{PerMetric: map[string]float64{"bench.ParseAll/workers1.ns_per_op": 0.10}}
+	res, err := Compare([]byte(frontendBase), []byte(cur), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("20% growth passed a 10% per-metric threshold")
+	}
+}
+
+func TestFlattenAllSchemas(t *testing.T) {
+	docs := map[string]string{
+		SchemaTelemetry: `{"schema":"nassim-telemetry-bench/v1","vendor":"Huawei","scale":0.05,
+			"stages":[{"name":"parse","calls":3,"total_ns":300,"avg_ns":100}],
+			"metrics":{"nassim_pipeline_stage_seconds_sum{stage=\"parse\"}":0.3,
+			           "nassim_pipeline_stage_total{outcome=\"run\"}":3}}`,
+		SchemaPipeline: `{"schema":"nassim-pipeline-bench/v1","workers":4,"scale":0.05,"jobs":8,
+			"wall_ns":123456,"stages":[{"name":"parse","calls":4,"total_ns":400,"avg_ns":100}]}`,
+		SchemaMapper: `{"schema":"nassim-mapper-bench/v1","scale":0.05,
+			"benchmarks":{"MapperRecommend/IR":{"ns_per_op":5000,"n":200}}}`,
+		SchemaFrontend: frontendBase,
+		SchemaChaos: `{"schema":"nassim-chaos-bench/v1","n":100,"exec_p50_ms":1.2,
+			"exec_p99_ms":9.5,"exec_mean_ms":2.2,"retries":14,
+			"faults_delivered":{"connections":40,"dropped":3,"resets":2,"latency_spikes":9}}`,
+	}
+	for schema, doc := range docs {
+		got, ms, err := Flatten([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		if got != schema {
+			t.Errorf("schema = %q, want %q", got, schema)
+		}
+		if len(ms) == 0 {
+			t.Errorf("%s: no metrics", schema)
+		}
+		for i := 1; i < len(ms); i++ {
+			if ms[i-1].Name >= ms[i].Name {
+				t.Errorf("%s: metrics not sorted: %q >= %q", schema, ms[i-1].Name, ms[i].Name)
+			}
+		}
+		// Every document must be diffable against itself with no findings.
+		res, err := Compare([]byte(doc), []byte(doc), Tolerances{})
+		if err != nil {
+			t.Fatalf("%s self-compare: %v", schema, err)
+		}
+		if res.Failed() || len(res.AddedCurrent) != 0 {
+			t.Errorf("%s: self-compare not clean: %+v", schema, res)
+		}
+	}
+
+	// Duration metrics in the telemetry document gate as timings.
+	_, ms, err := Flatten([]byte(docs[SchemaTelemetry]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := map[string]Direction{}
+	for _, m := range ms {
+		dirs[m.Name] = m.Dir
+	}
+	if dirs[`metric.nassim_pipeline_stage_seconds_sum{stage="parse"}`] != LowerBetter {
+		t.Error("duration metric not lower-better")
+	}
+	if dirs[`metric.nassim_pipeline_stage_total{outcome="run"}`] != Info {
+		t.Error("counter metric not info")
+	}
+}
+
+func TestFlattenRejectsUnknownSchema(t *testing.T) {
+	if _, _, err := Flatten([]byte(`{"schema":"nope/v0"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, _, err := Flatten([]byte(`{}`)); err == nil {
+		t.Error("schema-less document accepted")
+	}
+	if _, err := Compare([]byte(frontendBase),
+		[]byte(`{"schema":"nassim-chaos-bench/v1"}`), Tolerances{}); err == nil {
+		t.Error("cross-schema compare accepted")
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	base := `{"schema":"nassim-chaos-bench/v1","n":10,"exec_p50_ms":0,"retries":0}`
+	cur := `{"schema":"nassim-chaos-bench/v1","n":10,"exec_p50_ms":5,"retries":0}`
+	res, err := Compare([]byte(base), []byte(cur), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *Delta
+	for i := range res.Deltas {
+		if res.Deltas[i].Name == "exec_p50_ms" {
+			d = &res.Deltas[i]
+		}
+	}
+	if d == nil || !math.IsInf(d.Change, 1) || !d.Regressed {
+		t.Fatalf("zero-baseline growth delta = %+v", d)
+	}
+}

@@ -37,6 +37,7 @@ func init() {
 	reg.SetHelp("nassim_empirical_files_total", "Configuration files run through Figure 8 validation.")
 	reg.SetHelp("nassim_empirical_lines_total", "Configuration lines checked, by match outcome.")
 	reg.SetHelp("nassim_empirical_validate_seconds", "Wall time of one ValidateConfigs run.")
+	reg.SetHelp("nassim_empirical_worker_busy_seconds", "Per-worker busy time of one config-validation fan-out, by vendor and pool size.")
 	reg.SetHelp("nassim_empirical_live_instances_total", "Generated instances issued to a live device, by outcome.")
 	reg.SetHelp("nassim_live_degraded_total", "Live-testing runs that degraded instead of completing, by reason.")
 }
@@ -65,6 +66,10 @@ type Report struct {
 	MatchedLines int
 	UsedCorpora  map[int]bool // corpus indices matched at least once
 	Failures     []Failure
+	// Pool reports how the per-file fan-out spent its time (per-worker busy
+	// time and utilization). Observational only — excluded from
+	// serialization and from the golden worker-count comparisons.
+	Pool telemetry.PoolStats `json:"-"`
 }
 
 // MatchingRatio is the fraction of configuration lines matched to the
@@ -133,22 +138,26 @@ func ValidateConfigsOpts(ctx context.Context, v *vdm.VDM, files []configgen.File
 	if workers > len(files) {
 		workers = len(files)
 	}
+	var tracker *telemetry.PoolTracker
 	if workers < 2 {
+		tracker = telemetry.NewPoolTracker(1)
 		for i := range files {
 			if ctx.Err() != nil {
 				break
 			}
-			one(i)
+			tracker.Track(0, func() { one(i) })
 		}
 	} else {
+		tracker = telemetry.NewPoolTracker(workers)
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			w := w
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					one(i)
+					tracker.Track(w, func() { one(i) })
 				}
 			}()
 		}
@@ -161,8 +170,10 @@ func ValidateConfigsOpts(ctx context.Context, v *vdm.VDM, files []configgen.File
 		close(idx)
 		wg.Wait()
 	}
+	pool := tracker.Stats()
+	telemetry.ObserveWorkerBusy("nassim_empirical_worker_busy_seconds", pool, "vendor", v.Vendor)
 
-	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}}
+	rep := &Report{Files: len(files), UsedCorpora: map[int]bool{}, Pool: pool}
 	unique := map[string]bool{}
 	for _, fr := range results {
 		if fr == nil {

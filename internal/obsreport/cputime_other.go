@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obsreport
+
+// cpuTimes is unavailable off unix; the manifest's CPU fields stay zero.
+func cpuTimes() (user, sys int64) { return 0, 0 }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package obsreport
+
+import "syscall"
+
+// cpuTimes returns the process's cumulative user and system CPU time in
+// nanoseconds (rusage self).
+func cpuTimes() (user, sys int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return ru.Utime.Nano(), ru.Stime.Nano()
+}

@@ -1,0 +1,102 @@
+package obsreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"nassim/internal/telemetry"
+)
+
+// chromeEvent is one Trace Event Format record ("X" = complete event).
+// The format is what chrome://tracing and Perfetto's legacy importer load:
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`  // µs, relative to first span
+	Dur   int64             `json:"dur"` // µs
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document.
+// Spans are laid out on synthetic "thread" lanes: a span shares a lane with
+// a span that fully contains it (so nesting renders as stacked slices) and
+// otherwise takes the first lane it does not overlap.
+func WriteChromeTrace(w io.Writer, spans []telemetry.SpanRecord) error {
+	ordered := make([]telemetry.SpanRecord, len(spans))
+	copy(ordered, spans)
+	sort.Slice(ordered, func(i, j int) bool {
+		if !ordered[i].Start.Equal(ordered[j].Start) {
+			return ordered[i].Start.Before(ordered[j].Start)
+		}
+		// Longer first on a tie so containers precede their children.
+		return ordered[i].DurationNS > ordered[j].DurationNS
+	})
+
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(ordered) == 0 {
+		return json.NewEncoder(w).Encode(&doc)
+	}
+	epoch := ordered[0].Start
+
+	// Per-lane stacks of open intervals (start, end in ns since epoch).
+	type ival struct{ start, end int64 }
+	var lanes [][]ival
+	for _, s := range ordered {
+		start := s.Start.Sub(epoch).Nanoseconds()
+		end := start + s.DurationNS
+		lane := -1
+		for i := range lanes {
+			st := lanes[i]
+			// Retire intervals that ended before this span starts.
+			for len(st) > 0 && st[len(st)-1].end <= start {
+				st = st[:len(st)-1]
+			}
+			lanes[i] = st
+			if len(st) == 0 || (st[len(st)-1].start <= start && end <= st[len(st)-1].end) {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(lanes)
+			lanes = append(lanes, nil)
+		}
+		lanes[lane] = append(lanes[lane], ival{start, end})
+
+		ev := chromeEvent{
+			Name: s.Name, Cat: "nassim", Phase: "X",
+			TS: start / 1e3, Dur: s.DurationNS / 1e3,
+			PID: 1, TID: lane + 1,
+		}
+		ev.Args = make(map[string]string, len(s.Attrs)+1)
+		for k, v := range s.Attrs {
+			ev.Args[k] = v
+		}
+		ev.Args["span_id"] = fmt.Sprintf("%d", s.ID)
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}
+
+// ExportActiveTrace writes the active span recorder's current ring buffer
+// as a Chrome trace. It errors when tracing is not enabled.
+func ExportActiveTrace(w io.Writer) error {
+	rec := telemetry.ActiveRecorder()
+	if rec == nil {
+		return fmt.Errorf("obsreport: tracing not enabled (call telemetry.EnableTracing first)")
+	}
+	return WriteChromeTrace(w, rec.Snapshot())
+}

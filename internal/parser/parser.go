@@ -40,6 +40,11 @@ type ViewEdge struct {
 type Result struct {
 	Corpora   []corpus.Corpus
 	Hierarchy []ViewEdge
+	// Pool reports how the page fan-out spent its time (per-worker busy
+	// time and utilization). It is observational only — excluded from
+	// serialization so cached parse artifacts stay byte-identical across
+	// worker counts.
+	Pool telemetry.PoolStats `json:"-"`
 }
 
 // parsePageFunc is the vendor-specific parsing() method: one manual page in,
@@ -85,6 +90,7 @@ func init() {
 	reg.SetHelp("nassim_parser_pages_parsed_total", "Manual pages run through a vendor parser.")
 	reg.SetHelp("nassim_parser_parse_seconds", "Wall time of one manual-batch parse.")
 	reg.SetHelp("nassim_parser_completeness_violations_total", "Appendix B completeness-test violations reported.")
+	reg.SetHelp("nassim_parse_worker_busy_seconds", "Per-worker busy time of one manual-batch parse fan-out, by vendor and pool size.")
 }
 
 // Parse runs the vendor parsing() over a batch of manual pages, producing
@@ -97,7 +103,9 @@ func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
 	defer span.End()
 	start := time.Now()
 	res := &Result{}
-	pageResults := p.parsePages(ctx, pages)
+	pageResults, pool := p.parsePages(ctx, pages)
+	res.Pool = pool
+	telemetry.ObserveWorkerBusy("nassim_parse_worker_busy_seconds", pool, "vendor", p.vendor)
 	// Ordered reduction: corpora in page order, explicit hierarchy edges
 	// deduplicated in page order — byte-identical to the sequential loop.
 	edgeSeen := map[ViewEdge]bool{}
@@ -134,8 +142,10 @@ type pageResult struct {
 // bounded worker pool when SetWorkers allows (the same order-stable,
 // ctx-cancellable idiom as mapper.MapAll). Results land at their page index
 // regardless of completion order. Each worker drives its own byte tokenizer
-// (per-tokenizer scratch buffers) over the shared interning pool.
-func (p *Parser) parsePages(ctx context.Context, pages []Page) []pageResult {
+// (per-tokenizer scratch buffers) over the shared interning pool. The
+// returned PoolStats carries each worker's busy time so callers (and the
+// run manifest) can compute fan-out utilization.
+func (p *Parser) parsePages(ctx context.Context, pages []Page) ([]pageResult, telemetry.PoolStats) {
 	results := make([]pageResult, len(pages))
 	one := func(i int) {
 		page := pages[i]
@@ -152,22 +162,25 @@ func (p *Parser) parsePages(ctx context.Context, pages []Page) []pageResult {
 		workers = len(pages)
 	}
 	if workers < 2 {
+		tracker := telemetry.NewPoolTracker(1)
 		for i := range pages {
 			if ctx.Err() != nil {
 				break
 			}
-			one(i)
+			tracker.Track(0, func() { one(i) })
 		}
-		return results
+		return results, tracker.Stats()
 	}
+	tracker := telemetry.NewPoolTracker(workers)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				one(i)
+				tracker.Track(w, func() { one(i) })
 			}
 		}()
 	}
@@ -179,7 +192,7 @@ func (p *Parser) parsePages(ctx context.Context, pages []Page) []pageResult {
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, tracker.Stats()
 }
 
 // Validate is the base-class validating() method: it runs the Appendix B

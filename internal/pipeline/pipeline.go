@@ -201,14 +201,39 @@ type JobResult struct {
 	// and which were satisfied from the artifact store.
 	Ran     []Stage
 	Skipped []Stage
+	// StageElapsed is the wall time of each executed stage (cache-satisfied
+	// stages have no entry: skipped work is skipped).
+	StageElapsed map[Stage]time.Duration
+	// StageAttempts counts the execution attempts each executed stage used
+	// (1 unless the engine's retry policy re-ran it).
+	StageAttempts map[Stage]int
+	// Pools reports the intra-stage worker-pool utilization of executed
+	// stages that fan out (Parse over manual pages, EmpiricalValidate over
+	// config files).
+	Pools map[Stage]telemetry.PoolStats
 	// DegradedStages maps each stage that produced a degraded (partial)
 	// artifact to its machine-readable reason. Degraded artifacts are
 	// returned in the fields above but never cached.
 	DegradedStages map[Stage]string
+	// PagesHash and ConfigHash are the content hashes of the job's inputs
+	// — the same hashes the artifact cache keys chain from — so a run
+	// manifest can name exactly what was assimilated.
+	PagesHash  string
+	ConfigHash string
 }
 
 // Degraded reports whether any stage produced a degraded artifact.
 func (jr *JobResult) Degraded() bool { return len(jr.DegradedStages) > 0 }
+
+// notePool records an executed stage's intra-stage pool utilization. It is
+// called from inside the stage's own execution closure, so it never races
+// with other stages of the same job.
+func (jr *JobResult) notePool(stage Stage, ps telemetry.PoolStats) {
+	if jr.Pools == nil {
+		jr.Pools = map[Stage]telemetry.PoolStats{}
+	}
+	jr.Pools[stage] = ps
+}
 
 // RunStats aggregates stage outcomes over one engine run.
 type RunStats struct {
@@ -272,6 +297,12 @@ type Config struct {
 	// errors, e.g. live testing against a device whose transport keeps
 	// failing with degradation disabled.
 	StageRetries map[Stage]StageRetry
+	// StageHook, when set, observes actual stage executions (cache hits
+	// never fire it). It is called immediately before each execution
+	// attempt; the returned func — which may be nil — runs when the attempt
+	// finishes. The obsreport flight recorder uses this to bracket stages
+	// with pprof CPU/heap captures.
+	StageHook func(vendor string, stage Stage) func()
 }
 
 // Engine runs assimilation jobs through the staged pipeline.
@@ -282,11 +313,13 @@ type Engine struct {
 	stageWorkers int
 	timer        *telemetry.StageTimer
 	retries      map[Stage]StageRetry
+	hook         func(vendor string, stage Stage) func()
 }
 
 // New builds an engine from a config.
 func New(cfg Config) (*Engine, error) {
-	e := &Engine{store: cfg.Store, workers: cfg.Workers, stageWorkers: cfg.StageWorkers, timer: cfg.Timer}
+	e := &Engine{store: cfg.Store, workers: cfg.Workers, stageWorkers: cfg.StageWorkers,
+		timer: cfg.Timer, hook: cfg.StageHook}
 	if len(cfg.StageRetries) > 0 {
 		e.retries = make(map[Stage]StageRetry, len(cfg.StageRetries))
 		for k, v := range cfg.StageRetries {
@@ -468,6 +501,7 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 	var t T
 	var err error
 	var elapsed time.Duration
+	used := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			telemetry.GetCounter("nassim_pipeline_stage_retries_total", "stage", string(stage)).Inc()
@@ -481,11 +515,19 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 		if err = ctx.Err(); err != nil {
 			break
 		}
+		used++
+		var unhook func()
+		if e.hook != nil {
+			unhook = e.hook(jr.Vendor, stage)
+		}
 		sctx, span := telemetry.Span(ctx, "pipeline."+string(stage), "vendor", jr.Vendor)
 		start := time.Now()
 		t, err = fn(sctx)
 		elapsed = time.Since(start)
 		span.End()
+		if unhook != nil {
+			unhook()
+		}
 		if err == nil {
 			// Stages return partial output when cancelled mid-loop; surface
 			// the cancellation instead of caching a truncated artifact.
@@ -501,7 +543,7 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 	if err != nil {
 		return zero, fmt.Errorf("pipeline: %s/%s: %w", jr.Vendor, stage, err)
 	}
-	e.noteRun(jr, stage, elapsed)
+	e.noteRun(jr, stage, elapsed, used)
 	if d, ok := any(t).(Degradable); ok {
 		if reason, degraded := d.DegradedArtifact(); degraded {
 			if jr.DegradedStages == nil {
@@ -523,8 +565,14 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 	return t, nil
 }
 
-func (e *Engine) noteRun(jr *JobResult, stage Stage, elapsed time.Duration) {
+func (e *Engine) noteRun(jr *JobResult, stage Stage, elapsed time.Duration, attempts int) {
 	jr.Ran = append(jr.Ran, stage)
+	if jr.StageElapsed == nil {
+		jr.StageElapsed = map[Stage]time.Duration{}
+		jr.StageAttempts = map[Stage]int{}
+	}
+	jr.StageElapsed[stage] = elapsed
+	jr.StageAttempts[stage] = attempts
 	if e.timer != nil {
 		e.timer.Observe(string(stage), elapsed)
 	}
@@ -543,6 +591,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 	log := telemetry.Logger("pipeline")
 
 	pagesKey := hashPages(job.Vendor, job.Pages)
+	jr.PagesHash = pagesKey
 
 	// Parse (§4): manual pages -> vendor-independent corpus + TDD report.
 	parseKey := Key(StageParse, pagesKey)
@@ -554,6 +603,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 			}
 			p.SetWorkers(e.stageWorkers)
 			res, rep := p.ParseAndValidate(ctx, job.Pages)
+			jr.notePool(StageParse, res.Pool)
 			edges := make([]hierarchy.Edge, len(res.Hierarchy))
 			for i, ed := range res.Hierarchy {
 				edges[i] = hierarchy.Edge{Parent: ed.Parent, Child: ed.Child}
@@ -609,11 +659,14 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 
 	// EmpiricalValidate (§5.3, Figure 8): optional.
 	if len(job.ConfigFiles) > 0 {
-		empKey := Key(StageEmpiricalValidate, deriveKey, hashFiles(job.ConfigFiles))
+		jr.ConfigHash = hashFiles(job.ConfigFiles)
+		empKey := Key(StageEmpiricalValidate, deriveKey, jr.ConfigHash)
 		rep, err := runStage(ctx, e, jr, StageEmpiricalValidate, empKey, nil,
 			func(ctx context.Context) (*empirical.Report, error) {
-				return empirical.ValidateConfigsOpts(ctx, da.VDM, job.ConfigFiles,
-					empirical.Options{Workers: e.stageWorkers}), nil
+				r := empirical.ValidateConfigsOpts(ctx, da.VDM, job.ConfigFiles,
+					empirical.Options{Workers: e.stageWorkers})
+				jr.notePool(StageEmpiricalValidate, r.Pool)
+				return r, nil
 			})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
@@ -12,10 +13,11 @@ const ExpvarName = "nassim_metrics"
 
 // NewMux returns an http.ServeMux with the operational endpoints:
 //
-//	/metrics       Prometheus text exposition of the Default registry
-//	/debug/vars    expvar JSON (includes the registry snapshot)
-//	/debug/traces  JSON dump of the span ring buffer
-//	/debug/pprof/  the standard pprof handlers
+//	/metrics        Prometheus text exposition of the Default registry
+//	/debug/vars     expvar JSON (includes the registry snapshot)
+//	/debug/traces   JSON dump of the span ring buffer (capacity + dropped count)
+//	/debug/lastrun  manifest of the most recent assimilation run (obsreport)
+//	/debug/pprof/   the standard pprof handlers
 func NewMux() *http.ServeMux {
 	defaultRegistry.PublishExpvar(ExpvarName)
 	mux := http.NewServeMux()
@@ -28,10 +30,24 @@ func NewMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		rec := ActiveRecorder()
 		if rec == nil {
-			w.Write([]byte(`{"enabled":false,"spans":[]}` + "\n"))
+			w.Write([]byte(`{"enabled":false,"capacity":0,"dropped":0,"spans":[]}` + "\n"))
 			return
 		}
 		rec.DumpJSON(w)
+	})
+	mux.HandleFunc("/debug/lastrun", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		v := LastRun()
+		if v == nil {
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"no run recorded yet"}` + "\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// PoolStats reports how one bounded worker pool spent its time: the wall
+// time of the pooled section and the per-worker busy time (the sum of the
+// item-processing durations each worker executed). Utilization — busy time
+// over workers×wall — is the number ROADMAP item 4 needs to localize the
+// parse fan-out gap: a pool can be "8 workers" on paper and 1.02 workers
+// busy in practice.
+type PoolStats struct {
+	// Workers is the number of workers the pooled section actually ran
+	// (1 for the sequential path).
+	Workers int `json:"workers"`
+	// BusyNS is the per-worker busy time, one entry per worker.
+	BusyNS []int64 `json:"busy_ns"`
+	// WallNS is the wall time of the pooled section.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Busy returns the summed busy time across workers.
+func (ps PoolStats) Busy() time.Duration {
+	var total int64
+	for _, b := range ps.BusyNS {
+		total += b
+	}
+	return time.Duration(total)
+}
+
+// Utilization returns busy/(workers*wall) in [0,1]; zero when the section
+// never ran.
+func (ps PoolStats) Utilization() float64 {
+	if ps.Workers < 1 || ps.WallNS <= 0 {
+		return 0
+	}
+	return float64(ps.Busy().Nanoseconds()) / (float64(ps.Workers) * float64(ps.WallNS))
+}
+
+// PoolTracker accumulates per-worker busy time for one pooled section. It
+// is handed one slot per worker, so Track calls from different workers
+// never contend.
+type PoolTracker struct {
+	start time.Time
+	busy  []int64
+}
+
+// NewPoolTracker starts tracking a pooled section with the given worker
+// count (minimum 1).
+func NewPoolTracker(workers int) *PoolTracker {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PoolTracker{start: time.Now(), busy: make([]int64, workers)}
+}
+
+// Track runs fn attributed to worker w's busy time.
+func (pt *PoolTracker) Track(w int, fn func()) {
+	start := time.Now()
+	fn()
+	pt.busy[w] += time.Since(start).Nanoseconds()
+}
+
+// Stats finalizes the section and returns its PoolStats. Call after every
+// worker has exited.
+func (pt *PoolTracker) Stats() PoolStats {
+	return PoolStats{
+		Workers: len(pt.busy),
+		BusyNS:  append([]int64(nil), pt.busy...),
+		WallNS:  time.Since(pt.start).Nanoseconds(),
+	}
+}
+
+// ObserveWorkerBusy records each worker's busy seconds into the named
+// histogram of the Default registry (one observation per worker), labelled
+// with the pool's worker count so per-size utilization histograms can be
+// compared (e.g. nassim_parse_worker_busy_seconds{workers="8"}).
+func ObserveWorkerBusy(metric string, ps PoolStats, labels ...string) {
+	kv := append(append([]string(nil), labels...), "workers", itoa(ps.Workers))
+	h := GetHistogram(metric, nil, kv...)
+	for _, b := range ps.BusyNS {
+		h.ObserveDuration(time.Duration(b))
+	}
+}
+
+// itoa avoids strconv for the tiny worker counts used as labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// lastRun holds the most recent run manifest for /debug/lastrun. The
+// telemetry package cannot depend on obsreport (the dependency points the
+// other way), so the holder is generic: any JSON-marshalable value.
+var lastRun struct {
+	mu sync.RWMutex
+	v  any
+}
+
+// SetLastRun publishes a run report for the /debug/lastrun endpoint.
+func SetLastRun(v any) {
+	lastRun.mu.Lock()
+	defer lastRun.mu.Unlock()
+	lastRun.v = v
+}
+
+// LastRun returns the published run report, or nil.
+func LastRun() any {
+	lastRun.mu.RLock()
+	defer lastRun.mu.RUnlock()
+	return lastRun.v
+}

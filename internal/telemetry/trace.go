@@ -43,17 +43,19 @@ func NewRecorder(capacity int) *Recorder {
 
 func (r *Recorder) record(rec SpanRecord) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if !r.full && len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, rec)
 		if len(r.buf) == cap(r.buf) {
 			r.full = true
 		}
+		r.mu.Unlock()
 		return
 	}
 	r.buf[r.next] = rec
 	r.next = (r.next + 1) % cap(r.buf)
 	r.dropped++
+	r.mu.Unlock()
+	GetCounter("nassim_trace_spans_dropped_total").Inc()
 }
 
 // Snapshot returns the buffered spans, oldest first.
@@ -77,15 +79,32 @@ func (r *Recorder) Dropped() uint64 {
 	return r.dropped
 }
 
-// DumpJSON writes the buffered spans as a JSON document.
+// Capacity returns the ring's span capacity.
+func (r *Recorder) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.buf)
+}
+
+// DumpJSON writes the buffered spans as a JSON document, including the
+// ring capacity and the eviction count so an operator reading
+// /debug/traces can tell whether the buffer wrapped (and how much history
+// the dump is missing).
 func (r *Recorder) DumpJSON(w io.Writer) error {
 	doc := struct {
-		Dropped uint64       `json:"dropped"`
-		Spans   []SpanRecord `json:"spans"`
-	}{Dropped: r.Dropped(), Spans: r.Snapshot()}
+		Enabled  bool         `json:"enabled"`
+		Capacity int          `json:"capacity"`
+		Dropped  uint64       `json:"dropped"`
+		Spans    []SpanRecord `json:"spans"`
+	}{Enabled: true, Capacity: r.Capacity(), Dropped: r.Dropped(), Spans: r.Snapshot()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+func init() {
+	defaultRegistry.SetHelp("nassim_trace_spans_dropped_total",
+		"Finished spans evicted from the tracing ring buffer (increase -trace-buffer if nonzero).")
 }
 
 // activeRecorder is the process-wide recorder; nil means tracing is

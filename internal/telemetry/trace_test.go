@@ -59,6 +59,41 @@ func TestRingBufferEviction(t *testing.T) {
 	}
 }
 
+// TestDroppedSpansSurfaced overflows the ring and asserts the evictions
+// are visible everywhere the observatory promises them: the recorder's
+// counter, the nassim_trace_spans_dropped_total metric, and the JSON dump.
+func TestDroppedSpansSurfaced(t *testing.T) {
+	before := Default().FlatSnapshot()["nassim_trace_spans_dropped_total"]
+	rec := EnableTracing(2)
+	defer DisableTracing()
+	for i := 0; i < 5; i++ {
+		_, s := Span(context.Background(), "overflow")
+		s.End()
+	}
+	if got := rec.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	after := Default().FlatSnapshot()["nassim_trace_spans_dropped_total"]
+	if d := after - before; d != 3 {
+		t.Errorf("nassim_trace_spans_dropped_total moved by %v, want 3", d)
+	}
+	var b strings.Builder
+	if err := rec.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Enabled  bool   `json:"enabled"`
+		Capacity int    `json:"capacity"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || doc.Capacity != 2 || doc.Dropped != 3 {
+		t.Errorf("dump = %+v, want enabled capacity=2 dropped=3", doc)
+	}
+}
+
 func TestDisabledTracingIsNop(t *testing.T) {
 	DisableTracing()
 	ctx := context.Background()

@@ -119,7 +119,14 @@ type ParseResult struct {
 	Corpora      []Corpus
 	Hierarchy    []Edge // explicit view edges, when the vendor publishes them
 	Completeness *CompletenessReport
+	// Pool reports the parse worker pool's per-worker busy time and
+	// utilization — observational only, excluded from serialization and
+	// golden comparisons.
+	Pool PoolStats `json:"-"`
 }
+
+// PoolStats is one stage-internal worker pool's busy-time accounting.
+type PoolStats = telemetry.PoolStats
 
 // ParseManual parses vendor manual pages into the vendor-independent corpus
 // format and runs the Appendix B completeness tests (the parser TDD loop's
@@ -145,7 +152,8 @@ func ParseManualWorkers(ctx context.Context, vendor string, pages []Page, worker
 	for i, e := range res.Hierarchy {
 		edges[i] = Edge{Parent: e.Parent, Child: e.Child}
 	}
-	return &ParseResult{Corpora: res.Corpora, Hierarchy: edges, Completeness: rep}, nil
+	return &ParseResult{Corpora: res.Corpora, Hierarchy: edges, Completeness: rep,
+		Pool: res.Pool}, nil
 }
 
 // Correction is one expert fix of a manual's CLI template, applied after

@@ -4,6 +4,7 @@ import (
 	"io"
 	"log/slog"
 
+	"nassim/internal/obsreport"
 	"nassim/internal/telemetry"
 )
 
@@ -68,6 +69,33 @@ func TraceSnapshot() []SpanRecord {
 		return nil
 	}
 	return rec.Snapshot()
+}
+
+// RunReport is the run observatory's per-run manifest (schema
+// "nassim-run-manifest/v1"): a content-addressed record of what one
+// Assimilate run did — input hashes, per-stage outcomes, cache hit/miss,
+// worker utilization, metrics delta — with every duration and timestamp
+// quarantined in its Timing block so repeated warm runs over the same
+// inputs produce byte-identical manifests outside it. Enable with
+// Options.Report; /debug/lastrun serves the most recent one.
+type RunReport = obsreport.Manifest
+
+// RunReportSchema is the manifest document's schema identifier.
+const RunReportSchema = obsreport.ManifestSchema
+
+// LoadRunReport reads a manifest written by a previous run back from disk
+// and validates its schema.
+func LoadRunReport(path string) (*RunReport, error) { return obsreport.Load(path) }
+
+// ExportChromeTrace writes the active span recorder's ring buffer in the
+// Chrome trace-event format (loadable in chrome://tracing and Perfetto).
+// It errors when tracing is not enabled.
+func ExportChromeTrace(w io.Writer) error { return obsreport.ExportActiveTrace(w) }
+
+// WriteChromeTrace renders an arbitrary span slice (e.g. a saved
+// TraceSnapshot) in the Chrome trace-event format.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return obsreport.WriteChromeTrace(w, spans)
 }
 
 func init() {
