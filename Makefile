@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-all benchdiff chaos stages
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-all benchdiff chaos stages fuzz
 
 check: fmt vet build race
 
@@ -44,12 +44,23 @@ bench-mapper:
 		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
 
 # Front-end benchmarks (byte-tokenizer parse pool, compiled-template
-# cache, memoized empirical matching at paper corpus scale), exported to
-# BENCH_frontend.json (schema nassim-frontend-bench/v1) with derived
-# seed-vs-optimized speedups.
+# cache, memoized empirical matching at paper corpus scale, isolated
+# artifact decode), exported to BENCH_frontend.json (schema
+# nassim-frontend-bench/v1) with derived seed-vs-optimized speedups,
+# pool utilizations, and decode_ns_per_artifact.
 bench-frontend:
 	NASSIM_FRONTEND_BENCH_OUT=BENCH_frontend.json $(GO) test -run xxx \
-		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs' -benchtime 5x .
+		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs|BenchmarkDecodeArtifact' -benchtime 5x .
+
+# Artifact-codec fuzzing under the race detector: coverage-guided
+# mutations of real encoded artifacts must decode cleanly or be rejected
+# with an error — never panic — at the stage-codec layer
+# (FuzzArtifactCodecs) and the container layer (FuzzOpen). The seed
+# corpora also run in every plain `go test`.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -race -run '^$$' -fuzz FuzzArtifactCodecs -fuzztime $(FUZZTIME) ./internal/pipeline
+	$(GO) test -race -run '^$$' -fuzz FuzzOpen -fuzztime $(FUZZTIME) ./internal/artifact
 
 # Chaos suite: fault injection, resilient client, breaker, and the
 # end-to-end chaos assimilation tests, twice under the race detector, then
@@ -80,7 +91,7 @@ benchdiff:
 	NASSIM_MAPPER_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_mapper.json $(GO) test -run xxx \
 		-bench 'BenchmarkRecommend$$|BenchmarkMapAll$$|BenchmarkTFIDFRank$$' -benchtime 200x .
 	NASSIM_FRONTEND_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_frontend.json $(GO) test -run xxx \
-		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs' -benchtime 5x .
+		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs|BenchmarkDecodeArtifact' -benchtime 5x .
 	NASSIM_CHAOS_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
 	$(GO) run ./cmd/evalbench -stages -scale 0.1 -telemetry-out $(BENCHDIFF_OUT)/BENCH_telemetry.json \

@@ -355,6 +355,7 @@ func cmdMap(args []string) error {
 	limit := fs.Int("limit", 5, "how many parameters to map (0 = all)")
 	param := fs.String("param", "", `map one specific parameter ("<corpusIndex>#<name>")`)
 	vdmPath := fs.String("vdm", "", "load a saved validated VDM instead of re-deriving from -corpus")
+	matrixCache := fs.String("matrix-cache", "", "precombined-matrix artifact path (schema "+nassim.MapperMatrixSchema+"): read when present, written after a cold build")
 	fs.Parse(args)
 	var vdmModel *nassim.VDM
 	if *vdmPath != "" {
@@ -378,9 +379,25 @@ func cmdMap(args []string) error {
 		vdmModel, _ = nassim.BuildVDM(context.Background(), v, art.Corpora, art.Hierarchy)
 	}
 	u := nassim.BuildUDM()
-	mp, err := nassim.NewMapper(u, nassim.ModelKind(*model))
+	var mopts []nassim.MapperOption
+	if *matrixCache != "" {
+		if data, err := os.ReadFile(*matrixCache); err == nil {
+			mopts = append(mopts, nassim.WithMatrixArtifact(data))
+		}
+	}
+	mp, err := nassim.NewMapper(u, nassim.ModelKind(*model), mopts...)
 	if err != nil {
 		return err
+	}
+	if *matrixCache != "" {
+		if mp.MatrixLoaded() {
+			fmt.Fprintf(os.Stderr, "mapper matrix: warm start from %s\n", *matrixCache)
+		} else if data, err := mp.ExportMatrix(); err == nil {
+			if err := os.WriteFile(*matrixCache, data, 0o644); err != nil {
+				return fmt.Errorf("map: write matrix cache: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "mapper matrix: cached %d bytes to %s\n", len(data), *matrixCache)
+		}
 	}
 	params := vdmModel.Parameters()
 	if *param != "" {
@@ -552,7 +569,9 @@ func cmdRun(args []string) error {
 		Vendors: names, Scale: *scale, Workers: *workers,
 		Cache: nassim.NewPipelineCache(), CacheDir: *cacheDir,
 		Validate: *validate, LiveTest: *live || *chaos, Seed: *seed, Timer: timer,
-		Report: *report != "", ProfileStages: *profileStages,
+		// Profiling runs get a manifest too: its Timing.Derived block carries
+		// the pool utilizations, sharing one code path with BENCH_frontend.json.
+		Report: *report != "" || *profileStages != "", ProfileStages: *profileStages,
 	}
 	if *chaos {
 		p := nassim.StandardChaosProfile(*seed)
@@ -593,6 +612,17 @@ func cmdRun(args []string) error {
 		}
 	}
 	fmt.Printf("stage timing (executed stages only):\n%s", timer.Table())
+	if manifest != nil && len(manifest.Timing.Derived) > 0 {
+		keys := make([]string, 0, len(manifest.Timing.Derived))
+		for k := range manifest.Timing.Derived {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("derived (same code path as BENCH_frontend.json):")
+		for _, k := range keys {
+			fmt.Printf("  %s = %.3f\n", k, manifest.Timing.Derived[k])
+		}
+	}
 	if manifest != nil {
 		fmt.Println("manifest:", manifest.Summary())
 		if *report == "-" {
@@ -601,9 +631,10 @@ func cmdRun(args []string) error {
 				return err
 			}
 			os.Stdout.Write(data)
-		} else if err := manifest.WriteFile(*report); err != nil {
-			return err
-		} else {
+		} else if *report != "" {
+			if err := manifest.WriteFile(*report); err != nil {
+				return err
+			}
 			fmt.Printf("wrote run manifest to %s\n", *report)
 		}
 	}

@@ -22,6 +22,8 @@ import (
 	"nassim"
 	"nassim/internal/cgm"
 	"nassim/internal/empirical"
+	"nassim/internal/pipeline"
+	"nassim/internal/telemetry"
 )
 
 type frontendBenchEntry struct {
@@ -36,8 +38,9 @@ var (
 )
 
 // recordFrontendDerived adds a directly-measured derived figure (e.g. a
-// worker pool's busy-time utilization) to the export document. Higher is
-// better for everything in derived, which is how benchdiff gates it.
+// worker pool's busy-time utilization) to the export document. benchdiff
+// gates derived entries higher-better, except *_ns keys which are
+// timings and gate lower-better.
 func recordFrontendDerived(name string, v float64) {
 	if os.Getenv("NASSIM_FRONTEND_BENCH_OUT") == "" {
 		return
@@ -126,8 +129,10 @@ func BenchmarkParseAll(b *testing.B) {
 			b.ReportMetric(float64(pages), "pages/op")
 			// Accumulate the page pool's busy time across iterations: low
 			// utilization at workers=8 is the ROADMAP item 4 diagnosis (the
-			// fan-out exists but the workers starve).
-			var busyNS, slotNS int64
+			// fan-out exists but the workers starve). The derivation and key
+			// are telemetry's — the same code path the run manifest uses, so
+			// -profile-stages runs and this export report one number.
+			var acc telemetry.UtilizationAccum
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, vendor := range nassim.Vendors() {
@@ -138,18 +143,67 @@ func BenchmarkParseAll(b *testing.B) {
 					if len(pr.Corpora) == 0 {
 						b.Fatal("no corpora")
 					}
-					busyNS += pr.Pool.Busy().Nanoseconds()
-					slotNS += int64(pr.Pool.Workers) * pr.Pool.WallNS
+					acc.Add(pr.Pool)
 				}
 			}
-			if slotNS > 0 {
-				util := float64(busyNS) / float64(slotNS)
+			if util, ok := acc.Utilization(); ok {
 				b.ReportMetric(util, "utilization")
-				recordFrontendDerived("parse_worker_utilization_"+variant.name, util)
+				recordFrontendDerived(telemetry.UtilizationKey(telemetry.StageParse, variant.workers), util)
 			}
 			exportFrontendBench(b, "ParseAll/"+variant.name)
 		})
 	}
+}
+
+// BenchmarkDecodeArtifact measures the warm path's artifact decode in
+// isolation: a cold pipeline run mirrors every vendor's parse and derive
+// artifact to disk; the measured loop then decodes the stored blobs
+// through the wired nassim-art binary codecs — no hashing, no disk I/O,
+// no stage execution. decode_ns_per_artifact is the derived per-blob
+// figure the benchdiff gate watches.
+func BenchmarkDecodeArtifact(b *testing.B) {
+	data := setup(b)
+	eng, err := pipeline.New(pipeline.Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []pipeline.Job
+	for _, vendor := range nassim.Vendors() {
+		jobs = append(jobs, pipeline.Job{Vendor: vendor, Pages: data[vendor].pages})
+	}
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		b.Fatal(err)
+	}
+	var arts []pipeline.StoredArtifact
+	var stored int64
+	for _, job := range jobs {
+		as, err := eng.StoredArtifacts(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range as {
+			stored += int64(len(a.Data))
+		}
+		arts = append(arts, as...)
+	}
+	if want := 2 * len(jobs); len(arts) != want {
+		b.Fatalf("disk mirror holds %d artifact(s), want %d", len(arts), want)
+	}
+	b.ReportMetric(float64(len(arts)), "artifacts/op")
+	b.ReportMetric(float64(stored), "bytes/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range arts {
+			if err := pipeline.DecodeStoredArtifact(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	perArtifact := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(arts))
+	b.ReportMetric(perArtifact, "ns/artifact")
+	recordFrontendDerived("decode_ns_per_artifact", perArtifact)
+	exportFrontendBench(b, "DecodeArtifact")
 }
 
 // BenchmarkCompileTemplates builds the CGM index over every vendor's
@@ -228,17 +282,15 @@ func BenchmarkValidateConfigs(b *testing.B) {
 		exportFrontendBench(b, "ValidateConfigs/workers1")
 	})
 	b.Run("workers8", func(b *testing.B) {
-		var busyNS, slotNS int64
+		var acc telemetry.UtilizationAccum
 		run(b, func() *nassim.EmpiricalReport {
 			rep := nassim.ValidateConfigsWorkers(ctx, d.asr.VDM, files, 8)
-			busyNS += rep.Pool.Busy().Nanoseconds()
-			slotNS += int64(rep.Pool.Workers) * rep.Pool.WallNS
+			acc.Add(rep.Pool)
 			return rep
 		})
-		if slotNS > 0 {
-			util := float64(busyNS) / float64(slotNS)
+		if util, ok := acc.Utilization(); ok {
 			b.ReportMetric(util, "utilization")
-			recordFrontendDerived("validate_worker_utilization_workers8", util)
+			recordFrontendDerived(telemetry.UtilizationKey("validate", 8), util)
 		}
 		exportFrontendBench(b, "ValidateConfigs/workers8")
 	})

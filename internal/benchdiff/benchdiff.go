@@ -228,11 +228,18 @@ func flattenBenchmarks(doc []byte, derived bool) ([]Metric, error) {
 			// utilization and cache-ratio figures do (a fan-out near 1.0x —
 			// ROADMAP item 4 — can land either side of it run to run);
 			// give them the wider speedup gate so only a real collapse fails.
+			// Keys ending in _ns or _ns_per_* are derived timings
+			// (decode_ns_per_artifact, the parse+validate wall figures):
+			// those gate lower-better like any other timing.
 			tol := 0.0
+			dir := HigherBetter
 			if strings.Contains(k, "speedup") {
 				tol = SpeedupTolerance
 			}
-			ms = append(ms, Metric{Name: "derived." + k, Value: v, Dir: HigherBetter, Tol: tol})
+			if strings.HasSuffix(k, "_ns") || strings.Contains(k, "_ns_per_") {
+				dir = LowerBetter
+			}
+			ms = append(ms, Metric{Name: "derived." + k, Value: v, Dir: dir, Tol: tol})
 		}
 	}
 	return ms, nil

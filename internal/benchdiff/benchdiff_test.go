@@ -71,6 +71,38 @@ func TestCompareDerivedRegression(t *testing.T) {
 	}
 }
 
+func TestCompareDerivedTimingDirection(t *testing.T) {
+	// Derived *_ns keys are timings: growth regresses, shrink passes —
+	// the opposite of the ratio entries sharing the derived map. The
+	// utilization key gates higher-better alongside them.
+	base := `{"schema": "nassim-frontend-bench/v1", "scale": 0.05,
+		"benchmarks": {"DecodeArtifact": {"ns_per_op": 800000, "n": 2000}},
+		"derived": {"decode_ns_per_artifact": 100000,
+		            "parse_worker_utilization_workers8": 0.8}}`
+	worse := strings.Replace(base, `"decode_ns_per_artifact": 100000`, `"decode_ns_per_artifact": 200000`, 1)
+	res, err := Compare([]byte(base), []byte(worse), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Name != "derived.decode_ns_per_artifact" {
+		t.Fatalf("decode time doubled; regressions = %+v", regs)
+	}
+	better := strings.Replace(base, `"decode_ns_per_artifact": 100000`, `"decode_ns_per_artifact": 20000`, 1)
+	if res, err = Compare([]byte(base), []byte(better), Tolerances{}); err != nil {
+		t.Fatal(err)
+	} else if res.Failed() {
+		t.Fatalf("faster decode failed the gate: %+v", res.Regressions())
+	}
+	// Utilization collapse past the derived tolerance fails.
+	stalled := strings.Replace(base, `"parse_worker_utilization_workers8": 0.8`, `"parse_worker_utilization_workers8": 0.2`, 1)
+	if res, err = Compare([]byte(base), []byte(stalled), Tolerances{}); err != nil {
+		t.Fatal(err)
+	} else if regs := res.Regressions(); len(regs) != 1 || regs[0].Name != "derived.parse_worker_utilization_workers8" {
+		t.Fatalf("utilization collapse; regressions = %+v", regs)
+	}
+}
+
 func TestCompareMissingMetricFails(t *testing.T) {
 	cur := strings.Replace(frontendBase,
 		`"ParseAll/workers8": {"ns_per_op": 500000, "n": 4000}`, `"X": {"ns_per_op": 1, "n": 1}`, 1)

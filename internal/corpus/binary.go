@@ -1,0 +1,144 @@
+package corpus
+
+import (
+	"fmt"
+
+	"nassim/internal/artifact"
+)
+
+// Binary (de)serialization of corpora and TDD reports for the
+// nassim-art/v1 artifact store. The encoding preserves nil-vs-empty
+// slice distinctions exactly, so a binary round trip re-marshals to the
+// same JSON bytes as the reference codec (the fuzz suite holds the two
+// paths equal). Decoded strings alias the artifact buffer — warm cache
+// hits materialize a corpus batch without copying any manual text.
+
+// AppendBinary writes one corpus batch to an artifact section.
+func AppendBinary(e *artifact.Enc, corpora []Corpus) {
+	e.Len(len(corpora), corpora == nil)
+	for i := range corpora {
+		appendCorpus(e, &corpora[i])
+	}
+}
+
+func appendCorpus(e *artifact.Enc, c *Corpus) {
+	e.Len(len(c.CLIs), c.CLIs == nil)
+	for _, s := range c.CLIs {
+		e.String(s)
+	}
+	e.String(c.FuncDef)
+	e.Len(len(c.ParentViews), c.ParentViews == nil)
+	for _, s := range c.ParentViews {
+		e.String(s)
+	}
+	e.Len(len(c.ParaDef), c.ParaDef == nil)
+	for _, pd := range c.ParaDef {
+		e.String(pd.Paras)
+		e.String(pd.Info)
+	}
+	e.Len(len(c.Examples), c.Examples == nil)
+	for _, ex := range c.Examples {
+		e.Len(len(ex), ex == nil)
+		for _, line := range ex {
+			e.String(line)
+		}
+	}
+	e.String(c.EnablesView)
+	e.String(c.SourceURL)
+	e.String(c.Vendor)
+}
+
+// DecodeBinary reads a corpus batch written by AppendBinary.
+func DecodeBinary(d *artifact.Dec) ([]Corpus, error) {
+	n, isNil := d.Len()
+	if isNil {
+		return nil, d.Err()
+	}
+	out := make([]Corpus, n)
+	for i := range out {
+		decodeCorpus(d, &out[i])
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: binary decode: %w", err)
+	}
+	return out, nil
+}
+
+func decodeCorpus(d *artifact.Dec, c *Corpus) {
+	if n, isNil := d.Len(); !isNil {
+		c.CLIs = make([]string, n)
+		for i := range c.CLIs {
+			c.CLIs[i] = d.String()
+		}
+	}
+	c.FuncDef = d.String()
+	if n, isNil := d.Len(); !isNil {
+		c.ParentViews = make([]string, n)
+		for i := range c.ParentViews {
+			c.ParentViews[i] = d.String()
+		}
+	}
+	if n, isNil := d.Len(); !isNil {
+		c.ParaDef = make([]ParaDef, n)
+		for i := range c.ParaDef {
+			c.ParaDef[i].Paras = d.String()
+			c.ParaDef[i].Info = d.String()
+		}
+	}
+	if n, isNil := d.Len(); !isNil {
+		c.Examples = make([][]string, n)
+		for i := range c.Examples {
+			if m, exNil := d.Len(); !exNil {
+				c.Examples[i] = make([]string, m)
+				for j := range c.Examples[i] {
+					c.Examples[i][j] = d.String()
+				}
+			}
+		}
+	}
+	c.EnablesView = d.String()
+	c.SourceURL = d.String()
+	c.Vendor = d.String()
+}
+
+// AppendReportBinary writes a completeness report (nil allowed).
+func AppendReportBinary(e *artifact.Enc, r *Report) {
+	if r == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(int64(r.Total))
+	e.Len(len(r.Violations), r.Violations == nil)
+	for _, v := range r.Violations {
+		e.Int(int64(v.Index))
+		e.String(v.URL)
+		e.String(v.Test)
+		e.String(v.Field)
+		e.String(v.Msg)
+	}
+}
+
+// DecodeReportBinary reads a report written by AppendReportBinary.
+func DecodeReportBinary(d *artifact.Dec) (*Report, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	r := &Report{Total: int(d.Int())}
+	if n, isNil := d.Len(); !isNil {
+		r.Violations = make([]Violation, n)
+		for i := range r.Violations {
+			r.Violations[i] = Violation{
+				Index: int(d.Int()),
+				URL:   d.String(),
+				Test:  d.String(),
+				Field: d.String(),
+				Msg:   d.String(),
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: binary report decode: %w", err)
+	}
+	return r, nil
+}

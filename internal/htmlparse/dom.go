@@ -2,6 +2,8 @@ package htmlparse
 
 import (
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // NodeType distinguishes the kinds of DOM nodes.
@@ -57,7 +59,7 @@ func (n *Node) Classes() []string {
 
 // cacheClasses splits the class attribute once at parse time, interning
 // each class token so equal class lists across nodes share storage.
-func (n *Node) cacheClasses(pool *Intern) {
+func (n *Node) cacheClasses(pool interner) {
 	n.classesSet = true
 	v, ok := n.Attr("class")
 	if !ok || v == "" {
@@ -112,9 +114,90 @@ func (n *Node) appendText(b *strings.Builder) {
 	}
 }
 
+// asciiSpaceSet marks the ASCII bytes unicode.IsSpace reports as space.
+var asciiSpaceSet = [128]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
 // CollapseSpace replaces runs of whitespace with single spaces and trims.
+// Equivalent to strings.Join(strings.Fields(s), " ") — the reference
+// expression a fuzz test holds it against — but single-pass: most inputs
+// (element texts queried repeatedly by the vendor parsers) are already
+// collapsed and are returned without allocating.
 func CollapseSpace(s string) string {
-	return strings.Join(strings.Fields(s), " ")
+	// Fast scan: ASCII input that is already collapsed passes through.
+	prevSpace := true // rejects a leading space
+	i := 0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			break // non-ASCII whitespace (e.g. U+00A0) needs the rune path
+		}
+		if asciiSpaceSet[c] {
+			if c != ' ' || prevSpace {
+				break
+			}
+			prevSpace = true
+		} else {
+			prevSpace = false
+		}
+	}
+	if i == len(s) {
+		if len(s) > 0 && !prevSpace {
+			return s
+		}
+		if len(s) == 0 {
+			return s
+		}
+	}
+	// Collapse by slicing fields out of s (never re-encoding runes, so
+	// invalid UTF-8 passes through byte-for-byte like strings.Fields).
+	var b strings.Builder
+	b.Grow(len(s))
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s[start:end])
+		start = -1
+	}
+	for j := 0; j < len(s); {
+		r, size := utf8.DecodeRuneInString(s[j:])
+		if (r < 0x80 && asciiSpaceSet[r]) || (r >= 0x80 && unicode.IsSpace(r)) {
+			flush(j)
+		} else if start < 0 {
+			start = j
+		}
+		j += size
+	}
+	flush(len(s))
+	return b.String()
+}
+
+// EachField calls fn for every whitespace-separated field of s (exactly
+// strings.Fields' splitting) without allocating; the fields alias s.
+func EachField(s string, fn func(string)) {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			for _, f := range strings.Fields(s) {
+				fn(f)
+			}
+			return
+		}
+	}
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || asciiSpaceSet[s[i]] {
+			if start >= 0 {
+				fn(s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
 }
 
 // Walk visits the node and all its descendants in document order. The visit
@@ -173,16 +256,16 @@ func (n *Node) ByTagClass(tag, class string) []*Node {
 
 // ByAnyClass returns descendant elements carrying any of the CSS classes.
 // Vendor manuals use several interchangeable class names for one concept
-// (§2.2), so parsers routinely query a candidate set.
+// (§2.2), so parsers routinely query a candidate set. Candidate sets are
+// a handful of names, so membership is a linear scan — per-call set maps
+// were a measurable allocation source in the page fan-out.
 func (n *Node) ByAnyClass(classes ...string) []*Node {
-	set := make(map[string]bool, len(classes))
-	for _, c := range classes {
-		set[c] = true
-	}
 	return n.FindAll(func(m *Node) bool {
 		for _, c := range m.Classes() {
-			if set[c] {
-				return true
+			for _, want := range classes {
+				if c == want {
+					return true
+				}
 			}
 		}
 		return false

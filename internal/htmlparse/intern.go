@@ -4,6 +4,14 @@ import (
 	"sync"
 )
 
+// interner is the interning surface the tokenizer and DOM builders
+// draw from: the shared (locked) Intern pool directly, or a per-worker
+// CachedIntern in front of it.
+type interner interface {
+	Intern(b []byte) string
+	InternString(str string) string
+}
+
 // Intern is a sharded string-interning pool. The byte-backed tokenizer
 // funnels every tag name, attribute key and CSS class token through it, so
 // the handful of distinct names a vendor manual uses (Appendix B: manuals
@@ -104,6 +112,54 @@ func fnv1aString(str string) uint32 {
 		h *= 16777619
 	}
 	return h
+}
+
+// CachedIntern is a read-through cache in front of a shared Intern pool
+// for a single-goroutine consumer. The shared pool's RWMutex costs two
+// atomic operations per lookup; on the arena decode path — which interns
+// every tag name, attribute key, and class token of every page — those
+// atomics dominate once allocations are slab-amortized. A CachedIntern
+// resolves repeats from a plain (unlocked) map and only falls through to
+// the shared pool on first sight, so canonical identity still spans all
+// workers. Not safe for concurrent use; give each worker its own.
+type CachedIntern struct {
+	pool *Intern
+	m    map[string]string
+}
+
+// NewCachedIntern returns an empty cache draining into pool (nil uses
+// the shared default pool).
+func NewCachedIntern(pool *Intern) *CachedIntern {
+	if pool == nil {
+		pool = defaultIntern
+	}
+	return &CachedIntern{pool: pool, m: make(map[string]string, 64)}
+}
+
+// Intern returns the canonical string equal to b.
+func (c *CachedIntern) Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if v, ok := c.m[string(b)]; ok { // no alloc: compiler optimizes []byte map key
+		return v
+	}
+	v := c.pool.Intern(b)
+	c.m[v] = v
+	return v
+}
+
+// InternString is Intern for an existing string.
+func (c *CachedIntern) InternString(str string) string {
+	if str == "" {
+		return ""
+	}
+	if v, ok := c.m[str]; ok {
+		return v
+	}
+	v := c.pool.InternString(str)
+	c.m[v] = v
+	return v
 }
 
 // Len returns the number of distinct strings pooled, for tests and

@@ -340,14 +340,21 @@ func parseNumericRef(s string) (rune, bool) {
 	return rune(n), true
 }
 
+// Escape replacers are package-level: strings.Replacer builds its
+// internal matcher on first use and is safe for concurrent Replace, so
+// constructing one per call re-paid the build cost (and its allocation)
+// for every escaped string.
+var (
+	escapeTextReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	escapeAttrReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
+
 // EscapeText encodes text for inclusion in an HTML document.
 func EscapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	return escapeTextReplacer.Replace(s)
 }
 
 // EscapeAttr encodes an attribute value for inclusion in an HTML document.
 func EscapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return escapeAttrReplacer.Replace(s)
 }

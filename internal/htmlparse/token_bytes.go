@@ -17,12 +17,39 @@ import (
 type ByteTokenizer struct {
 	src  []byte
 	pos  int
-	pool *Intern
+	pool interner
 	// scratch holds ASCII-lowercased token bytes between Next calls.
 	scratch []byte
 	// attrSlab amortizes attribute allocations: tokens slice their Attrs
 	// out of it (full-capacity subslices, so later growth never aliases).
 	attrSlab []Attr
+	// fastTab is a direct-mapped cache in front of the interning pool.
+	// The intern vocabulary of a manual is a handful of tag names, attr
+	// keys, class values, and indentation runs repeated tens of thousands
+	// of times; resolving repeats with one byte-compare instead of a map
+	// hash removes the dominant cost of the slab-amortized decode path.
+	// Collisions just fall through to the pool, so it is always correct.
+	fastTab [fastTabSize]string
+}
+
+const (
+	fastTabSize = 256
+	fastTabMask = fastTabSize - 1
+)
+
+// fastIntern resolves b through the direct-mapped cache, falling back to
+// (and refilling from) the interning pool on miss.
+func (z *ByteTokenizer) fastIntern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	h := (uint(b[0])*131 + uint(b[len(b)-1])*31 + uint(len(b))) & fastTabMask
+	if v := z.fastTab[h]; v == string(b) { // no alloc: comparison conversion
+		return v
+	}
+	v := z.pool.Intern(b)
+	z.fastTab[h] = v
+	return v
 }
 
 // NewByteTokenizer returns a ByteTokenizer reading from src, interning
@@ -34,6 +61,17 @@ func NewByteTokenizer(src []byte, pool *Intern) *ByteTokenizer {
 	return &ByteTokenizer{src: src, pool: pool}
 }
 
+// Reset points the tokenizer at a new document while keeping its scratch
+// buffer and attribute slab, so one tokenizer amortizes its allocations
+// across a worker's whole page stream. Attrs handed out from the slab for
+// the previous document are invalidated — the caller must be done with
+// the previous page's tokens (and any DOM aliasing them) before Reset.
+func (z *ByteTokenizer) Reset(src []byte) {
+	z.src = src
+	z.pos = 0
+	z.attrSlab = z.attrSlab[:0]
+}
+
 // Next returns the next token, or false when the input is exhausted.
 func (z *ByteTokenizer) Next() (Token, bool) {
 	if z.pos >= len(z.src) {
@@ -43,34 +81,43 @@ func (z *ByteTokenizer) Next() (Token, bool) {
 		return z.text(), true
 	}
 	rest := z.src[z.pos:]
-	switch {
-	case bytes.HasPrefix(rest, []byte("<!--")):
-		return z.comment(), true
-	case bytes.HasPrefix(rest, []byte("<!")):
-		return z.doctype(), true
-	case bytes.HasPrefix(rest, []byte("</")):
-		return z.endTag(), true
-	default:
-		if len(rest) > 1 && isTagNameStart(rest[1]) {
+	if len(rest) > 1 {
+		switch c := rest[1]; {
+		case isTagNameStart(c):
 			return z.startTag(), true
+		case c == '/':
+			return z.endTag(), true
+		case c == '!':
+			if bytes.HasPrefix(rest, []byte("<!--")) {
+				return z.comment(), true
+			}
+			return z.doctype(), true
 		}
-		return z.textFromBracket(), true
 	}
+	return z.textFromBracket(), true
 }
 
 // lowerIntern interns the ASCII-lowercased form of b through the scratch
 // buffer; non-ASCII bytes fall back to the unicode-aware strings.ToLower
 // so the byte path stays equivalent to the string tokenizer.
 func (z *ByteTokenizer) lowerIntern(b []byte) string {
-	ascii := true
+	ascii, lower := true, true
 	for _, c := range b {
 		if c >= 0x80 {
 			ascii = false
 			break
 		}
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+		}
 	}
 	if !ascii {
 		return z.pool.InternString(strings.ToLower(string(b)))
+	}
+	if lower {
+		// Generated and modern hand-written markup is already lowercase;
+		// skip the scratch copy entirely.
+		return z.fastIntern(b)
 	}
 	z.scratch = z.scratch[:0]
 	for _, c := range b {
@@ -79,7 +126,7 @@ func (z *ByteTokenizer) lowerIntern(b []byte) string {
 		}
 		z.scratch = append(z.scratch, c)
 	}
-	return z.pool.Intern(z.scratch)
+	return z.fastIntern(z.scratch)
 }
 
 // textData converts a raw text run into token data, mirroring
@@ -88,12 +135,25 @@ func (z *ByteTokenizer) lowerIntern(b []byte) string {
 func (z *ByteTokenizer) textData(b []byte) string {
 	if bytes.IndexByte(b, '&') < 0 {
 		if isAllSpace(b) {
-			return z.pool.Intern(b)
+			return z.fastIntern(b)
+		}
+		if len(b) <= internableTextLen {
+			// Manual text is template-generated from a bounded vocabulary:
+			// the same command words, parameter names, and boilerplate
+			// phrases recur across thousands of pages. Interning short
+			// runs replaces the per-token copy (and its GC scan work)
+			// with a byte-compare in the common case.
+			return z.fastIntern(b)
 		}
 		return string(b)
 	}
 	return unescapeEntityBytes(b)
 }
+
+// internableTextLen caps which text runs are interned. Long runs (full
+// description paragraphs) are likelier unique; interning them would grow
+// the pool without reuse.
+const internableTextLen = 64
 
 func isAllSpace(b []byte) bool {
 	for _, c := range b {
@@ -143,8 +203,10 @@ func unescapeEntityBytes(s []byte) string {
 
 func (z *ByteTokenizer) text() Token {
 	start := z.pos
-	for z.pos < len(z.src) && z.src[z.pos] != '<' {
-		z.pos++
+	if i := bytes.IndexByte(z.src[z.pos:], '<'); i < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos += i
 	}
 	return Token{Type: TextToken, Data: z.textData(z.src[start:z.pos])}
 }
@@ -152,8 +214,10 @@ func (z *ByteTokenizer) text() Token {
 func (z *ByteTokenizer) textFromBracket() Token {
 	start := z.pos
 	z.pos++ // consume '<'
-	for z.pos < len(z.src) && z.src[z.pos] != '<' {
-		z.pos++
+	if i := bytes.IndexByte(z.src[z.pos:], '<'); i < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos += i
 	}
 	return Token{Type: TextToken, Data: z.textData(z.src[start:z.pos])}
 }
@@ -236,8 +300,10 @@ func (z *ByteTokenizer) startTag() Token {
 				quote := z.src[i]
 				i++
 				vStart := i
-				for i < len(z.src) && z.src[i] != quote {
-					i++
+				if q := bytes.IndexByte(z.src[i:], quote); q < 0 {
+					i = len(z.src)
+				} else {
+					i += q
 				}
 				rawVal = z.src[vStart:i]
 				if i < len(z.src) {
@@ -285,7 +351,7 @@ func (z *ByteTokenizer) attrValue(key string, raw []byte) string {
 	}
 	if bytes.IndexByte(raw, '&') < 0 {
 		if key == "class" {
-			return z.pool.Intern(raw)
+			return z.fastIntern(raw)
 		}
 		return string(raw)
 	}

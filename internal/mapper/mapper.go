@@ -111,6 +111,24 @@ func WithMapWorkers(n int) Option {
 	return func(m *Mapper) { m.mapWorkers = n }
 }
 
+// WithFloatScoring disables the int8-quantized candidate prune so every
+// candidate is scored on the float path. This is the scalar reference
+// configuration: the differential suite and the before/after benchmark
+// rows compare the quantized scorer against it.
+func WithFloatScoring() Option {
+	return func(m *Mapper) { m.floatOnly = true }
+}
+
+// WithMatrixArtifact primes the mapper from a previously exported
+// precombined-matrix artifact (ExportMatrix). When the artifact matches
+// the tree, encoder dimension, and weight vector, New skips re-encoding
+// every UDM attribute context and rebuilding (and re-quantizing) the
+// precombined matrix; a stale or foreign artifact is ignored and the
+// mapper is built from scratch — cache-miss semantics, like DiskStore.
+func WithMatrixArtifact(data []byte) Option {
+	return func(m *Mapper) { m.matrixArt = data }
+}
+
 // Mapper recommends UDM attributes for VDM parameters. Recommend and
 // MapAll are safe for concurrent use; RefreshUDM and encoder fine-tuning
 // mutate shared state and must not race with in-flight queries.
@@ -130,6 +148,14 @@ type Mapper struct {
 	// KV×KU cosines with norm recomputation.
 	comb []float64
 	dim  int
+
+	// quant is the int8 image of comb (see quant.go). nil when the
+	// mapper has no encoder or WithFloatScoring was requested; otherwise
+	// Recommend prunes through it and rescores survivors on comb.
+	quant     *quantMatrix
+	floatOnly bool
+	matrixArt []byte
+	fromArt   bool
 
 	// Metric handles resolved once in New, keyed by model kind, so
 	// Recommend (called per parameter, §7.3 benchmarks it) pays atomics only.
@@ -158,15 +184,6 @@ func New(tree *udm.Tree, enc nlp.Encoder, useIR bool, opts ...Option) (*Mapper, 
 	}
 	if enc != nil {
 		m.dim = enc.Dim()
-		m.udmEmb = make([][]nlp.Vec, tree.Len())
-		for i := range m.udmEmb {
-			ctx := tree.Context(i)
-			rows := make([]nlp.Vec, len(ctx))
-			for j, s := range ctx {
-				rows[j] = enc.Encode(s)
-			}
-			m.udmEmb[i] = rows
-		}
 		if m.weights == nil {
 			m.weights = make([]float64, KV*KU)
 			for i := range m.weights {
@@ -187,7 +204,24 @@ func New(tree *udm.Tree, enc nlp.Encoder, useIR bool, opts ...Option) (*Mapper, 
 		for i := range m.weights {
 			m.weights[i] /= sum
 		}
-		m.rebuildComb()
+		// A matching matrix artifact carries the attribute embeddings and
+		// the (already quantized) precombined matrix; importing it skips
+		// the per-attribute encoding and rebuild below.
+		if m.matrixArt == nil || m.importMatrix(m.matrixArt) != nil {
+			m.udmEmb = make([][]nlp.Vec, tree.Len())
+			for i := range m.udmEmb {
+				ctx := tree.Context(i)
+				rows := make([]nlp.Vec, len(ctx))
+				for j, s := range ctx {
+					rows[j] = enc.Encode(s)
+				}
+				m.udmEmb[i] = rows
+			}
+			m.rebuildComb()
+		} else {
+			m.fromArt = true
+		}
+		m.matrixArt = nil
 	}
 	m.telRecs = telemetry.GetCounter("nassim_mapper_recommendations_total", "model", m.Name())
 	m.telLatency = telemetry.GetHistogram("nassim_mapper_recommend_seconds", nil, "model", m.Name())
@@ -209,7 +243,7 @@ func (m *Mapper) Name() string {
 }
 
 // rebuildComb recomputes the precombined UDM matrix from the current
-// attribute embeddings and weights.
+// attribute embeddings and weights, and refreshes its int8 image.
 func (m *Mapper) rebuildComb() {
 	n := m.tree.Len()
 	comb := make([]float64, n*KV*m.dim)
@@ -227,6 +261,10 @@ func (m *Mapper) rebuildComb() {
 		}
 	}
 	m.comb = comb
+	m.quant = nil
+	if !m.floatOnly {
+		m.quant = quantizeMatrix(comb, n*KV, m.dim)
+	}
 }
 
 // RefreshUDM re-encodes the UDM attribute contexts and rebuilds the
@@ -322,17 +360,22 @@ func (m *Mapper) recommend(ctx ParamContext, k int, naive bool) []Recommendation
 	for i, s := range ctx.Sequences {
 		paramEmb[i] = m.enc.Encode(s)
 	}
-	scored := make([]nlp.Scored, len(candidates))
-	for ci, a := range candidates {
-		score := 0.0
-		if naive {
-			score = m.dlScoreNaive(paramEmb, a)
-		} else {
-			score = m.dlScore(paramEmb, a)
+	var top []nlp.Scored
+	if !naive && m.quant != nil && len(candidates) >= quantMinCandidates {
+		top = m.scoreQuant(paramEmb, candidates, k)
+	} else {
+		scored := make([]nlp.Scored, len(candidates))
+		for ci, a := range candidates {
+			score := 0.0
+			if naive {
+				score = m.dlScoreNaive(paramEmb, a)
+			} else {
+				score = m.dlScore(paramEmb, a)
+			}
+			scored[ci] = nlp.Scored{Doc: a, Score: score}
 		}
-		scored[ci] = nlp.Scored{Doc: a, Score: score}
+		top = nlp.TopKScored(scored, k)
 	}
-	top := nlp.TopKScored(scored, k)
 	out := make([]Recommendation, len(top))
 	for i, s := range top {
 		out[i] = Recommendation{AttrIndex: s.Doc, Attr: m.tree.Attrs[s.Doc], Score: s.Score}

@@ -1,0 +1,210 @@
+package mapper
+
+// The precombined-mapper-matrix artifact: a nassim-art/v1 document
+// carrying everything New derives from the encoder — the per-attribute
+// context embeddings, the precombined float matrix, and its int8
+// quantization — so a warm start reconstructs the scorer without
+// encoding a single UDM context or re-quantizing a row. The quantized
+// matrix, the document's largest int8 payload, is aliased zero-copy out
+// of the artifact buffer (the container format exists for exactly this
+// access pattern).
+//
+// The artifact is self-describing enough to be rejected when stale: the
+// encoder name, dimension, normalized weight vector (bit-exact), and
+// the full UDM attribute ID list must all match the mapper being built,
+// otherwise import fails and New falls back to building from scratch.
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"nassim/internal/artifact"
+	"nassim/internal/nlp"
+)
+
+// MatrixSchema is the nassim-art schema tag of the precombined-matrix
+// artifact.
+const MatrixSchema = "mapper-matrix/v1"
+
+// MatrixLoaded reports whether this mapper was primed from a matrix
+// artifact (WithMatrixArtifact) instead of encoding the UDM contexts.
+func (m *Mapper) MatrixLoaded() bool { return m.fromArt }
+
+// ExportMatrix serializes the mapper's encoder-derived state as a
+// mapper-matrix/v1 document. Mappers without an encoder have no matrix
+// to export.
+func (m *Mapper) ExportMatrix() ([]byte, error) {
+	if m.enc == nil {
+		return nil, fmt.Errorf("mapper: %s model has no precombined matrix", m.Name())
+	}
+	w := artifact.NewWriter(MatrixSchema)
+
+	meta := w.Section("meta")
+	meta.String(m.enc.Name())
+	meta.Uvarint(uint64(m.dim))
+	meta.Uvarint(uint64(m.tree.Len()))
+	for _, wt := range m.weights {
+		meta.Float(wt)
+	}
+	for i := 0; i < m.tree.Len(); i++ {
+		meta.String(m.tree.Attrs[i].ID)
+	}
+
+	emb := w.Section("emb")
+	for _, rows := range m.udmEmb {
+		emb.Uvarint(uint64(len(rows)))
+		for _, row := range rows {
+			emb.Uvarint(uint64(len(row)))
+			for _, v := range row {
+				emb.Float(v)
+			}
+		}
+	}
+
+	cs := w.Section("comb")
+	cs.Uvarint(uint64(len(m.comb)))
+	for _, v := range m.comb {
+		cs.Float(v)
+	}
+
+	qs := w.Section("quant")
+	if m.quant == nil {
+		qs.Bool(false)
+	} else {
+		qs.Bool(true)
+		qs.Bytes(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(m.quant.q))), len(m.quant.q)))
+		for r := 0; r < m.quant.rows; r++ {
+			qs.Float(m.quant.scale[r])
+			qs.Uvarint(uint64(m.quant.sumAbs[r]))
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// importMatrix restores the encoder-derived state from an ExportMatrix
+// document. Any mismatch with the mapper under construction — schema,
+// encoder, dimension, weights, attribute set — returns an error and
+// leaves the mapper untouched.
+func (m *Mapper) importMatrix(data []byte) error {
+	r, err := artifact.OpenSchema(data, MatrixSchema)
+	if err != nil {
+		return err
+	}
+	meta, err := r.Section("meta")
+	if err != nil {
+		return err
+	}
+	n := m.tree.Len()
+	if name := meta.String(); name != m.enc.Name() {
+		return fmt.Errorf("mapper: matrix artifact encoder %q, want %q", name, m.enc.Name())
+	}
+	if dim := int(meta.Uvarint()); dim != m.dim {
+		return fmt.Errorf("mapper: matrix artifact dim %d, want %d", dim, m.dim)
+	}
+	if an := int(meta.Uvarint()); an != n {
+		return fmt.Errorf("mapper: matrix artifact has %d attributes, tree has %d", an, n)
+	}
+	for i := range m.weights {
+		if w := meta.Float(); math.Float64bits(w) != math.Float64bits(m.weights[i]) {
+			return fmt.Errorf("mapper: matrix artifact weight vector differs at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if id := meta.String(); id != m.tree.Attrs[i].ID {
+			return fmt.Errorf("mapper: matrix artifact attribute %d is %q, tree has %q", i, id, m.tree.Attrs[i].ID)
+		}
+	}
+	if err := meta.Err(); err != nil {
+		return err
+	}
+
+	emb, err := r.Section("emb")
+	if err != nil {
+		return err
+	}
+	// Length guard: every stored element costs ≥ 8 bytes, so any claimed
+	// count beyond the document size marks a malformed artifact before it
+	// can provoke a huge allocation.
+	maxElems := uint64(len(data))
+	udmEmb := make([][]nlp.Vec, n)
+	for i := range udmEmb {
+		nr := emb.Uvarint()
+		if emb.Err() != nil || nr > maxElems {
+			return fmt.Errorf("mapper: matrix artifact emb rows malformed")
+		}
+		rows := make([]nlp.Vec, int(nr))
+		for j := range rows {
+			nv := emb.Uvarint()
+			if emb.Err() != nil || nv > maxElems {
+				return fmt.Errorf("mapper: matrix artifact emb row malformed")
+			}
+			row := make(nlp.Vec, int(nv))
+			for k := range row {
+				row[k] = emb.Float()
+			}
+			rows[j] = row
+		}
+		udmEmb[i] = rows
+	}
+	if err := emb.Err(); err != nil {
+		return err
+	}
+
+	cs, err := r.Section("comb")
+	if err != nil {
+		return err
+	}
+	nc := cs.Uvarint()
+	if cs.Err() != nil || nc != uint64(n*KV*m.dim) {
+		return fmt.Errorf("mapper: matrix artifact comb length %d, want %d", nc, n*KV*m.dim)
+	}
+	comb := make([]float64, int(nc))
+	for i := range comb {
+		comb[i] = cs.Float()
+	}
+	if err := cs.Err(); err != nil {
+		return err
+	}
+
+	var qm *quantMatrix
+	qs, err := r.Section("quant")
+	if err != nil {
+		return err
+	}
+	if qs.Bool() {
+		raw := qs.Bytes()
+		rows := n * KV
+		if len(raw) != rows*m.dim {
+			return fmt.Errorf("mapper: matrix artifact quant length %d, want %d", len(raw), rows*m.dim)
+		}
+		// Zero-copy: int8 has byte alignment, so the quantized matrix is
+		// the artifact buffer itself.
+		qm = &quantMatrix{
+			dim:    m.dim,
+			rows:   rows,
+			q:      unsafe.Slice((*int8)(unsafe.Pointer(unsafe.SliceData(raw))), len(raw)),
+			scale:  make([]float64, rows),
+			sumAbs: make([]int32, rows),
+		}
+		for r := 0; r < rows; r++ {
+			qm.scale[r] = qs.Float()
+			qm.sumAbs[r] = int32(qs.Uvarint())
+		}
+		if err := qs.Err(); err != nil {
+			return err
+		}
+	}
+
+	m.udmEmb = udmEmb
+	m.comb = comb
+	switch {
+	case m.floatOnly:
+		m.quant = nil
+	case qm != nil:
+		m.quant = qm
+	default:
+		m.quant = quantizeMatrix(comb, n*KV, m.dim)
+	}
+	return nil
+}

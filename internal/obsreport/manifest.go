@@ -89,6 +89,21 @@ type JobRecord struct {
 	LiveTested         int     `json:"live_tested,omitempty"`
 	LiveVerified       int     `json:"live_verified,omitempty"`
 	MappedParams       int     `json:"mapped_params,omitempty"`
+	// Artifacts lists the stages this job warm-started by decoding a disk
+	// artifact, in canonical stage order (empty on cold runs and for
+	// engines without a disk mirror).
+	Artifacts []ArtifactRecord `json:"artifacts,omitempty"`
+}
+
+// ArtifactRecord is one stage of one job satisfied by decoding a stored
+// artifact from the disk mirror: which codec read it and how many bytes
+// the stored document was. Codec names and encoded sizes are pure
+// functions of the run's inputs, so the record lives in the deterministic
+// manifest body — repeated warm runs must report identical loads.
+type ArtifactRecord struct {
+	Stage string `json:"stage"`
+	Codec string `json:"codec"`
+	Bytes int64  `json:"bytes"`
 }
 
 // CacheStat aggregates one stage's run/cache-hit split across the run.
@@ -148,6 +163,12 @@ type Timing struct {
 	// Metrics holds the duration-valued metric deltas (…_seconds_sum /
 	// …_seconds_avg) that the deterministic MetricsDelta must not contain.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Derived holds named figures computed from the timing data above —
+	// per-stage worker-pool utilizations aggregated across vendors, keyed
+	// by telemetry.UtilizationKey (e.g. parse_worker_utilization_workers8).
+	// BENCH_frontend.json's derived block uses the same derivation and
+	// keys, so `-profile-stages` runs and bench exports report one number.
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // Manifest is the per-run evidence artifact. See the package comment for
@@ -158,9 +179,13 @@ type Manifest struct {
 	// every job's input hashes. Identical inputs produce the identical ID,
 	// so a manifest names the run's identity, not the wall-clock moment it
 	// happened.
-	RunID string      `json:"run_id"`
-	Info  RunInfo     `json:"info"`
-	Jobs  []JobRecord `json:"jobs"`
+	RunID string  `json:"run_id"`
+	Info  RunInfo `json:"info"`
+	// ArtifactFormat names the on-disk artifact container the engine that
+	// produced this run writes (pipeline.ArtifactFormat), so a stored
+	// manifest says what layout its cached artifacts use.
+	ArtifactFormat string      `json:"artifact_format"`
+	Jobs           []JobRecord `json:"jobs"`
 	// Cache aggregates run/cache-hit splits per stage; a fully warm run
 	// shows zero runs.
 	Cache []CacheStat `json:"cache,omitempty"`
@@ -293,7 +318,7 @@ func timingMetric(key string) bool {
 // Build assembles the manifest from the run's results. results holds one
 // entry per requested vendor in request order; failed jobs are nil.
 func (c *Collector) Build(info RunInfo, results []*pipeline.JobResult) *Manifest {
-	m := &Manifest{Schema: ManifestSchema, Info: info}
+	m := &Manifest{Schema: ManifestSchema, Info: info, ArtifactFormat: pipeline.ArtifactFormat}
 
 	// Per-vendor job records plus the per-stage cache aggregate.
 	type agg struct{ runs, hits int }
@@ -363,6 +388,12 @@ func (c *Collector) Build(info RunInfo, results []*pipeline.JobResult) *Manifest
 			rec.LiveVerified = jr.Live.Verified
 		}
 		rec.MappedParams = len(jr.Mapping)
+		for _, st := range pipeline.Stages() {
+			if al, ok := jr.DiskLoads[st]; ok {
+				rec.Artifacts = append(rec.Artifacts, ArtifactRecord{
+					Stage: string(st), Codec: al.Codec, Bytes: al.Bytes})
+			}
+		}
 		m.Jobs = append(m.Jobs, rec)
 	}
 	for _, st := range pipeline.Stages() {
@@ -422,6 +453,10 @@ func (c *Collector) Build(info RunInfo, results []*pipeline.JobResult) *Manifest
 	m.Timing.WallNS = time.Since(c.start).Nanoseconds()
 	m.Timing.CPUUserNS = user - c.cpuUser0
 	m.Timing.CPUSysNS = sys - c.cpuSys0
+	// Derived pool utilization, aggregated across vendors per (stage,
+	// worker count) with the same accumulator and key naming
+	// BENCH_frontend.json uses — one code path, one number.
+	derived := map[string]*telemetry.UtilizationAccum{}
 	for i, vendor := range info.Vendors {
 		if i >= len(results) || results[i] == nil {
 			continue
@@ -437,7 +472,22 @@ func (c *Collector) Build(info RunInfo, results []*pipeline.JobResult) *Manifest
 					Vendor: vendor, Stage: string(st), Workers: ps.Workers,
 					BusyNS: ps.BusyNS, WallNS: ps.WallNS,
 					Utilization: ps.Utilization()})
+				key := telemetry.UtilizationKey(string(st), ps.Workers)
+				acc := derived[key]
+				if acc == nil {
+					acc = &telemetry.UtilizationAccum{}
+					derived[key] = acc
+				}
+				acc.Add(ps)
 			}
+		}
+	}
+	for key, acc := range derived {
+		if util, ok := acc.Utilization(); ok {
+			if m.Timing.Derived == nil {
+				m.Timing.Derived = map[string]float64{}
+			}
+			m.Timing.Derived[key] = util
 		}
 	}
 	if len(timingDelta) > 0 {

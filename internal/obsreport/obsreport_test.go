@@ -107,6 +107,25 @@ func TestManifestBuildWriteLoad(t *testing.T) {
 	if len(m.Timing.Pools) == 0 {
 		t.Error("no pool timing (parse stage fans out)")
 	}
+	if m.ArtifactFormat != pipeline.ArtifactFormat {
+		t.Errorf("artifact format = %q, want %q", m.ArtifactFormat, pipeline.ArtifactFormat)
+	}
+	for _, j := range m.Jobs {
+		if len(j.Artifacts) != 0 {
+			t.Errorf("%s: cold run without disk mirror recorded artifact loads: %v", j.Vendor, j.Artifacts)
+		}
+	}
+	// Every recorded pool yields a derived utilization entry under the
+	// telemetry key shared with BENCH_frontend.json.
+	for _, p := range m.Timing.Pools {
+		key := telemetry.UtilizationKey(p.Stage, p.Workers)
+		u, ok := m.Timing.Derived[key]
+		if !ok {
+			t.Errorf("no derived entry %q for pooled stage", key)
+		} else if u <= 0 || u > 1.01 {
+			t.Errorf("derived %s = %v, want (0,1]", key, u)
+		}
+	}
 	if len(m.MetricsDelta) == 0 {
 		t.Error("no metrics delta (stage counters moved)")
 	}
@@ -198,6 +217,59 @@ func TestWarmRunDeterminism(t *testing.T) {
 	// Warm runs skip every stage, so no stage wall time or pool stats.
 	if len(warm1.Timing.Stages) != 0 || len(warm1.Timing.Pools) != 0 {
 		t.Errorf("warm timing not empty: stages=%v pools=%v", warm1.Timing.Stages, warm1.Timing.Pools)
+	}
+}
+
+// TestManifestArtifactsBlock: a fresh engine warm-starting from a disk
+// mirror records, per job, which stages it satisfied by decoding stored
+// artifacts — binary codecs, real byte counts — and two such warm runs
+// agree byte-for-byte on the block (it is deterministic manifest body).
+func TestManifestArtifactsBlock(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []pipeline.Job{testJob(t, devmodel.Cisco, 0.02)}
+	info := RunInfo{Vendors: []string{jobs[0].Vendor}, Scale: 0.02}
+
+	cold, err := pipeline.New(pipeline.Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCold := runOnce(t, cold, jobs, info)
+	for _, j := range mCold.Jobs {
+		if len(j.Artifacts) != 0 {
+			t.Errorf("cold run recorded artifact loads: %v", j.Artifacts)
+		}
+	}
+
+	warmRun := func() *Manifest {
+		eng, err := pipeline.New(pipeline.Config{CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runOnce(t, eng, jobs, info)
+	}
+	warm1, warm2 := warmRun(), warmRun()
+	arts := warm1.Jobs[0].Artifacts
+	if len(arts) == 0 {
+		t.Fatal("warm run from disk mirror recorded no artifact loads")
+	}
+	for _, a := range arts {
+		if !strings.HasSuffix(a.Codec, ".art") {
+			t.Errorf("stage %s decoded via %q, want a binary .art codec", a.Stage, a.Codec)
+		}
+		if a.Bytes <= 0 {
+			t.Errorf("stage %s: %d bytes", a.Stage, a.Bytes)
+		}
+	}
+	b1, err := warm1.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := warm2.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("warm artifact blocks differ:\n--- warm1\n%s\n--- warm2\n%s", b1, b2)
 	}
 }
 

@@ -9,6 +9,7 @@ package parser
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -59,8 +60,15 @@ type Parser struct {
 	workers   int
 }
 
-// SetWorkers bounds the page-level fan-out of Parse. Values below 2 keep
-// the sequential path; the zero value therefore means sequential.
+// SetWorkers selects the page fan-out of Parse. Exactly 1 forces the
+// sequential reference path — htmlparse.ParseReference, the original
+// string-tokenizer parser with an individually allocated DOM per page,
+// kept as the golden baseline the fast path is measured and verified
+// against. Any other value (including the zero default) takes the
+// arena-pooled path: the requested worker count (or GOMAXPROCS when
+// unset) is clamped to GOMAXPROCS and the page count, and each worker
+// streams its pages through its own slab-backed DOM arena. Parse output
+// is byte-identical across paths and worker counts.
 func (p *Parser) SetWorkers(n int) { p.workers = n }
 
 // New returns the built-in parser for a vendor ("Huawei", "Cisco", "Nokia",
@@ -108,6 +116,9 @@ func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
 	telemetry.ObserveWorkerBusy("nassim_parse_worker_busy_seconds", pool, "vendor", p.vendor)
 	// Ordered reduction: corpora in page order, explicit hierarchy edges
 	// deduplicated in page order — byte-identical to the sequential loop.
+	// One corpus per parsed page: preallocate so the append loop never
+	// re-copies the (large) corpus structs while growing.
+	res.Corpora = make([]corpus.Corpus, 0, len(pages))
 	edgeSeen := map[ViewEdge]bool{}
 	for _, pr := range pageResults {
 		if !pr.done {
@@ -130,6 +141,48 @@ func (p *Parser) Parse(ctx context.Context, pages []Page) *Result {
 	return res
 }
 
+// arenaFree recycles DOM arenas across Parse calls and vendors. An
+// arena's value is its warmed slabs and intern caches; rebuilding them
+// per batch would pay the cold-growth cost on every pipeline job. A
+// permanent free list is deliberate — sync.Pool drops its contents at
+// GC, and a page fan-out allocates enough corpus garbage to cycle the
+// collector every batch, which would re-grow every slab from cold. The
+// list never exceeds the peak concurrent worker count (≤ GOMAXPROCS).
+var arenaFree struct {
+	mu   sync.Mutex
+	list []*htmlparse.Arena
+}
+
+func getArena() *htmlparse.Arena {
+	arenaFree.mu.Lock()
+	defer arenaFree.mu.Unlock()
+	if n := len(arenaFree.list); n > 0 {
+		a := arenaFree.list[n-1]
+		arenaFree.list[n-1] = nil
+		arenaFree.list = arenaFree.list[:n-1]
+		return a
+	}
+	return htmlparse.NewArena(nil)
+}
+
+func putArena(a *htmlparse.Arena) {
+	arenaFree.mu.Lock()
+	arenaFree.list = append(arenaFree.list, a)
+	arenaFree.mu.Unlock()
+}
+
+// pageSpanIfTracing opens a per-page trace span only when a recorder is
+// installed. Span itself is a no-op when tracing is off, but its variadic
+// attributes still box per call — measurable at manual-batch page counts
+// in the decode hot loop.
+func pageSpanIfTracing(ctx context.Context, url string) *telemetry.SpanHandle {
+	if !telemetry.TracingEnabled() {
+		return nil
+	}
+	_, pageSpan := telemetry.Span(ctx, "parse.page", "url", url)
+	return pageSpan
+}
+
 // pageResult is the outcome of parsing one page, collected positionally so
 // the fan-out stays order-stable.
 type pageResult struct {
@@ -138,37 +191,63 @@ type pageResult struct {
 	done   bool
 }
 
-// parsePages runs the vendor parsing() over every page, fanning out over a
-// bounded worker pool when SetWorkers allows (the same order-stable,
-// ctx-cancellable idiom as mapper.MapAll). Results land at their page index
-// regardless of completion order. Each worker drives its own byte tokenizer
-// (per-tokenizer scratch buffers) over the shared interning pool. The
-// returned PoolStats carries each worker's busy time so callers (and the
-// run manifest) can compute fan-out utilization.
+// parsePages runs the vendor parsing() over every page. SetWorkers(1)
+// keeps the sequential reference path; otherwise pages fan out over a
+// bounded worker pool (the same order-stable, ctx-cancellable idiom as
+// mapper.MapAll) clamped to GOMAXPROCS — page decoding is pure CPU, so
+// slots beyond the scheduler's parallelism only add queueing. Each
+// worker streams its pages through its own slab-backed DOM arena over
+// the shared interning pool, so per-page tokenizer, node, and children
+// allocations are amortized across the worker's whole stream. Results
+// land at their page index regardless of completion order. The returned
+// PoolStats carries each effective worker's busy time so callers (and
+// the run manifest) can compute honest fan-out utilization.
 func (p *Parser) parsePages(ctx context.Context, pages []Page) ([]pageResult, telemetry.PoolStats) {
 	results := make([]pageResult, len(pages))
-	one := func(i int) {
-		page := pages[i]
-		_, pageSpan := telemetry.Span(ctx, "parse.page", "url", page.URL)
-		doc := htmlparse.Parse(page.HTML)
+	finish := func(doc *htmlparse.Node, i int) {
 		c, edges := p.parsePage(doc)
 		c.Vendor = p.vendor
-		c.SourceURL = page.URL
+		c.SourceURL = pages[i].URL
 		results[i] = pageResult{corpus: c, edges: edges, done: true}
-		pageSpan.End()
 	}
-	workers := p.workers
-	if workers > len(pages) {
-		workers = len(pages)
-	}
-	if workers < 2 {
+	if p.workers == 1 {
+		// Reference path: the string-tokenizer parser, every node and
+		// children slice individually allocated.
 		tracker := telemetry.NewPoolTracker(1)
 		for i := range pages {
 			if ctx.Err() != nil {
 				break
 			}
-			tracker.Track(0, func() { one(i) })
+			tracker.Track(0, func() {
+				pageSpan := pageSpanIfTracing(ctx, pages[i].URL)
+				finish(htmlparse.ParseReference(pages[i].HTML), i)
+				pageSpan.End()
+			})
 		}
+		return results, tracker.Stats()
+	}
+	workers := p.workers
+	if maxPar := runtime.GOMAXPROCS(0); workers < 1 || workers > maxPar {
+		workers = maxPar
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	oneArena := func(a *htmlparse.Arena, i int) {
+		pageSpan := pageSpanIfTracing(ctx, pages[i].URL)
+		finish(a.ParseString(pages[i].HTML), i)
+		pageSpan.End()
+	}
+	if workers < 2 {
+		tracker := telemetry.NewPoolTracker(1)
+		arena := getArena()
+		for i := range pages {
+			if ctx.Err() != nil {
+				break
+			}
+			tracker.Track(0, func() { oneArena(arena, i) })
+		}
+		putArena(arena)
 		return results, tracker.Stats()
 	}
 	tracker := telemetry.NewPoolTracker(workers)
@@ -179,8 +258,10 @@ func (p *Parser) parsePages(ctx context.Context, pages []Page) ([]pageResult, te
 		w := w
 		go func() {
 			defer wg.Done()
+			arena := getArena()
+			defer putArena(arena)
 			for i := range idx {
-				tracker.Track(w, func() { one(i) })
+				tracker.Track(w, func() { oneArena(arena, i) })
 			}
 		}()
 	}
@@ -232,31 +313,27 @@ func Vendors() []string { return []string{"Huawei", "Cisco", "Nokia", "H3C"} }
 // variants discovered through the TDD loop are all listed (§2.2, Appendix
 // B: one manual interchangeably uses several classes for one concept).
 func styledCLI(container *htmlparse.Node, kwClasses, paramClasses []string) string {
-	kw := map[string]bool{}
-	for _, c := range kwClasses {
-		kw[c] = true
+	var b strings.Builder
+	emit := func(tok string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
 	}
-	param := map[string]bool{}
-	for _, c := range paramClasses {
-		param[c] = true
-	}
-	var toks []string
 	container.Walk(func(n *htmlparse.Node) bool {
 		switch n.Type {
 		case htmlparse.TextNode:
-			for _, f := range strings.Fields(n.Data) {
-				toks = append(toks, f)
-			}
+			htmlparse.EachField(n.Data, emit)
 			return true
 		case htmlparse.ElementNode, htmlparse.DocumentNode:
 			for _, cls := range n.Classes() {
-				if kw[cls] {
-					toks = append(toks, strings.Fields(n.Text())...)
+				if classIn(kwClasses, cls) {
+					htmlparse.EachField(n.Text(), emit)
 					return false
 				}
-				if param[cls] {
+				if classIn(paramClasses, cls) {
 					if t := n.Text(); t != "" {
-						toks = append(toks, "<"+t+">")
+						emit("<" + t + ">")
 					}
 					return false
 				}
@@ -265,7 +342,43 @@ func styledCLI(container *htmlparse.Node, kwClasses, paramClasses []string) stri
 		}
 		return true
 	})
-	return strings.Join(toks, " ")
+	return b.String()
+}
+
+// classIn reports membership of c in a (small) class-variant list. The
+// lists are a handful of entries, so a linear scan beats allocating a
+// set map on every styled-container reconstruction.
+func classIn(classes []string, c string) bool {
+	for _, want := range classes {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// classBuckets collects, per requested class, the descendant elements of
+// doc carrying it (document order). Result k is exactly
+// doc.ByClass(classes[k]), but every bucket is filled in one tree walk —
+// a vendor parsing() method queries several classes per page, and the
+// repeated whole-tree traversals were its dominant cost.
+func classBuckets(doc *htmlparse.Node, classes ...string) [][]*htmlparse.Node {
+	out := make([][]*htmlparse.Node, len(classes))
+	doc.Walk(func(m *htmlparse.Node) bool {
+		if m == doc || m.Type != htmlparse.ElementNode {
+			return true
+		}
+		for k, want := range classes {
+			for _, cls := range m.Classes() {
+				if cls == want {
+					out[k] = append(out[k], m)
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // styledCLIFontBased reconstructs a template from a container where every
@@ -276,31 +389,31 @@ func styledCLI(container *htmlparse.Node, kwClasses, paramClasses []string) stri
 // *observable* — the token is mistaken for a parameter and the
 // keyword/parameter self-check flags it (Appendix B).
 func styledCLIFontBased(container *htmlparse.Node, kwClasses []string) string {
-	kw := map[string]bool{}
-	for _, c := range kwClasses {
-		kw[c] = true
+	var b strings.Builder
+	emit := func(tok string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
 	}
-	var toks []string
 	container.Walk(func(n *htmlparse.Node) bool {
 		switch n.Type {
 		case htmlparse.TextNode:
-			for _, f := range strings.Fields(n.Data) {
-				toks = append(toks, f)
-			}
+			htmlparse.EachField(n.Data, emit)
 			return true
 		case htmlparse.ElementNode, htmlparse.DocumentNode:
 			if n == container || n.Type == htmlparse.DocumentNode {
 				return true
 			}
 			for _, cls := range n.Classes() {
-				if kw[cls] {
-					toks = append(toks, strings.Fields(n.Text())...)
+				if classIn(kwClasses, cls) {
+					htmlparse.EachField(n.Text(), emit)
 					return false
 				}
 			}
 			if len(n.Classes()) > 0 {
 				if t := n.Text(); t != "" {
-					toks = append(toks, "<"+t+">")
+					emit("<" + t + ">")
 				}
 				return false
 			}
@@ -308,7 +421,21 @@ func styledCLIFontBased(container *htmlparse.Node, kwClasses []string) string {
 		}
 		return true
 	})
-	return strings.Join(toks, " ")
+	return b.String()
+}
+
+// joinClause appends one collapsed text clause to an accumulating
+// definition. Both operands are already trimmed (Node.Text collapses and
+// trims), so this is exactly strings.TrimSpace(def + " " + text) without
+// re-scanning the whole accumulated definition per clause.
+func joinClause(def, text string) string {
+	if text == "" {
+		return def
+	}
+	if def == "" {
+		return text
+	}
+	return def + " " + text
 }
 
 // exampleLines splits a <pre> example block into its configuration lines,
@@ -331,6 +458,15 @@ func exampleLines(pre *htmlparse.Node) []string {
 func sections(doc *htmlparse.Node, titleClass string) map[string][]*htmlparse.Node {
 	out := map[string][]*htmlparse.Node{}
 	var current string
+	var bucket []*htmlparse.Node
+	// Elements are bucketed locally and flushed once per section, so the
+	// walk hashes the title once per section instead of once per element.
+	flush := func() {
+		if current != "" && len(bucket) > 0 {
+			out[current] = append(out[current], bucket...)
+			bucket = bucket[:0]
+		}
+	}
 	var walk func(n *htmlparse.Node)
 	walk = func(n *htmlparse.Node) {
 		for _, c := range n.Children {
@@ -338,17 +474,19 @@ func sections(doc *htmlparse.Node, titleClass string) map[string][]*htmlparse.No
 				continue
 			}
 			if c.HasClass(titleClass) {
+				flush()
 				current = c.Text()
 				continue
 			}
 			if current != "" {
-				out[current] = append(out[current], c)
+				bucket = append(bucket, c)
 				continue
 			}
 			walk(c)
 		}
 	}
 	walk(doc)
+	flush()
 	return out
 }
 

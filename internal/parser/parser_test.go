@@ -296,3 +296,39 @@ func TestVendorConstraintInValidate(t *testing.T) {
 		t.Errorf("constraint violation missing: %v", rep.ByTest())
 	}
 }
+
+// TestParseWorkersByteIdentical holds the arena-pooled fan-out equal to
+// the sequential reference path: identical corpora and hierarchy at
+// every worker setting, which is what keeps StageWorkers out of the
+// pipeline's artifact cache keys.
+func TestParseWorkersByteIdentical(t *testing.T) {
+	for _, v := range devmodel.AllVendors {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			m := devmodel.Generate(devmodel.PaperConfig(v).Scaled(0.02))
+			man := manualgen.Render(m)
+			pages := make([]Page, len(man.Pages))
+			for i, pg := range man.Pages {
+				pages[i] = Page{URL: pg.URL, HTML: pg.HTML}
+			}
+			parseWith := func(workers int) *Result {
+				p, err := New(string(v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.SetWorkers(workers)
+				return p.Parse(context.Background(), pages)
+			}
+			ref := parseWith(1) // sequential reference path
+			for _, workers := range []int{0, 2, 8} {
+				got := parseWith(workers)
+				if !reflect.DeepEqual(ref.Corpora, got.Corpora) {
+					t.Errorf("workers=%d: corpora diverge from reference", workers)
+				}
+				if !reflect.DeepEqual(ref.Hierarchy, got.Hierarchy) {
+					t.Errorf("workers=%d: hierarchy diverges from reference", workers)
+				}
+			}
+		})
+	}
+}

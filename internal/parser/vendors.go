@@ -29,7 +29,7 @@ func parseHuaweiPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 		}
 	}
 	for _, n := range sec["Function"] {
-		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+		c.FuncDef = joinClause(c.FuncDef, n.Text())
 	}
 	for _, n := range sec["Views"] {
 		if v := n.Text(); v != "" {
@@ -69,7 +69,7 @@ func parseCiscoPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 		}
 	}
 	for _, n := range doc.ByClass("pB1_Body1") {
-		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+		c.FuncDef = joinClause(c.FuncDef, n.Text())
 	}
 	for _, n := range doc.ByClass("pCRCM_CmdRefCmdModes") {
 		if v := n.Text(); v != "" {
@@ -102,18 +102,20 @@ func parseCiscoPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 func parseNokiaPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 	var c corpus.Corpus
 	var edges []ViewEdge
-	for _, n := range doc.ByClass("SyntaxText") {
+	buckets := classBuckets(doc, "SyntaxText", "DescriptionText",
+		"ContextEnables", "ContextPath", "ParamName", "ParamText")
+	for _, n := range buckets[0] {
 		if cli := styledCLI(n, []string{"Keyword"}, []string{"Argument"}); cli != "" {
 			c.CLIs = append(c.CLIs, cli)
 		}
 	}
-	for _, n := range doc.ByClass("DescriptionText") {
-		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+	for _, n := range buckets[1] {
+		c.FuncDef = joinClause(c.FuncDef, n.Text())
 	}
-	for _, n := range doc.ByClass("ContextEnables") {
+	for _, n := range buckets[2] {
 		c.EnablesView = n.Text()
 	}
-	for _, n := range doc.ByClass("ContextPath") {
+	for _, n := range buckets[3] {
 		path := strings.Split(n.Text(), ">")
 		for i := range path {
 			path[i] = strings.TrimSpace(path[i])
@@ -127,8 +129,7 @@ func parseNokiaPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 			}
 		}
 	}
-	names := doc.ByClass("ParamName")
-	infos := doc.ByClass("ParamText")
+	names, infos := buckets[4], buckets[5]
 	for i := range names {
 		info := ""
 		if i < len(infos) {
@@ -155,7 +156,7 @@ func parseH3CPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 		}
 	}
 	for _, n := range sec["Description"] {
-		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+		c.FuncDef = joinClause(c.FuncDef, n.Text())
 	}
 	for _, n := range sec["View"] {
 		if v := n.Text(); v != "" {
@@ -198,7 +199,7 @@ func parseJuniperPage(doc *htmlparse.Node) (corpus.Corpus, []ViewEdge) {
 		}
 	}
 	for _, n := range sec["Description"] {
-		c.FuncDef = strings.TrimSpace(c.FuncDef + " " + n.Text())
+		c.FuncDef = joinClause(c.FuncDef, n.Text())
 	}
 	for _, n := range sec["Hierarchy Level"] {
 		if v := n.Text(); v != "" {

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+// FuzzArtifactCodecs drives the binary stage codecs with mutations of
+// real encoded artifacts (the corpus pool, the VDM with its compiled CGM
+// index, the completeness and derivation reports all ride in the seeds).
+// The contract under mutation: every input either decodes or is rejected
+// with an error — never a panic — and anything that does decode is a
+// well-formed artifact that re-encodes through both the binary codec and
+// the JSON reference. The container's sha256 makes a successful decode of
+// genuinely corrupted bytes computationally unreachable, so the fuzzer is
+// really probing the error paths: varint framing, section tables, string
+// pool offsets, length guards.
+func FuzzArtifactCodecs(f *testing.F) {
+	pa, da := coldArtifacts(f, devmodel.H3C)
+	pb, err := parseBinaryCodec{}.Encode(pa)
+	if err != nil {
+		f.Fatal(err)
+	}
+	db, err := deriveBinaryCodec{}.Encode(da)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pb)
+	f.Add(db)
+	f.Add([]byte{})
+	f.Add([]byte("NASART1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := (parseBinaryCodec{}).Decode(data); err == nil {
+			if _, err := (parseJSONCodec{}).Encode(a); err != nil {
+				t.Fatalf("decoded parse artifact fails JSON reference encode: %v", err)
+			}
+			if _, err := (parseBinaryCodec{}).Encode(a); err != nil {
+				t.Fatalf("decoded parse artifact fails binary re-encode: %v", err)
+			}
+		}
+		if a, err := (deriveBinaryCodec{}).Decode(data); err == nil {
+			if _, err := (deriveJSONCodec{}).Encode(a); err != nil {
+				t.Fatalf("decoded derive artifact fails JSON reference encode: %v", err)
+			}
+			if _, err := (deriveBinaryCodec{}).Encode(a); err != nil {
+				t.Fatalf("decoded derive artifact fails binary re-encode: %v", err)
+			}
+		}
+	})
+}

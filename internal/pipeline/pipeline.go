@@ -220,6 +220,17 @@ type JobResult struct {
 	// manifest can name exactly what was assimilated.
 	PagesHash  string
 	ConfigHash string
+	// DiskLoads records, per stage satisfied from the disk mirror, which
+	// codec decoded the artifact and how many bytes it mapped. Warm runs
+	// over the same cache report identical loads; the run manifest uses
+	// this to show the warm path decoding binary artifacts, not JSON.
+	DiskLoads map[Stage]ArtifactLoad
+}
+
+// ArtifactLoad describes one artifact decoded from the disk mirror.
+type ArtifactLoad struct {
+	Codec string `json:"codec"` // codec version tag, e.g. "parse.v1.art"
+	Bytes int64  `json:"bytes"` // serialized artifact size
 }
 
 // Degraded reports whether any stage produced a degraded artifact.
@@ -278,9 +289,11 @@ type Config struct {
 	// StageWorkers bounds the intra-stage fan-out of the front-end stages:
 	// manual pages parsed concurrently within one vendor's Parse stage and
 	// configuration files matched concurrently within EmpiricalValidate.
-	// Values below 2 keep those stages sequential. Stage outputs are
-	// identical at any worker count, so StageWorkers stays out of the
-	// artifact cache keys.
+	// For Parse, exactly 1 forces the sequential reference path; 0 (the
+	// default) or >=2 takes the arena-pooled path clamped to GOMAXPROCS.
+	// For EmpiricalValidate, values below 2 keep the stage sequential.
+	// Stage outputs are identical at any worker count, so StageWorkers
+	// stays out of the artifact cache keys.
 	StageWorkers int
 	// Store is the artifact cache; nil gets a fresh MemStore. Share one
 	// store across runs to make warm re-runs skip unchanged stages.
@@ -425,45 +438,6 @@ type persistedDerive struct {
 	Report *hierarchy.Report
 }
 
-// codec (de)serializes one artifact type for the on-disk cache. Stages
-// without a codec cache in memory only.
-type codec[T any] struct {
-	enc func(T) ([]byte, error)
-	dec func([]byte) (T, error)
-}
-
-var parseCodec = &codec[*parseArtifact]{
-	enc: func(a *parseArtifact) ([]byte, error) { return json.Marshal(a) },
-	dec: func(data []byte) (*parseArtifact, error) {
-		var a parseArtifact
-		if err := json.Unmarshal(data, &a); err != nil {
-			return nil, err
-		}
-		return &a, nil
-	},
-}
-
-var deriveCodec = &codec[*deriveArtifact]{
-	enc: func(a *deriveArtifact) ([]byte, error) {
-		raw, err := a.VDM.Marshal()
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(&persistedDerive{VDM: raw, Report: a.Report})
-	},
-	dec: func(data []byte) (*deriveArtifact, error) {
-		var p persistedDerive
-		if err := json.Unmarshal(data, &p); err != nil {
-			return nil, err
-		}
-		v, err := vdm.Unmarshal(p.VDM, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &deriveArtifact{VDM: v, Report: p.Report}, nil
-	},
-}
-
 // runStage executes one stage unless its artifact is already cached. The
 // wrapper checks the context at the stage boundary, consults the memory
 // store then the disk mirror, and on a live run wraps fn in a telemetry
@@ -474,7 +448,7 @@ var deriveCodec = &codec[*deriveArtifact]{
 // degradation is returned but never cached — the next run with the same
 // key re-executes the stage against a hopefully-recovered device.
 func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
-	key string, disk *codec[T], fn func(context.Context) (T, error)) (T, error) {
+	key string, disk Codec[T], fn func(context.Context) (T, error)) (T, error) {
 	var zero T
 	if err := ctx.Err(); err != nil {
 		return zero, fmt.Errorf("pipeline: %s/%s: %w", jr.Vendor, stage, err)
@@ -486,11 +460,16 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 		}
 	}
 	if disk != nil && e.disk != nil {
-		if data, ok := e.disk.GetBytes(stage, key); ok {
-			if t, err := disk.dec(data); err == nil {
+		if data, ok := e.disk.GetBytes(stage, key, disk.Version()); ok {
+			if t, err := disk.Decode(data); err == nil {
+				jr.noteDiskLoad(stage, disk.Version(), len(data))
 				e.store.Put(key, t)
 				e.noteSkip(jr, stage)
 				return t, nil
+			} else {
+				// Truncated, corrupted, or stale-layout artifacts are cache
+				// misses, not errors: the stage re-runs and overwrites them.
+				noteDiskLoadError(stage, disk.Version(), err)
 			}
 		}
 	}
@@ -558,8 +537,8 @@ func runStage[T any](ctx context.Context, e *Engine, jr *JobResult, stage Stage,
 	}
 	e.store.Put(key, t)
 	if disk != nil && e.disk != nil {
-		if data, err := disk.enc(t); err == nil {
-			_ = e.disk.PutBytes(stage, key, data) // best-effort mirror
+		if data, err := disk.Encode(t); err == nil {
+			_ = e.disk.PutBytes(stage, key, data, disk.Version()) // best-effort mirror
 		}
 	}
 	return t, nil

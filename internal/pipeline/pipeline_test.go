@@ -18,7 +18,7 @@ import (
 
 // testJob renders a scaled synthetic manual and wires the ground-truth
 // expert corrections, like the public API does.
-func testJob(t *testing.T, v devmodel.Vendor, scale float64) (Job, *devmodel.Model) {
+func testJob(t testing.TB, v devmodel.Vendor, scale float64) (Job, *devmodel.Model) {
 	t.Helper()
 	m := devmodel.Generate(devmodel.PaperConfig(v).Scaled(scale))
 	man := manualgen.Render(m)

@@ -75,13 +75,17 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 // Dir returns the cache directory.
 func (d *DiskStore) Dir() string { return d.dir }
 
-func (d *DiskStore) path(stage Stage, key string) string {
-	return filepath.Join(d.dir, string(stage)+"-"+key+".json")
+// path names an artifact file. The codec version is part of the name:
+// a codec or layout bump changes the filename, so a newer binary can
+// never read (or clobber) an older layout's artifact — stale files are
+// simply never found and the stage re-runs.
+func (d *DiskStore) path(stage Stage, key, version string) string {
+	return filepath.Join(d.dir, string(stage)+"-"+key+"."+version)
 }
 
-// GetBytes loads the serialized artifact for a stage/key pair.
-func (d *DiskStore) GetBytes(stage Stage, key string) ([]byte, bool) {
-	data, err := os.ReadFile(d.path(stage, key))
+// GetBytes loads the serialized artifact for a stage/key/codec triple.
+func (d *DiskStore) GetBytes(stage Stage, key, version string) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(stage, key, version))
 	if err != nil {
 		return nil, false
 	}
@@ -90,7 +94,7 @@ func (d *DiskStore) GetBytes(stage Stage, key string) ([]byte, bool) {
 
 // PutBytes stores a serialized artifact. Writes go through a temp file +
 // rename so concurrent workers never observe a torn artifact.
-func (d *DiskStore) PutBytes(stage Stage, key string, data []byte) error {
+func (d *DiskStore) PutBytes(stage Stage, key string, data []byte, version string) error {
 	tmp, err := os.CreateTemp(d.dir, "tmp-*")
 	if err != nil {
 		return err
@@ -105,7 +109,7 @@ func (d *DiskStore) PutBytes(stage Stage, key string, data []byte) error {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, d.path(stage, key))
+	return os.Rename(name, d.path(stage, key, version))
 }
 
 // Key derives a stage's cache key by hashing the stage name, the keys of

@@ -43,13 +43,14 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := HashStrings("artifact")
-	if _, ok := d.GetBytes(StageParse, key); ok {
+	const ver = "parse.v1.art"
+	if _, ok := d.GetBytes(StageParse, key, ver); ok {
 		t.Error("empty disk store claims a hit")
 	}
-	if err := d.PutBytes(StageParse, key, []byte(`{"x":1}`)); err != nil {
+	if err := d.PutBytes(StageParse, key, []byte(`{"x":1}`), ver); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := d.GetBytes(StageParse, key)
+	got, ok := d.GetBytes(StageParse, key, ver)
 	if !ok || string(got) != `{"x":1}` {
 		t.Errorf("GetBytes = %q, %v", got, ok)
 	}
@@ -59,10 +60,15 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := d2.GetBytes(StageParse, key); !ok {
+	if _, ok := d2.GetBytes(StageParse, key, ver); !ok {
 		t.Error("artifact not visible to a fresh store over the same dir")
 	}
-	if _, ok := d2.GetBytes(StageDeriveHierarchy, key); ok {
+	if _, ok := d2.GetBytes(StageDeriveHierarchy, key, ver); ok {
 		t.Error("artifact leaked across stages")
+	}
+	// The codec version is part of the filename: a format bump must never
+	// read an old layout's bytes.
+	if _, ok := d2.GetBytes(StageParse, key, "parse.v2.art"); ok {
+		t.Error("artifact visible under a different codec version")
 	}
 }

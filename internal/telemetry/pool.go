@@ -73,6 +73,40 @@ func (pt *PoolTracker) Stats() PoolStats {
 	}
 }
 
+// UtilizationKey names one pool's derived utilization figure the way
+// every consumer spells it — BENCH_frontend.json's derived block, the run
+// manifest's Timing.Derived, benchdiff gates: UtilizationKey("parse", 8)
+// == "parse_worker_utilization_workers8". One naming function so the
+// bench-side and manifest-side numbers are comparable by key.
+func UtilizationKey(stage string, workers int) string {
+	return stage + "_worker_utilization_workers" + itoa(workers)
+}
+
+// UtilizationAccum folds pooled sections — benchmark iterations, or the
+// vendors of one run — into a single busy-over-slot utilization. It is
+// THE derivation both BENCH_frontend.json and the run manifest use;
+// keeping it here means `-profile-stages` runs and bench exports can
+// never disagree on the formula.
+type UtilizationAccum struct {
+	busyNS int64
+	slotNS int64
+}
+
+// Add folds one pooled section into the accumulator.
+func (u *UtilizationAccum) Add(ps PoolStats) {
+	u.busyNS += ps.Busy().Nanoseconds()
+	u.slotNS += int64(ps.Workers) * ps.WallNS
+}
+
+// Utilization returns the aggregated busy/(workers*wall) and whether any
+// section was recorded.
+func (u *UtilizationAccum) Utilization() (float64, bool) {
+	if u.slotNS <= 0 {
+		return 0, false
+	}
+	return float64(u.busyNS) / float64(u.slotNS), true
+}
+
 // ObserveWorkerBusy records each worker's busy seconds into the named
 // histogram of the Default registry (one observation per worker), labelled
 // with the pool's worker count so per-size utilization histograms can be

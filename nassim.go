@@ -247,8 +247,23 @@ type Mapper struct {
 	netbert *nlp.NetBERT
 }
 
+// MapperOption re-exports mapper.Option for NewMapper callers.
+type MapperOption = mapper.Option
+
+// MapperMatrixSchema is the nassim-art schema tag of the saved
+// precombined mapper-matrix artifact.
+const MapperMatrixSchema = mapper.MatrixSchema
+
+// WithMatrixArtifact primes a mapper from a saved precombined-matrix
+// artifact (Mapper.ExportMatrix); mismatched artifacts are ignored.
+func WithMatrixArtifact(data []byte) MapperOption { return mapper.WithMatrixArtifact(data) }
+
+// WithFloatScoring disables the int8-quantized candidate prune (the
+// scalar-reference configuration the benchmarks compare against).
+func WithFloatScoring() MapperOption { return mapper.WithFloatScoring() }
+
 // NewMapper builds a Mapper of the given kind over a UDM.
-func NewMapper(u *UDM, kind ModelKind) (*Mapper, error) {
+func NewMapper(u *UDM, kind ModelKind, opts ...MapperOption) (*Mapper, error) {
 	syn := devmodel.GeneralSynonyms()
 	var enc nlp.Encoder
 	var nb *nlp.NetBERT
@@ -276,7 +291,7 @@ func NewMapper(u *UDM, kind ModelKind) (*Mapper, error) {
 	default:
 		return nil, fmt.Errorf("nassim: unknown mapper model %q", kind)
 	}
-	m, err := mapper.New(u, enc, useIR)
+	m, err := mapper.New(u, enc, useIR, opts...)
 	if err != nil {
 		return nil, err
 	}
