@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-all benchdiff chaos stages fuzz
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-reconcile bench-all benchdiff chaos reconcile stages fuzz
 
 check: fmt vet build race
 
@@ -72,13 +72,27 @@ chaos:
 	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
 
+# Reconciler suite: the fleet reconciler's drift, scenario, leak, and
+# settled-dead tests under the race detector (including the 500-device
+# acceptance run), then the fleet benchmark exported to
+# BENCH_reconcile.json (schema nassim-reconcile-bench/v1: cycle and probe
+# latencies, probe throughput, cache-hit ratio, fleet health).
+reconcile:
+	$(GO) test -race -run 'Reconcile|Fleet|Scenario|Drift|Dead|Settle' ./internal/reconciler ./internal/device .
+	NASSIM_RECONCILE_BENCH_OUT=BENCH_reconcile.json $(GO) test -run '^$$' \
+		-bench BenchmarkReconcileFleet -benchtime 5x .
+
+bench-reconcile:
+	NASSIM_RECONCILE_BENCH_OUT=BENCH_reconcile.json $(GO) test -run '^$$' \
+		-bench BenchmarkReconcileFleet -benchtime 5x .
+
 # Per-stage pipeline timing + BENCH_telemetry.json, plus the run manifest
 # (see README Observability).
 stages:
 	$(GO) run ./cmd/evalbench -stages -scale 0.1 -manifest-out RUN_MANIFEST.json
 
 # Regenerate every committed BENCH_*.json baseline.
-bench-all: bench-pipeline bench-mapper bench-frontend stages
+bench-all: bench-pipeline bench-mapper bench-frontend bench-reconcile stages
 	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
 
@@ -94,6 +108,8 @@ benchdiff:
 		-bench 'BenchmarkParseAll|BenchmarkCompileTemplates|BenchmarkValidateConfigs|BenchmarkDecodeArtifact' -benchtime 5x .
 	NASSIM_CHAOS_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
+	NASSIM_RECONCILE_BENCH_OUT=$(BENCHDIFF_OUT)/BENCH_reconcile.json $(GO) test -run '^$$' \
+		-bench BenchmarkReconcileFleet -benchtime 5x .
 	$(GO) run ./cmd/evalbench -stages -scale 0.1 -telemetry-out $(BENCHDIFF_OUT)/BENCH_telemetry.json \
 		-manifest-out $(BENCHDIFF_OUT)/RUN_MANIFEST.json
 	$(GO) run ./cmd/benchdiff -baseline . -current $(BENCHDIFF_OUT)

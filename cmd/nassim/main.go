@@ -104,6 +104,8 @@ func main() {
 	switch rest[0] {
 	case "run":
 		err = cmdRun(rest[1:])
+	case "reconcile":
+		err = cmdReconcile(rest[1:])
 	case "parse":
 		err = cmdParse(rest[1:])
 	case "validate":
@@ -132,7 +134,9 @@ func usage() {
 usage: nassim [global flags] <subcommand> [flags]
 
 subcommands:
-  run       drive the staged pipeline engine over several vendors concurrently
+  run        drive the staged pipeline engine over several vendors concurrently
+  reconcile  hold a simulated fleet to its assimilated desired state (drift
+             detection, incremental re-validation, deterministic plans)
   parse     parse vendor manual pages into the vendor-independent corpus
   validate  formal syntax validation + hierarchy derivation over a corpus
   map       recommend UDM attributes for VDM parameters
@@ -526,6 +530,26 @@ func cmdIntent(args []string) error {
 // several vendors concurrently with content-hash artifact caching. Ctrl-C
 // cancels the run at the next stage boundary. -repeat 2 demonstrates the
 // warm-cache path: the second round reports every stage as skipped.
+// chaosProfileFlag is the -chaos-profile flag value shared by run and
+// reconcile: a named scenario from the chaos library, validated at
+// flag-parse time so unknown names are rejected before any work starts.
+type chaosProfileFlag struct{ name string }
+
+func (f *chaosProfileFlag) String() string { return f.name }
+
+func (f *chaosProfileFlag) Set(v string) error {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		f.name = ""
+		return nil
+	}
+	if _, err := nassim.FleetScenarioByName(v); err != nil {
+		return err
+	}
+	f.name = v
+	return nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	vendors := fs.String("vendors", strings.Join(nassim.Vendors(), ","), "comma-separated vendors to assimilate")
@@ -535,6 +559,9 @@ func cmdRun(args []string) error {
 	validate := fs.Bool("validate", true, "run empirical configuration validation (Figure 8)")
 	live := fs.Bool("live", false, "live-test unused commands on an in-process simulated device")
 	chaos := fs.Bool("chaos", false, "serve live-test devices over TCP behind the standard fault-injection profile (implies -live)")
+	var chaosProfile chaosProfileFlag
+	fs.Var(&chaosProfile, "chaos-profile", "serve live-test devices behind this named chaos profile (one of "+
+		strings.Join(nassim.ChaosProfileNames(), ", ")+"; implies -live)")
 	repeat := fs.Int("repeat", 1, "run the pipeline this many times (>1 exercises the artifact cache)")
 	seed := fs.Uint64("seed", 7, "live-test instantiation seed (also drives chaos fault schedules)")
 	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
@@ -568,12 +595,18 @@ func cmdRun(args []string) error {
 	opts := nassim.Options{
 		Vendors: names, Scale: *scale, Workers: *workers,
 		Cache: nassim.NewPipelineCache(), CacheDir: *cacheDir,
-		Validate: *validate, LiveTest: *live || *chaos, Seed: *seed, Timer: timer,
+		Validate: *validate, LiveTest: *live || *chaos || chaosProfile.name != "", Seed: *seed, Timer: timer,
 		// Profiling runs get a manifest too: its Timing.Derived block carries
 		// the pool utilizations, sharing one code path with BENCH_frontend.json.
 		Report: *report != "" || *profileStages != "", ProfileStages: *profileStages,
 	}
-	if *chaos {
+	if chaosProfile.name != "" {
+		p, err := nassim.ChaosProfileByName(chaosProfile.name, *seed)
+		if err != nil {
+			return err // unreachable: Set validated the name at parse time
+		}
+		opts.Chaos = &p
+	} else if *chaos {
 		p := nassim.StandardChaosProfile(*seed)
 		opts.Chaos = &p
 	}
@@ -654,6 +687,133 @@ func cmdRun(args []string) error {
 	}
 	if len(profiles) > 0 {
 		fmt.Printf("flight recorder: %d pprof capture(s) in %s\n", len(profiles), *profileStages)
+	}
+	return nil
+}
+
+func cmdReconcile(args []string) error {
+	fs := flag.NewFlagSet("reconcile", flag.ExitOnError)
+	devices := fs.Int("devices", 32, "fleet size (simulated devices)")
+	vendors := fs.String("vendors", "", "comma-separated fleet vendors (default: all four)")
+	scale := fs.Float64("scale", 0.05, "model scale for the desired-state derivation")
+	cycles := fs.Int("cycles", 2, "reconcile cycles to run (0 = run continuously until interrupted)")
+	interval := fs.Duration("interval", time.Second, "cycle pacing in continuous mode")
+	maxParallel := fs.Int("max-parallel", 8, "concurrent device probes (plans are identical for any value)")
+	var chaosProfile chaosProfileFlag
+	fs.Var(&chaosProfile, "chaos-profile", "fleet chaos scenario (one of "+
+		strings.Join(nassim.ChaosProfileNames(), ", ")+"; default: clean fleet)")
+	seed := fs.Uint64("seed", 7, "fleet seed: chaos schedules, desired state, and planted drift")
+	budget := fs.Int("failure-budget", 0, "unreachable devices tolerated per cycle before the plan defers (0 = devices/8, negative = unlimited)")
+	workers := fs.Int("workers", 0, "revalidation pipeline workers (0 = engine default)")
+	planOut := fs.String("plan-out", "", "write the final cycle's plan ("+nassim.ReconcilePlanSchema+") to this file (\"-\" prints it)")
+	report := fs.String("report", "", "write the run manifest (schema "+nassim.RunReportSchema+") to this file (\"-\" prints it)")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := nassim.ReconcilerConfig{
+		Spec: nassim.FleetSpec{
+			Devices: *devices, Scale: *scale, Seed: *seed,
+		},
+		Interval: *interval, MaxParallel: *maxParallel,
+		FailureBudget: *budget, Workers: *workers,
+	}
+	for _, v := range strings.Split(*vendors, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			cfg.Spec.Vendors = append(cfg.Spec.Vendors, v)
+		}
+	}
+	if chaosProfile.name != "" {
+		sc, err := nassim.FleetScenarioByName(chaosProfile.name)
+		if err != nil {
+			return err // unreachable: Set validated the name at parse time
+		}
+		cfg.Spec.Scenario = sc
+	}
+
+	var last *nassim.ReconcileCycle
+	ran, invalidated := 0, 0
+	show := func(cr *nassim.ReconcileCycle) {
+		last = cr
+		ran++
+		invalidated += cr.Invalidated
+		fmt.Printf("cycle %d (%v): converged=%d drifted=%d degraded=%d unreachable=%d"+
+			" actions=%d cache_hit=%.0f%% probe_p50=%v p99=%v",
+			cr.Cycle, cr.Wall.Round(time.Millisecond),
+			cr.Health[nassim.FleetConverged], cr.Health[nassim.FleetDrifted],
+			cr.Health[nassim.FleetDegraded], cr.Health[nassim.FleetUnreachable],
+			len(cr.Plan.Actions), 100*cr.CacheHitRatio(),
+			cr.ProbeP50.Round(time.Millisecond), cr.ProbeP99.Round(time.Millisecond))
+		if cr.Invalidated > 0 {
+			fmt.Printf(" invalidated=%d", cr.Invalidated)
+		}
+		if cr.Plan.Deferred {
+			fmt.Print(" PLAN-DEFERRED")
+		}
+		fmt.Println()
+	}
+	if *cycles <= 0 {
+		cfg.OnCycle = show
+	}
+
+	recorder := nassim.NewReconcileRecorder()
+	r, err := nassim.NewFleetReconciler(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	if *cycles <= 0 {
+		if err := r.Run(ctx); err != nil && err != context.Canceled {
+			return err
+		}
+	} else {
+		for c := 0; c < *cycles; c++ {
+			cr, err := r.RunCycle(ctx)
+			if err != nil {
+				return err
+			}
+			show(cr)
+		}
+	}
+	if last == nil {
+		return fmt.Errorf("reconcile: no cycle completed")
+	}
+
+	if *planOut != "" {
+		data, err := last.Plan.Encode()
+		if err != nil {
+			return err
+		}
+		if *planOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote plan to %s\n", *planOut)
+		}
+	}
+	if *report != "" {
+		manifest := recorder.Build(cfg, last, ran, invalidated)
+		fmt.Println("manifest:", manifest.Summary())
+		if *report == "-" {
+			data, err := manifest.MarshalIndent()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(data)
+		} else if err := manifest.WriteFile(*report); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote run manifest to %s\n", *report)
+		}
 	}
 	return nil
 }

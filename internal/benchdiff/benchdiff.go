@@ -93,6 +93,7 @@ const (
 	SchemaMapper    = "nassim-mapper-bench/v1"
 	SchemaFrontend  = "nassim-frontend-bench/v1"
 	SchemaChaos     = "nassim-chaos-bench/v1"
+	SchemaReconcile = "nassim-reconcile-bench/v1"
 )
 
 // Flatten parses one BENCH_*.json document and flattens it into
@@ -117,6 +118,8 @@ func Flatten(doc []byte) (string, []Metric, error) {
 		ms, err = flattenBenchmarks(doc, true)
 	case SchemaChaos:
 		ms, err = flattenChaos(doc)
+	case SchemaReconcile:
+		ms, err = flattenReconcile(doc)
 	case "":
 		return "", nil, fmt.Errorf("benchdiff: document has no schema field")
 	default:
@@ -272,6 +275,58 @@ func flattenChaos(doc []byte) ([]Metric, error) {
 		{Name: "faults.dropped", Value: float64(d.Faults.Dropped), Dir: Info},
 		{Name: "faults.resets", Value: float64(d.Faults.Resets), Dir: Info},
 		{Name: "faults.latency_spikes", Value: float64(d.Faults.Spikes), Dir: Info},
+	}, nil
+}
+
+// SingleShotFloorMs is SingleShotFloorNS in milliseconds, for documents
+// whose timings are already millisecond-valued.
+const SingleShotFloorMs = 25.0
+
+func flattenReconcile(doc []byte) ([]Metric, error) {
+	var d struct {
+		N             int     `json:"n"`
+		Devices       int     `json:"devices"`
+		CycleP50Ms    float64 `json:"cycle_p50_ms"`
+		CycleMeanMs   float64 `json:"cycle_mean_ms"`
+		ProbesPerSec  float64 `json:"probes_per_sec"`
+		ProbeP50Ms    float64 `json:"probe_p50_ms"`
+		ProbeP99Ms    float64 `json:"probe_p99_ms"`
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+		DriftActions  int     `json:"drift_actions"`
+		Health        struct {
+			Converged   int `json:"converged"`
+			Drifted     int `json:"drifted"`
+			Degraded    int `json:"degraded"`
+			Unreachable int `json:"unreachable"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	return []Metric{
+		// Cycle and probe timings come from a handful of cycles, so they
+		// gate like single-shot measurements with a millisecond floor.
+		{Name: "cycle_p50_ms", Value: d.CycleP50Ms, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "cycle_mean_ms", Value: d.CycleMeanMs, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "probe_p50_ms", Value: d.ProbeP50Ms, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "probe_p99_ms", Value: d.ProbeP99Ms, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "probes_per_sec", Value: d.ProbesPerSec, Dir: HigherBetter,
+			Tol: SpeedupTolerance},
+		// The cache economy and fleet health are seeded and deterministic:
+		// any unreachable device is a robustness regression, and a cache-hit
+		// collapse means revalidation stopped being incremental.
+		{Name: "cache_hit_ratio", Value: d.CacheHitRatio, Dir: HigherBetter},
+		{Name: "health.unreachable", Value: float64(d.Health.Unreachable), Dir: LowerBetter},
+		{Name: "n", Value: float64(d.N), Dir: Info},
+		{Name: "devices", Value: float64(d.Devices), Dir: Info},
+		{Name: "drift_actions", Value: float64(d.DriftActions), Dir: Info},
+		{Name: "health.converged", Value: float64(d.Health.Converged), Dir: Info},
+		{Name: "health.drifted", Value: float64(d.Health.Drifted), Dir: Info},
+		{Name: "health.degraded", Value: float64(d.Health.Degraded), Dir: Info},
 	}, nil
 }
 

@@ -216,6 +216,7 @@ func TestFlattenAllSchemas(t *testing.T) {
 		SchemaChaos: `{"schema":"nassim-chaos-bench/v1","n":100,"exec_p50_ms":1.2,
 			"exec_p99_ms":9.5,"exec_mean_ms":2.2,"retries":14,
 			"faults_delivered":{"connections":40,"dropped":3,"resets":2,"latency_spikes":9}}`,
+		SchemaReconcile: reconcileBase,
 	}
 	for schema, doc := range docs {
 		got, ms, err := Flatten([]byte(doc))
@@ -257,6 +258,46 @@ func TestFlattenAllSchemas(t *testing.T) {
 	}
 	if dirs[`metric.nassim_pipeline_stage_total{outcome="run"}`] != Info {
 		t.Error("counter metric not info")
+	}
+}
+
+const reconcileBase = `{"schema":"nassim-reconcile-bench/v1","n":5,"devices":64,
+	"scenario":"churn+skew+flap","cycle_p50_ms":12.5,"cycle_mean_ms":13.1,
+	"probes_per_sec":4800,"probe_p50_ms":1.1,"probe_p99_ms":9.4,
+	"cache_hit_ratio":0.75,"drift_actions":40,
+	"health":{"converged":50,"drifted":14,"degraded":0,"unreachable":0}}`
+
+// TestFlattenReconcileGates pins the reconcile schema's directions: an
+// unreachable device or a cache-hit collapse regresses, cycle timings gate
+// with the single-shot millisecond floor.
+func TestFlattenReconcileGates(t *testing.T) {
+	unreachable := strings.Replace(reconcileBase, `"unreachable":0`, `"unreachable":3`, 1)
+	res, err := Compare([]byte(reconcileBase), []byte(unreachable), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("newly unreachable devices did not fail the gate")
+	}
+
+	coldCache := strings.Replace(reconcileBase, `"cache_hit_ratio":0.75`, `"cache_hit_ratio":0.1`, 1)
+	res, err = Compare([]byte(reconcileBase), []byte(coldCache), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("cache-hit collapse did not fail the gate")
+	}
+
+	// A cycle timing tripling from 12.5ms to 36ms is under the 25ms floor's
+	// protection only up to +25ms; +23.5ms stays noise.
+	jitter := strings.Replace(reconcileBase, `"cycle_p50_ms":12.5`, `"cycle_p50_ms":36`, 1)
+	res, err = Compare([]byte(reconcileBase), []byte(jitter), Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Errorf("sub-floor cycle jitter failed the gate: %+v", res.Regressions())
 	}
 }
 

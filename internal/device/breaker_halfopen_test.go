@@ -1,0 +1,99 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerHalfOpenHammer hammers a half-open breaker with concurrent
+// probes: exactly one is admitted, the losers fast-fail, a probe success
+// closes the breaker, and a probe failure re-opens it with the cooldown
+// reset. Run under -race this also exercises the probing-flag locking.
+func TestBreakerHalfOpenHammer(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker("hammer", BreakerConfig{
+		FailureThreshold: 1, OpenFor: time.Second, Clock: clk.Now,
+	})
+	b.Record(errors.New("boom"))
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failure = %v, want open", got)
+	}
+	clk.Advance(time.Second)
+
+	hammer := func() (admitted int64) {
+		var wg sync.WaitGroup
+		var n atomic.Int64
+		for i := 0; i < 64; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.Allow(); err == nil {
+					n.Add(1)
+				} else if !errors.Is(err, ErrBreakerOpen) {
+					t.Errorf("loser got %v, want ErrBreakerOpen", err)
+				}
+			}()
+		}
+		wg.Wait()
+		return n.Load()
+	}
+
+	if got := hammer(); got != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", got)
+	}
+	// The winner succeeds: the breaker closes and everyone is admitted.
+	b.Record(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+	b.Record(nil)
+
+	// Re-open, advance into half-open, and fail the probe: the breaker
+	// re-opens with the cooldown clock reset.
+	b.Record(errors.New("boom"))
+	clk.Advance(time.Second)
+	if got := hammer(); got != 1 {
+		t.Fatalf("second half-open admitted %d probes, want exactly 1", got)
+	}
+	b.Record(errors.New("probe failed"))
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	// Half a cooldown is not enough: the failed probe reset the backoff.
+	clk.Advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker admitted a call %v into the reset cooldown", err)
+	}
+	clk.Advance(500 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("breaker rejected the half-open probe after a full cooldown: %v", err)
+	}
+	b.Record(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("final state = %v, want closed", got)
+	}
+}

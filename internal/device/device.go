@@ -62,6 +62,33 @@ func New(m *devmodel.Model) (*Device, error) {
 	return d, nil
 }
 
+// CloneFresh returns a new device sharing this device's immutable command
+// acceptor (template index, enter map, command table) with an empty
+// configuration store. Fleets instantiate hundreds of same-vendor devices;
+// rebuilding the CGM index per device would dominate fleet construction,
+// while the acceptor structures are read-only after New and safe to share.
+func (d *Device) CloneFresh() *Device {
+	return &Device{model: d.model, index: d.index, enters: d.enters, byID: d.byID}
+}
+
+// SeedConfig replaces the running configuration with the given lines,
+// bypassing the command acceptor: leading spaces become the stanza depth,
+// the rest is stored verbatim. This is the fleet simulator's drift
+// injection point — it plants an *observed* state (including lines no
+// template matches, the way a legacy box accretes unmanaged config) that
+// the reconciler then reads back over the wire and diffs against desired
+// state.
+func (d *Device) SeedConfig(lines []string) {
+	cfg := make([]configLine, 0, len(lines))
+	for _, l := range lines {
+		text := strings.TrimLeft(l, " ")
+		cfg = append(cfg, configLine{depth: len(l) - len(text), text: text})
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.config = cfg
+}
+
 // Vendor returns the device's vendor.
 func (d *Device) Vendor() devmodel.Vendor { return d.model.Vendor }
 

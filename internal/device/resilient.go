@@ -43,11 +43,12 @@ type ResilientClient struct {
 	policy  RetryPolicy
 	breaker *Breaker
 
-	mu     sync.Mutex
-	cl     *Client
-	rng    *rand.Rand
-	epoch  []string // enter chain of the live session, one line per view level
-	closed bool
+	mu      sync.Mutex
+	cl      *Client
+	rng     *rand.Rand
+	epoch   []string // enter chain of the live session, one line per view level
+	retries uint64   // lifetime count of counted (slept) retries, see Retries
+	closed  bool
 	// sleep is swappable in tests to avoid real backoff waits.
 	sleep func(context.Context, time.Duration) error
 }
@@ -69,6 +70,16 @@ func DialResilient(addr string, opts ResilientOptions) *ResilientClient {
 // BreakerState exposes the circuit breaker's current state.
 func (rc *ResilientClient) BreakerState() BreakerState { return rc.breaker.State() }
 
+// Retries returns this client's lifetime count of counted retries (the ones
+// that slept a backoff and incremented the retry telemetry). Fleet callers
+// sample it around a probe to tell a clean success from one that needed
+// reconnects, and to assert that settled-dead devices stop accruing retries.
+func (rc *ResilientClient) Retries() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.retries
+}
+
 // Exec implements the Executor interface.
 func (rc *ResilientClient) Exec(line string) (Response, error) {
 	return rc.ExecContext(context.Background(), line)
@@ -89,6 +100,13 @@ func (rc *ResilientClient) ExecContext(ctx context.Context, line string) (Respon
 			return Response{}, err
 		}
 		if attempt > 0 {
+			// A breaker the previous attempt just opened fast-fails here,
+			// before the retry is counted or the backoff slept: a settled-dead
+			// device costs its fleet one bounded half-open probe per cooldown,
+			// not a retry-telemetry stream and a sleep per exchange.
+			if rc.breaker.State() == BreakerOpen {
+				return Response{}, fmt.Errorf("device: %s: %w", rc.addr, ErrBreakerOpen)
+			}
 			if rc.policy.Budget == 0 {
 				break // lifetime retry budget spent
 			}
@@ -96,6 +114,7 @@ func (rc *ResilientClient) ExecContext(ctx context.Context, line string) (Respon
 				rc.policy.Budget--
 			}
 			telRetries.Inc()
+			rc.retries++
 			if err := rc.sleep(ctx, rc.policy.backoff(attempt, rc.rng)); err != nil {
 				return Response{}, err
 			}

@@ -1,0 +1,52 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nassim/internal/faultnet"
+)
+
+// TestResilientDeadDeviceSettles pins the settled-dead contract behind
+// the fleet reconciler's bounded re-probe cadence: the first exchange
+// against a dead device pays a bounded number of counted retries until
+// the breaker opens, and every later exchange — while the breaker stays
+// open — fast-fails with ErrBreakerOpen without counting a single retry
+// or touching the network.
+func TestResilientDeadDeviceSettles(t *testing.T) {
+	srv, _, _, _ := startFaultServer(t, faultnet.Profile{Dead: true})
+	rc := DialResilient(srv.Addr(), ResilientOptions{
+		Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+			MaxDelay: 2 * time.Millisecond, Budget: -1},
+		// A long cooldown keeps the breaker open for the whole test.
+		Breaker: BreakerConfig{FailureThreshold: 2, OpenFor: time.Hour},
+	})
+	defer rc.Close()
+
+	_, err := rc.Exec("anything")
+	if err == nil {
+		t.Fatal("exec against a dead device succeeded")
+	}
+	// Threshold 2: attempt 0 fails (streak 1), attempt 1 is the only
+	// counted retry (streak 2 opens the breaker), attempt 2 fast-fails.
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("first exec error = %v, want ErrBreakerOpen fast-fail", err)
+	}
+	if got := rc.Retries(); got != 1 {
+		t.Fatalf("retries after first exec = %d, want 1", got)
+	}
+	if got := rc.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// Settled: further exchanges are free — no retries, no backoff sleeps.
+	for i := 0; i < 10; i++ {
+		if _, err := rc.Exec("anything"); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("settled exec %d error = %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	if got := rc.Retries(); got != 1 {
+		t.Fatalf("retries after settling = %d, want no growth past 1", got)
+	}
+}

@@ -1,0 +1,84 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"nassim/internal/devmodel"
+)
+
+// TestSeedConfigSnapshot plants an observed configuration directly
+// (bypassing the acceptor, like unmanaged state accreted on a legacy box)
+// and reads it back through the vendor's show command.
+func TestSeedConfigSnapshot(t *testing.T) {
+	_, d := testDevice(t, devmodel.Huawei)
+	lines := []string{
+		"! firmware 9.1.0",
+		"totally unmanaged line",
+		"  indented stanza member",
+	}
+	d.SeedConfig(lines)
+	sess := d.NewSession()
+	resp := sess.Exec(d.ShowConfigCommand())
+	if !resp.OK {
+		t.Fatalf("show failed: %s", resp.Msg)
+	}
+	if len(resp.Data) != len(lines) {
+		t.Fatalf("snapshot has %d lines, want %d: %q", len(resp.Data), len(lines), resp.Data)
+	}
+	for i, want := range lines {
+		if resp.Data[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, resp.Data[i], want)
+		}
+	}
+	// Re-seeding replaces, not appends.
+	d.SeedConfig([]string{"only line"})
+	if got := d.ConfigLineCount(); got != 1 {
+		t.Fatalf("config lines after re-seed = %d, want 1", got)
+	}
+}
+
+// TestCloneFreshSharesAcceptorNotConfig checks the fleet-construction
+// contract: clones accept the same command language but have independent
+// configuration stores.
+func TestCloneFreshSharesAcceptorNotConfig(t *testing.T) {
+	m, d := testDevice(t, devmodel.H3C)
+	d.SeedConfig([]string{"original state"})
+	clone := d.CloneFresh()
+	if got := clone.ConfigLineCount(); got != 0 {
+		t.Fatalf("clone starts with %d config lines, want 0", got)
+	}
+	if clone.Vendor() != d.Vendor() {
+		t.Fatalf("clone vendor = %s, want %s", clone.Vendor(), d.Vendor())
+	}
+	// The clone accepts a ground-truth command through the shared index.
+	inst := m.InstantiateMinimal(m.Commands[0])
+	var cmd *devmodel.Command
+	for _, c := range m.Commands {
+		for _, v := range c.Views {
+			if v == m.RootView {
+				cmd = c
+				break
+			}
+		}
+		if cmd != nil {
+			break
+		}
+	}
+	if cmd == nil {
+		t.Skip("model has no root-view command")
+	}
+	inst = m.InstantiateMinimal(cmd)
+	sess := clone.NewSession()
+	resp := sess.Exec(inst)
+	if !resp.OK {
+		t.Fatalf("clone rejected ground-truth instance %q: %s", inst, resp.Msg)
+	}
+	// Mutating the clone leaves the original untouched.
+	if d.ConfigLineCount() != 1 || !d.HasConfigLine("original state") {
+		t.Fatal("original device config changed by clone activity")
+	}
+	if strings.TrimSpace(inst) == "" {
+		t.Fatal("empty instance")
+	}
+}

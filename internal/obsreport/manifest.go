@@ -196,7 +196,30 @@ type Manifest struct {
 	// Default registry (counters, counts, sizes). Duration-valued deltas
 	// are quarantined in Timing.Metrics.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
-	Timing       Timing             `json:"timing"`
+	// Reconcile carries the fleet-reconciliation block when the manifest
+	// records a `nassim reconcile` run (nil for assimilation runs).
+	Reconcile *ReconcileSummary `json:"reconcile,omitempty"`
+	Timing    Timing            `json:"timing"`
+}
+
+// ReconcileSummary is the fleet-reconciliation slice of a manifest: the
+// final cycle's fleet health and drift counts plus the run's revalidation
+// cache economy. Everything here is deterministic for a fixed seed.
+type ReconcileSummary struct {
+	Scenario string `json:"scenario,omitempty"`
+	Devices  int    `json:"devices"`
+	Cycles   int    `json:"cycles"`
+	// Health counts devices by state (converged, drifted, degraded,
+	// unreachable) after the final cycle.
+	Health map[string]int `json:"health"`
+	// Drift counts the final cycle's drift items by class.
+	Drift map[string]int `json:"drift,omitempty"`
+	// Invalidated totals the artifacts evicted on firmware skew across all
+	// cycles; CacheHitRatio is the final cycle's revalidation ratio.
+	Invalidated   int     `json:"invalidated"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	PlanActions   int     `json:"plan_actions"`
+	PlanDeferred  bool    `json:"plan_deferred"`
 }
 
 // MarshalIndent renders the manifest as indented JSON with a trailing

@@ -201,6 +201,12 @@ type JobResult struct {
 	// and which were satisfied from the artifact store.
 	Ran     []Stage
 	Skipped []Stage
+	// Keys maps every stage the job touched (run or cache-satisfied) to its
+	// content-hash artifact key. Callers that later learn an artifact is
+	// stale — the reconciler detecting firmware skew on a device the VDM was
+	// validated against — pass these to Engine.Invalidate to force exactly
+	// that stage (and, through key chaining, nothing else) to re-run.
+	Keys map[Stage]string
 	// StageElapsed is the wall time of each executed stage (cache-satisfied
 	// stages have no entry: skipped work is skipped).
 	StageElapsed map[Stage]time.Duration
@@ -559,6 +565,38 @@ func (e *Engine) noteRun(jr *JobResult, stage Stage, elapsed time.Duration, atte
 	telemetry.GetHistogram("nassim_pipeline_stage_seconds", nil, "stage", string(stage)).ObserveDuration(elapsed)
 }
 
+// noteKey records a stage's artifact key on the result (see JobResult.Keys).
+func (jr *JobResult) noteKey(stage Stage, key string) {
+	if jr.Keys == nil {
+		jr.Keys = map[Stage]string{}
+	}
+	jr.Keys[stage] = key
+}
+
+// Invalidate removes artifacts from the engine's memory store, returning
+// how many were present. It is the stage-invalidation hook for callers
+// that learn a cached artifact no longer describes the world (drift
+// detected against a device the artifact was validated on): deleting one
+// stage's key forces exactly that stage to re-run on the next job with the
+// same inputs, while every other stage still cache-hits. Stores that do
+// not support deletion (a custom Store without a Delete method) make this
+// a no-op. The disk mirror is left untouched: its artifacts are keyed by
+// content, and the memory store is the layer consulted first.
+func (e *Engine) Invalidate(keys ...string) int {
+	type deleter interface{ Delete(key string) bool }
+	d, ok := e.store.(deleter)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, k := range keys {
+		if d.Delete(k) {
+			n++
+		}
+	}
+	return n
+}
+
 func (e *Engine) noteSkip(jr *JobResult, stage Stage) {
 	jr.Skipped = append(jr.Skipped, stage)
 	telemetry.GetCounter("nassim_pipeline_stage_total", "stage", string(stage), "outcome", "cache_hit").Inc()
@@ -574,6 +612,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 
 	// Parse (§4): manual pages -> vendor-independent corpus + TDD report.
 	parseKey := Key(StageParse, pagesKey)
+	jr.noteKey(StageParse, parseKey)
 	pa, err := runStage(ctx, e, jr, StageParse, parseKey, parseCodec,
 		func(ctx context.Context) (*parseArtifact, error) {
 			p, err := parser.New(job.Vendor)
@@ -597,6 +636,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 	// SyntaxValidate (§5.1): formal syntax validation + CGM construction
 	// over the raw corpora; the flagged templates go to the expert.
 	synKey := Key(StageSyntaxValidate, parseKey)
+	jr.noteKey(StageSyntaxValidate, synKey)
 	invalid, err := runStage(ctx, e, jr, StageSyntaxValidate, synKey, nil,
 		func(ctx context.Context) ([]vdm.InvalidCLI, error) {
 			_, inv, _ := hierarchy.ValidateSyntax(ctx, job.Vendor, pa.Corpora, nil)
@@ -626,6 +666,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 		fixParts = append(fixParts, strconv.Itoa(f.Corpus), f.CLI)
 	}
 	deriveKey := Key(StageDeriveHierarchy, synKey, HashStrings(fixParts...))
+	jr.noteKey(StageDeriveHierarchy, deriveKey)
 	da, err := runStage(ctx, e, jr, StageDeriveHierarchy, deriveKey, deriveCodec,
 		func(ctx context.Context) (*deriveArtifact, error) {
 			v, rep := hierarchy.Derive(ctx, job.Vendor, corrected, pa.Hierarchy, nil)
@@ -640,6 +681,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 	if len(job.ConfigFiles) > 0 {
 		jr.ConfigHash = hashFiles(job.ConfigFiles)
 		empKey := Key(StageEmpiricalValidate, deriveKey, jr.ConfigHash)
+		jr.noteKey(StageEmpiricalValidate, empKey)
 		rep, err := runStage(ctx, e, jr, StageEmpiricalValidate, empKey, nil,
 			func(ctx context.Context) (*empirical.Report, error) {
 				r := empirical.ValidateConfigsOpts(ctx, da.VDM, job.ConfigFiles,
@@ -669,6 +711,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 		liveKey := Key(StageLiveTest, deriveKey, usedKey, job.ShowCmd,
 			strconv.Itoa(paths), strconv.FormatUint(job.Seed, 10),
 			strconv.Itoa(job.LiveFailureBudget))
+		jr.noteKey(StageLiveTest, liveKey)
 		live, err := runStage(ctx, e, jr, StageLiveTest, liveKey, nil,
 			func(ctx context.Context) (*empirical.LiveReport, error) {
 				return empirical.TestUnusedCommandsOpts(ctx, da.VDM, used, job.Exec, job.ShowCmd,
@@ -701,6 +744,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) (*JobResult, error) {
 		}
 		mapKey := Key(StageMapToUDM, deriveKey, spec.Mapper.Name(), spec.CacheSalt,
 			strconv.Itoa(topK), HashStrings(paramParts...))
+		jr.noteKey(StageMapToUDM, mapKey)
 		mappings, err := runStage(ctx, e, jr, StageMapToUDM, mapKey, nil,
 			func(ctx context.Context) ([]Mapping, error) {
 				pcs := make([]mapper.ParamContext, len(params))

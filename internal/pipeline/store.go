@@ -49,6 +49,17 @@ func (s *MemStore) Put(key string, value any) {
 	s.entries[key] = value
 }
 
+// Delete removes one artifact, reporting whether it was present. It backs
+// Engine.Invalidate: deleting a stage's key forces that stage to re-run on
+// the next job with the same inputs.
+func (s *MemStore) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	return ok
+}
+
 // Len returns the number of cached artifacts.
 func (s *MemStore) Len() int {
 	s.mu.RLock()
@@ -110,6 +121,12 @@ func (d *DiskStore) PutBytes(stage Stage, key string, data []byte, version strin
 		return err
 	}
 	return os.Rename(name, d.path(stage, key, version))
+}
+
+// Delete removes one stage's serialized artifact, reporting whether it
+// existed on disk.
+func (d *DiskStore) Delete(stage Stage, key, version string) bool {
+	return os.Remove(d.path(stage, key, version)) == nil
 }
 
 // Key derives a stage's cache key by hashing the stage name, the keys of

@@ -1,0 +1,75 @@
+package reconciler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nassim/internal/telemetry"
+)
+
+// TestDeadFleetSettlesRetries pins the fix for dead fleets spamming retry
+// telemetry: cycle 1 pays a bounded number of counted retries per device
+// while each breaker trips, and while the breakers stay open every later
+// cycle fast-fails without a single additional retry — in the client
+// counters and in the nassim_device_retries_total telemetry alike. The
+// re-probe cadence is bounded by BreakerCooldown, not by the retry loop.
+func TestDeadFleetSettlesRetries(t *testing.T) {
+	sc, err := ScenarioByName("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices = 6
+	r, err := New(context.Background(), Config{
+		Spec: FleetSpec{Seed: 13, Devices: devices, Scale: 0.02, Scenario: sc},
+		// One probe per cooldown; an hour keeps every breaker open for the
+		// whole test so cycles 2+ must be retry-free.
+		BreakerCooldown: time.Hour,
+		FailureBudget:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	telBefore := telemetry.GetCounter("nassim_device_retries_total").Value()
+	c1, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Health[HealthUnreachable]; got != devices {
+		t.Fatalf("cycle 1 unreachable = %d, want %d (health %v)", got, devices, c1.Health)
+	}
+	settled := r.fleet.Retries()
+	if settled == 0 {
+		t.Fatal("cycle 1 counted no retries: breakers cannot have tripped honestly")
+	}
+	// The breaker opens mid-exchange after fleetFailureThreshold straight
+	// failures, so a dead device counts at most threshold-1 retries in its
+	// life; anything above that is retry spam.
+	if max := uint64((fleetFailureThreshold - 1) * devices); settled > max {
+		t.Fatalf("cycle 1 counted %d retries, want <= %d (threshold-bounded)", settled, max)
+	}
+	telSettled := telemetry.GetCounter("nassim_device_retries_total").Value()
+	if telSettled-telBefore != int64(settled) {
+		t.Fatalf("telemetry counted %d retries, clients counted %d",
+			telSettled-telBefore, settled)
+	}
+
+	for cycle := 2; cycle <= 5; cycle++ {
+		cr, err := r.RunCycle(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cr.Health[HealthUnreachable]; got != devices {
+			t.Fatalf("cycle %d unreachable = %d, want %d", cycle, got, devices)
+		}
+		if got := r.fleet.Retries(); got != settled {
+			t.Fatalf("cycle %d grew the retry count %d -> %d: dead fleet is not settled",
+				cycle, settled, got)
+		}
+	}
+	if got := telemetry.GetCounter("nassim_device_retries_total").Value(); got != telSettled {
+		t.Fatalf("retry telemetry grew %d -> %d across settled cycles", telSettled, got)
+	}
+}

@@ -1,0 +1,145 @@
+package reconciler
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"nassim/internal/devmodel"
+	"nassim/internal/empirical"
+	"nassim/internal/manualgen"
+	"nassim/internal/parser"
+	"nassim/internal/pipeline"
+	"nassim/internal/vdm"
+)
+
+// desiredLine is one line of a device's desired configuration: the
+// rendered CLI instance plus the corpus it was instantiated from, kept so
+// drift injection can re-instantiate the *same* template with different
+// parameter values (the param-skew fixture).
+type desiredLine struct {
+	line   string
+	corpus int // -1 for the firmware banner
+}
+
+// vendorDesired is one vendor's share of the fleet's desired state: the
+// assimilated VDM, the artifact keys its derivation touched (the handles
+// Engine.Invalidate needs), and the corpus indices desired configs are
+// instantiated from.
+type vendorDesired struct {
+	vendor     string
+	model      *devmodel.Model
+	pages      []parser.Page
+	vdm        *vdm.VDM
+	keys       map[pipeline.Stage]string
+	candidates []int
+}
+
+// vendorModel generates the ground-truth model standing in for a vendor's
+// production inventory record.
+func vendorModel(name string, scale float64) (*devmodel.Model, error) {
+	for _, v := range append(append([]devmodel.Vendor{}, devmodel.AllVendors...), devmodel.Juniper) {
+		if string(v) == name {
+			cfg := devmodel.PaperConfig(v)
+			if scale < 1.0 {
+				cfg = cfg.Scaled(scale)
+			}
+			return devmodel.Generate(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("reconciler: unknown vendor %q", name)
+}
+
+// renderPages renders the vendor's manual once; the pages (and their
+// content hash) are reused by every cycle's revalidation job.
+func renderPages(m *devmodel.Model) []parser.Page {
+	man := manualgen.Render(m)
+	pages := make([]parser.Page, len(man.Pages))
+	for i, pg := range man.Pages {
+		pages[i] = parser.Page{URL: pg.URL, HTML: pg.HTML}
+	}
+	return pages
+}
+
+// job builds the pipeline job that assimilates this vendor's manual into
+// the VDM the reconciler diffs against. Corrections come from ground
+// truth exactly as in the one-shot pipeline: the expert reconstructs the
+// template the validator flagged.
+func (vd *vendorDesired) job() pipeline.Job {
+	m := vd.model
+	return pipeline.Job{
+		Vendor: vd.vendor,
+		Pages:  vd.pages,
+		Correct: func(flagged []vdm.InvalidCLI) []pipeline.Correction {
+			var out []pipeline.Correction
+			for _, ic := range flagged {
+				if ic.Corpus >= 0 && ic.Corpus < len(m.Commands) {
+					out = append(out, pipeline.Correction{Corpus: ic.Corpus, CLI: m.Commands[ic.Corpus].Template})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// pickCandidates selects the corpora desired configs draw from: the first
+// limit templates with an instantiable CGM path, in corpus order.
+func (vd *vendorDesired) pickCandidates(limit int) {
+	for i := range vd.vdm.Corpora {
+		g := vd.vdm.Index.Graph(vdm.CorpusID(i))
+		if g == nil || len(g.Paths(1)) == 0 {
+			continue
+		}
+		vd.candidates = append(vd.candidates, i)
+		if len(vd.candidates) >= limit {
+			return
+		}
+	}
+}
+
+// desiredFor renders device i's desired configuration: the firmware
+// banner followed by one instance per candidate template, with parameter
+// values drawn from the device's own PCG stream — two devices of the same
+// vendor share templates but not values, like two routers sharing a role
+// but not their interface addresses.
+func (vd *vendorDesired) desiredFor(i int, seed uint64, firmware string) []desiredLine {
+	r := rand.New(rand.NewPCG(mix(seed, i), 0xde51eed))
+	lines := []desiredLine{{line: firmwareBanner(firmware), corpus: -1}}
+	seen := map[string]bool{}
+	for _, c := range vd.candidates {
+		inst := vd.instantiate(c, r)
+		if inst == "" || seen[inst] {
+			continue
+		}
+		seen[inst] = true
+		lines = append(lines, desiredLine{line: inst, corpus: c})
+	}
+	return lines
+}
+
+// instantiate renders one concrete instance of a candidate corpus.
+func (vd *vendorDesired) instantiate(corpus int, r *rand.Rand) string {
+	g := vd.vdm.Index.Graph(vdm.CorpusID(corpus))
+	if g == nil {
+		return ""
+	}
+	paths := g.Paths(1)
+	if len(paths) == 0 {
+		return ""
+	}
+	return empirical.InstantiatePath(paths[0], r)
+}
+
+// firmwareBanner renders the observed/desired firmware as a comment line.
+// Real configs open with exactly this kind of banner; the "!" prefix keeps
+// it outside the template space, so firmware skew is its own drift class
+// rather than a line diff.
+func firmwareBanner(version string) string { return "! firmware " + version }
+
+// firmwareOf extracts the version from a banner line, or "".
+func firmwareOf(line string) string {
+	const p = "! firmware "
+	if len(line) > len(p) && line[:len(p)] == p {
+		return line[len(p):]
+	}
+	return ""
+}

@@ -1,0 +1,87 @@
+package reconciler
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"nassim/internal/faultnet"
+)
+
+// waitNoLeak polls until the goroutine count returns to the baseline.
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestFleetServeNoGoroutineLeak checks fleet serving is leak-free across
+// a full lifecycle: bring a chaos-wrapped fleet up, run a cycle, tear it
+// down, and the goroutine count returns to the baseline.
+func TestFleetServeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc, err := ScenarioByName("standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(context.Background(), Config{
+		Spec: FleetSpec{Seed: 11, Devices: 12, Scale: 0.02, Scenario: sc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunCycle(context.Background()); err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	waitNoLeak(t, before)
+}
+
+// TestFleetCancelMidConnectionNoLeak cancels a cycle while probes are
+// mid-connection on a byte-shaped (slow-loris) fleet: the cycle aborts
+// with the context error and teardown still leaves zero residual
+// goroutines — no handler or prober survives its connection.
+func TestFleetCancelMidConnectionNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := Scenario{
+		Name: "test-all-slow",
+		// Every exchange is shaped to a crawl, so cancel always lands
+		// mid-connection.
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := transportClean(seed, i, n)
+			p.BytesPerSecond = 64
+			return p
+		},
+		Drift: driftNone,
+	}
+	r, err := New(context.Background(), Config{
+		Spec: FleetSpec{Seed: 12, Devices: 6, Scale: 0.02, Scenario: sc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := r.RunCycle(ctx); err == nil {
+		// The cycle may still finish if probes beat the cancel; the leak
+		// assertion below is the contract either way.
+		t.Log("cycle completed before cancellation landed")
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	cancel()
+	waitNoLeak(t, before)
+}

@@ -1,0 +1,104 @@
+package reconciler
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// PlanSchema identifies the remediation plan's JSON layout.
+const PlanSchema = "reconcile-plan/v1"
+
+// DriftClass labels one kind of desired-vs-observed divergence.
+type DriftClass string
+
+// The drift classes, in severity order: a missing line is a capability
+// gap, an extra line is unmanaged state, parameter skew is a hand edit,
+// firmware skew invalidates the empirical evidence behind the vendor's
+// model.
+const (
+	DriftMissingCLI   DriftClass = "missing_cli"
+	DriftExtraCLI     DriftClass = "extra_cli"
+	DriftParamSkew    DriftClass = "param_skew"
+	DriftFirmwareSkew DriftClass = "firmware_skew"
+)
+
+// opFor maps a drift class to the remediation operation the plan
+// proposes. The reconciler never executes these; it only emits them.
+func opFor(c DriftClass) string {
+	switch c {
+	case DriftMissingCLI:
+		return "push"
+	case DriftExtraCLI:
+		return "remove"
+	case DriftParamSkew:
+		return "update"
+	default:
+		return "schedule_upgrade"
+	}
+}
+
+// PlanAction is one proposed remediation step.
+type PlanAction struct {
+	Device   string `json:"device"`
+	Vendor   string `json:"vendor"`
+	Class    string `json:"class"`
+	Op       string `json:"op"`
+	Line     string `json:"line"`
+	Observed string `json:"observed,omitempty"`
+}
+
+// PlanHealth is the fleet health summary embedded in the plan.
+type PlanHealth struct {
+	Converged   int `json:"converged"`
+	Drifted     int `json:"drifted"`
+	Degraded    int `json:"degraded"`
+	Unreachable int `json:"unreachable"`
+}
+
+// Plan is the reconciler's deterministic remediation proposal: a pure
+// function of (fleet spec, seed, cycle), byte-identical across runs and
+// across probe-worker counts. Wall-clock measurements deliberately never
+// appear here — they live in the CycleResult.
+type Plan struct {
+	Schema   string       `json:"schema"`
+	Seed     uint64       `json:"seed"`
+	Cycle    int          `json:"cycle"`
+	Scenario string       `json:"scenario,omitempty"`
+	Devices  int          `json:"devices"`
+	Vendors  []string     `json:"vendors"`
+	Health   PlanHealth   `json:"health"`
+	Actions  []PlanAction `json:"actions"`
+	// Deferred is set when the cycle's unreachable count exceeded the
+	// failure budget: the observed view is too partial to act on, so every
+	// action is advisory until the fleet stabilizes.
+	Deferred bool `json:"deferred"`
+}
+
+// Encode renders the canonical plan bytes (indented JSON, trailing
+// newline). Struct-field order fixes the layout; Actions are sorted by
+// the builder, so equal inputs yield equal bytes.
+func (p *Plan) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// sortActions fixes the plan's action order: device, then class, then
+// desired line, then observed line.
+func sortActions(actions []PlanAction) {
+	sort.Slice(actions, func(i, j int) bool {
+		a, b := actions[i], actions[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Observed < b.Observed
+	})
+}

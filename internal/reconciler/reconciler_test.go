@@ -1,0 +1,294 @@
+package reconciler
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"nassim/internal/pipeline"
+)
+
+func newTestRand(salt uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(salt, 0x7e57))
+}
+
+// newTestReconciler builds a small reconciler with test-friendly pacing.
+func newTestReconciler(t *testing.T, cfg Config) *Reconciler {
+	t.Helper()
+	if cfg.Spec.Devices == 0 {
+		cfg.Spec.Devices = 8
+	}
+	if cfg.Spec.Scale == 0 {
+		cfg.Spec.Scale = 0.02
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = time.Hour // dead devices stay settled
+	}
+	r, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestCleanFleetConverges checks the no-chaos, no-drift baseline: every
+// device converges, the plan is empty and not deferred.
+func TestCleanFleetConverges(t *testing.T) {
+	r := newTestReconciler(t, Config{Spec: FleetSpec{Seed: 1}})
+	cr, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Health[HealthConverged]; got != 8 {
+		t.Fatalf("converged = %d, want 8 (health: %v)", got, cr.Health)
+	}
+	if len(cr.Plan.Actions) != 0 || cr.Plan.Deferred {
+		t.Fatalf("clean fleet produced actions: %+v", cr.Plan)
+	}
+	if cr.Plan.Schema != PlanSchema {
+		t.Fatalf("plan schema = %q, want %q", cr.Plan.Schema, PlanSchema)
+	}
+}
+
+// TestDriftClassification plants one instance of each drift class on one
+// device and checks the classifier names them all.
+func TestDriftClassification(t *testing.T) {
+	r := newTestReconciler(t, Config{Spec: FleetSpec{Seed: 2, Devices: 4}})
+	fd := r.fleet.devices[0]
+	if len(fd.desired) < 4 {
+		t.Fatalf("device %s has only %d desired lines", fd.id, len(fd.desired))
+	}
+	// Desired: banner + instances. Build an observed view that drops
+	// line 1, parameter-skews line 2, adds an unmanaged line, and reports
+	// old firmware.
+	vd := r.desired[fd.vendor]
+	var observed []string
+	observed = append(observed, firmwareBanner("0.0.7"))
+	skewTarget := fd.desired[2]
+	skewed := ""
+	for salt := uint64(0); salt < 50 && skewed == ""; salt++ {
+		if inst := vd.instantiate(skewTarget.corpus, newTestRand(salt)); inst != "" && inst != skewTarget.line {
+			skewed = inst
+		}
+	}
+	for i, dl := range fd.desired {
+		switch {
+		case dl.corpus < 0 || i == 1:
+			// banner handled above; line 1 goes missing
+		case i == 2 && skewed != "":
+			observed = append(observed, skewed)
+		default:
+			observed = append(observed, dl.line)
+		}
+	}
+	observed = append(observed, "complete gibberish no template matches")
+
+	items := r.classify(fd, observed)
+	got := map[DriftClass]int{}
+	for _, it := range items {
+		got[it.Class]++
+	}
+	if got[DriftFirmwareSkew] != 1 {
+		t.Errorf("firmware_skew items = %d, want 1 (%+v)", got[DriftFirmwareSkew], items)
+	}
+	if got[DriftMissingCLI] == 0 {
+		t.Errorf("no missing_cli item for dropped line %q (%+v)", fd.desired[1].line, items)
+	}
+	if got[DriftExtraCLI] == 0 {
+		t.Errorf("no extra_cli item for the unmanaged line (%+v)", items)
+	}
+	if skewed != "" && got[DriftParamSkew] != 1 {
+		t.Errorf("param_skew items = %d, want 1 for %q vs %q (%+v)", got[DriftParamSkew], skewTarget.line, skewed, items)
+	}
+	// Identical observed state classifies identically (pure function).
+	again := r.classify(fd, observed)
+	if len(again) != len(items) {
+		t.Fatalf("classification is unstable: %d vs %d items", len(again), len(items))
+	}
+}
+
+// TestIncrementalRevalidation checks the cache-hit contract across
+// cycles: the first cycle re-runs only EmpiricalValidate (the front-end
+// artifacts are warm from desired-state derivation), and a steady-state
+// cycle with unchanged observations re-runs nothing.
+func TestIncrementalRevalidation(t *testing.T) {
+	r := newTestReconciler(t, Config{Spec: FleetSpec{Seed: 3, Vendors: []string{"Huawei", "Cisco"}}})
+	c1, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 vendors x (Parse + SyntaxValidate + DeriveHierarchy) cached, 2 x
+	// EmpiricalValidate executed.
+	if runs := c1.Stats.Runs(); runs != 2 {
+		t.Fatalf("cycle 1 ran %d stages (%v), want 2", runs, c1.Stats.StageRuns)
+	}
+	if skips := c1.Stats.Skips(); skips != 6 {
+		t.Fatalf("cycle 1 skipped %d stages (%v), want 6", skips, c1.Stats.StageSkips)
+	}
+	if got, want := c1.CacheHitRatio(), 0.75; got != want {
+		t.Fatalf("cycle 1 cache-hit ratio = %v, want %v", got, want)
+	}
+
+	c2, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := c2.Stats.Runs(); runs != 0 {
+		t.Fatalf("steady-state cycle ran %d stages (%v), want 0", runs, c2.Stats.StageRuns)
+	}
+	if got := c2.CacheHitRatio(); got != 1.0 {
+		t.Fatalf("steady-state cache-hit ratio = %v, want 1.0", got)
+	}
+}
+
+// TestFirmwareSkewInvalidates checks that firmware skew — which changes
+// no config bytes — still forces the vendor's empirical artifact to
+// re-run through Engine.Invalidate, while unskewed vendors cache-hit.
+func TestFirmwareSkewInvalidates(t *testing.T) {
+	skewAll := Scenario{
+		Name:      "test-fw-skew",
+		Transport: transportClean,
+		Drift: func(seed uint64, i, n int) DriftSpec {
+			if i%2 == 0 { // devices of vendor Huawei (index 0 mod 2)
+				return DriftSpec{FirmwareSkew: true}
+			}
+			return DriftSpec{}
+		},
+	}
+	r := newTestReconciler(t, Config{
+		Spec: FleetSpec{Seed: 4, Vendors: []string{"Huawei", "Cisco"}, Devices: 4, Scenario: skewAll},
+	})
+	c1, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 1: empirical executes for both vendors (first observation);
+	// nothing to invalidate yet — the desired-state pass had no empirical
+	// artifact.
+	if c1.Invalidated != 0 {
+		t.Fatalf("cycle 1 invalidated %d artifacts, want 0", c1.Invalidated)
+	}
+	if got := c1.Health[HealthDrifted]; got != 2 {
+		t.Fatalf("drifted = %d, want 2 (Huawei devices)", got)
+	}
+
+	c2, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 2: observations unchanged, but Huawei's empirical evidence is
+	// void — exactly one artifact evicted, exactly one stage re-run.
+	if c2.Invalidated != 1 {
+		t.Fatalf("cycle 2 invalidated %d artifacts, want 1", c2.Invalidated)
+	}
+	if runs := c2.Stats.Runs(); runs != 1 {
+		t.Fatalf("cycle 2 ran %d stages (%v), want 1 (Huawei empirical)", runs, c2.Stats.StageRuns)
+	}
+	for _, a := range c2.Plan.Actions {
+		if a.Class != string(DriftFirmwareSkew) {
+			t.Fatalf("unexpected action class %q", a.Class)
+		}
+		if a.Op != "schedule_upgrade" {
+			t.Fatalf("firmware skew op = %q, want schedule_upgrade", a.Op)
+		}
+	}
+}
+
+// TestPlanDeterminism checks the acceptance property at test scale: the
+// mixed chaos scenario yields byte-identical plans across two runs with
+// the same seed and across probe-worker counts.
+func TestPlanDeterminism(t *testing.T) {
+	sc, err := ScenarioByName("churn+skew+flap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pipeline.NewMemStore() // share derivation across the three runs
+	run := func(maxParallel int) [][]byte {
+		r := newTestReconciler(t, Config{
+			Spec:        FleetSpec{Seed: 99, Devices: 24, Scenario: sc},
+			MaxParallel: maxParallel,
+			Store:       store,
+		})
+		var plans [][]byte
+		for c := 0; c < 2; c++ {
+			cr, err := r.RunCycle(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cr.Plan.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, b)
+		}
+		return plans
+	}
+	a := run(1)
+	b := run(8)
+	c := run(8)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("cycle %d: plan differs between MaxParallel 1 and 8:\n%s\nvs\n%s", i+1, a[i], b[i])
+		}
+		if !bytes.Equal(b[i], c[i]) {
+			t.Errorf("cycle %d: plan differs between two identical runs", i+1)
+		}
+	}
+	// The scenario must actually have produced drift at this size, or the
+	// determinism check is vacuous.
+	var last []byte
+	last = a[len(a)-1]
+	if !bytes.Contains(last, []byte(`"class"`)) {
+		t.Errorf("mixed scenario produced no drift actions at 24 devices:\n%s", last)
+	}
+}
+
+// TestFailureBudgetDefersPlan checks blast-radius bounding: a fleet
+// darker than the failure budget defers its plan.
+func TestFailureBudgetDefersPlan(t *testing.T) {
+	sc, err := ScenarioByName("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestReconciler(t, Config{
+		Spec:          FleetSpec{Seed: 5, Devices: 4, Vendors: []string{"H3C"}, Scenario: sc},
+		FailureBudget: 1,
+	})
+	cr, err := r.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Health[HealthUnreachable]; got != 4 {
+		t.Fatalf("unreachable = %d, want 4 (health %v)", got, cr.Health)
+	}
+	if !cr.Plan.Deferred {
+		t.Fatal("plan not deferred with the whole fleet dark")
+	}
+}
+
+// TestRunLoopCancel checks Run is context-cancellable and respects the
+// per-cycle callback.
+func TestRunLoopCancel(t *testing.T) {
+	r := newTestReconciler(t, Config{
+		Spec:     FleetSpec{Seed: 6, Devices: 4, Vendors: []string{"H3C"}},
+		Interval: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cycles := 0
+	r.cfg.OnCycle = func(cr *CycleResult) {
+		cycles++
+		if cycles >= 2 {
+			cancel()
+		}
+	}
+	err := r.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if cycles < 2 {
+		t.Fatalf("Run completed %d cycles before cancel, want >= 2", cycles)
+	}
+}

@@ -1,0 +1,260 @@
+// Package reconciler closes the loop the paper leaves open: assimilation
+// (§4-§6) produces a validated vendor model once, but the north-star SDN
+// controller must keep that model true against a *fleet* of live devices
+// that drift — operators hand-editing boxes, partial firmware upgrade
+// waves, links that flap, pockets of dead hardware. The reconciler watches
+// a simulated fleet through the resilient device client, periodically
+// snapshots observed configuration, diffs it against the desired state
+// derived from the assimilated VDM, classifies the drift, re-validates
+// only the pipeline stages the drift invalidated (content-hash artifact
+// keys make unchanged vendors a cache hit), and emits a deterministic
+// remediation plan — it never pushes changes itself.
+//
+// Everything is a pure function of the fleet seed: the chaos a device
+// suffers, the drift planted in its config, and therefore the plan, byte
+// for byte, across runs and across worker counts.
+package reconciler
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"nassim/internal/faultnet"
+)
+
+// DriftSpec declares the configuration drift planted on one device:
+// the gap between desired state and what the device will report.
+type DriftSpec struct {
+	// MissingFrac is the per-line probability that a desired line is
+	// absent from the observed config (an operator removed it, or the
+	// device joined before it was pushed).
+	MissingFrac float64
+	// SkewFrac is the per-line probability that a desired line is present
+	// but with different parameter values (hand-edited on the box).
+	SkewFrac float64
+	// ExtraLines is how many unmanaged lines the observed config carries
+	// beyond the desired state (legacy accretion no template matches).
+	ExtraLines int
+	// FirmwareSkew reports the observed firmware banner diverging from the
+	// fleet's desired version (the device missed the upgrade wave).
+	FirmwareSkew bool
+}
+
+// Drifted reports whether the spec plants any drift at all.
+func (d DriftSpec) Drifted() bool {
+	return d.MissingFrac > 0 || d.SkewFrac > 0 || d.ExtraLines > 0 || d.FirmwareSkew
+}
+
+// Scenario is one reproducible fleet-chaos profile. Both hooks are pure
+// functions of (seed, device index, fleet size): calling them twice with
+// the same arguments yields the same answer, which is what makes a
+// 500-device chaos run replayable from a single integer.
+type Scenario struct {
+	Name        string
+	Description string
+	// Transport returns device i's fault-injection profile.
+	Transport func(seed uint64, i, n int) faultnet.Profile
+	// Drift returns device i's planted configuration drift.
+	Drift func(seed uint64, i, n int) DriftSpec
+}
+
+// mix derives device i's sub-seed by a Weyl step, so every device draws
+// from its own PCG stream (the same derivation assimilate uses per vendor).
+func mix(seed uint64, i int) uint64 {
+	return seed + uint64(i)*0x9e3779b97f4a7c15
+}
+
+// pick deterministically samples device i into a fraction of the fleet:
+// a fresh PCG keyed by (seed XOR salt, i) keeps the decision a pure
+// function of its arguments, independent of call order.
+func pick(seed, salt uint64, i int, frac float64) bool {
+	r := rand.New(rand.NewPCG(seed^salt, uint64(i)+1))
+	return r.Float64() < frac
+}
+
+// Salts separating the scenario library's independent sampling decisions.
+const (
+	saltChurn     uint64 = 0xc4120
+	saltFlap      uint64 = 0xf1a9
+	saltSkew      uint64 = 0x5ce3
+	saltSlow      uint64 = 0x510515
+	saltPocket    uint64 = 0x90c3
+	saltDriftMild uint64 = 0xd21f
+)
+
+// cleanDrift is the no-drift spec.
+var cleanDrift = DriftSpec{}
+
+// driftNone ignores its arguments: the scenario plants no drift.
+func driftNone(uint64, int, int) DriftSpec { return cleanDrift }
+
+// transportClean injects nothing; it still assigns the per-device seed
+// so every scenario honors the distinct-injector-seed contract.
+func transportClean(seed uint64, i, n int) faultnet.Profile {
+	return faultnet.Profile{Seed: mix(seed, i)}
+}
+
+// scenarios is the library, in presentation order. Latencies are kept
+// small (single-digit milliseconds): fleets multiply every delay by
+// hundreds of devices, and determinism comes from the draw schedule, not
+// from wall time.
+var scenarios = []Scenario{
+	{
+		Name:        "standard",
+		Description: "5% resets, 10% short latency spikes, one flap window per device; 10% of devices mildly drifted",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Standard(mix(seed, i), 2*time.Millisecond)
+			return p
+		},
+		Drift: func(seed uint64, i, n int) DriftSpec {
+			if pick(seed, saltDriftMild, i, 0.10) {
+				return DriftSpec{MissingFrac: 0.2, ExtraLines: 1}
+			}
+			return cleanDrift
+		},
+	},
+	{
+		Name:        "dead",
+		Description: "every device drops every connection; the breaker-settling fixture",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			return faultnet.Profile{Seed: mix(seed, i), Dead: true}
+		},
+		Drift: driftNone,
+	},
+	{
+		Name:        "churn",
+		Description: "8% of devices join late (first two connections dropped) with config behind desired state",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Profile{Seed: mix(seed, i)}
+			if pick(seed, saltChurn, i, 0.08) {
+				p.FlapAfter, p.FlapCount = 0, 2
+			}
+			return p
+		},
+		Drift: func(seed uint64, i, n int) DriftSpec {
+			if pick(seed, saltChurn, i, 0.08) {
+				return DriftSpec{MissingFrac: 0.3}
+			}
+			return cleanDrift
+		},
+	},
+	{
+		Name:        "skew",
+		Description: "partial firmware upgrade wave: 20% of devices report the old version with skewed parameters",
+		Transport:   transportClean,
+		Drift: func(seed uint64, i, n int) DriftSpec {
+			if pick(seed, saltSkew, i, 0.20) {
+				return DriftSpec{SkewFrac: 0.15, FirmwareSkew: true}
+			}
+			return cleanDrift
+		},
+	},
+	{
+		Name:        "flap",
+		Description: "12% of devices flap: 10% resets force reconnects into a two-connection drop window",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Profile{Seed: mix(seed, i)}
+			if pick(seed, saltFlap, i, 0.12) {
+				p.ResetRate = 0.10
+				p.FlapAfter, p.FlapCount = 1, 2
+			}
+			return p
+		},
+		Drift: driftNone,
+	},
+	{
+		Name:        "pockets",
+		Description: "a contiguous 10% pocket of the fleet is dead (a failed rack), the rest is clean",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Profile{Seed: mix(seed, i)}
+			if n > 0 && inPocket(seed, i, n) {
+				p.Dead = true
+			}
+			return p
+		},
+		Drift: driftNone,
+	},
+	{
+		Name:        "slowloris",
+		Description: "10% of devices answer at console-line speed (2 KiB/s writes)",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Profile{Seed: mix(seed, i)}
+			if pick(seed, saltSlow, i, 0.10) {
+				p.BytesPerSecond = 2048
+			}
+			return p
+		},
+		Drift: driftNone,
+	},
+	{
+		Name:        "churn+skew+flap",
+		Description: "the mixed acceptance scenario: late joiners, a partial upgrade wave, and flapping links at once",
+		Transport: func(seed uint64, i, n int) faultnet.Profile {
+			p := faultnet.Profile{Seed: mix(seed, i)}
+			switch {
+			case pick(seed, saltChurn, i, 0.08):
+				p.FlapAfter, p.FlapCount = 0, 2
+			case pick(seed, saltFlap, i, 0.10):
+				p.ResetRate = 0.10
+				p.FlapAfter, p.FlapCount = 1, 2
+			}
+			return p
+		},
+		Drift: func(seed uint64, i, n int) DriftSpec {
+			d := cleanDrift
+			if pick(seed, saltChurn, i, 0.08) {
+				d.MissingFrac = 0.3
+			}
+			if pick(seed, saltSkew, i, 0.15) {
+				d.SkewFrac = 0.15
+				d.FirmwareSkew = true
+				d.ExtraLines = 2
+			}
+			return d
+		},
+	},
+}
+
+// inPocket places device i in the dead pocket: a contiguous block of
+// ~10% of the fleet whose position is drawn from the seed.
+func inPocket(seed uint64, i, n int) bool {
+	size := n / 10
+	if size < 1 {
+		size = 1
+	}
+	r := rand.New(rand.NewPCG(seed^saltPocket, 0x90c3e7))
+	start := r.IntN(n)
+	// The pocket wraps around the end of the index space.
+	off := (i - start + n) % n
+	return off < size
+}
+
+// Scenarios lists the scenario library in presentation order. The slice
+// is a copy; callers may reorder it.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// ScenarioNames lists the library's names, sorted.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioByName resolves a scenario by name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("reconciler: unknown scenario %q (have %v)", name, ScenarioNames())
+}

@@ -1,0 +1,125 @@
+package reconciler
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestScenarioPurity checks the library's core contract: Transport and
+// Drift are pure functions of (seed, i, n) — repeated calls, in any
+// order, return identical answers.
+func TestScenarioPurity(t *testing.T) {
+	const seed, n = 0xfee1, 200
+	for _, sc := range Scenarios() {
+		first := make([]any, 0, 2*n)
+		for i := 0; i < n; i++ {
+			first = append(first, sc.Transport(seed, i, n), sc.Drift(seed, i, n))
+		}
+		// Second pass in reverse order must reproduce the first.
+		for i := n - 1; i >= 0; i-- {
+			p := sc.Transport(seed, i, n)
+			d := sc.Drift(seed, i, n)
+			if !reflect.DeepEqual(p, first[2*i]) {
+				t.Errorf("%s: transport for device %d is not pure: %+v vs %+v", sc.Name, i, p, first[2*i])
+			}
+			if d != first[2*i+1] {
+				t.Errorf("%s: drift for device %d is not pure: %+v vs %+v", sc.Name, i, d, first[2*i+1])
+			}
+		}
+	}
+}
+
+// TestScenarioSeedsDiverge checks per-device fault streams are distinct:
+// two devices of one fleet must not share an injector seed.
+func TestScenarioSeedsDiverge(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a := sc.Transport(7, 0, 10)
+		b := sc.Transport(7, 1, 10)
+		if a.Seed == b.Seed {
+			t.Errorf("%s: devices 0 and 1 share injector seed %d", sc.Name, a.Seed)
+		}
+	}
+}
+
+// TestScenarioEffects spot-checks each scenario actually produces its
+// advertised failure mode somewhere in a fleet.
+func TestScenarioEffects(t *testing.T) {
+	const seed, n = 42, 400
+	count := func(name string, f func(i int) bool) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			if f(i) {
+				c++
+			}
+		}
+		return c
+	}
+	get := func(name string) Scenario {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+
+	dead := get("dead")
+	if c := count("dead", func(i int) bool { return dead.Transport(seed, i, n).Dead }); c != n {
+		t.Errorf("dead: %d/%d devices dead, want all", c, n)
+	}
+	pockets := get("pockets")
+	c := count("pockets", func(i int) bool { return pockets.Transport(seed, i, n).Dead })
+	if c < n/20 || c > n/5 {
+		t.Errorf("pockets: %d/%d devices dead, want ~10%%", c, n)
+	}
+	churn := get("churn")
+	if c := count("churn", func(i int) bool { return churn.Transport(seed, i, n).FlapCount > 0 }); c == 0 {
+		t.Error("churn: no late joiners in a 400-device fleet")
+	}
+	skew := get("skew")
+	if c := count("skew", func(i int) bool { return skew.Drift(seed, i, n).FirmwareSkew }); c == 0 {
+		t.Error("skew: no firmware-skewed devices in a 400-device fleet")
+	}
+	slow := get("slowloris")
+	if c := count("slow", func(i int) bool { return slow.Transport(seed, i, n).BytesPerSecond > 0 }); c == 0 {
+		t.Error("slowloris: no shaped devices in a 400-device fleet")
+	}
+	mixed := get("churn+skew+flap")
+	if c := count("mixed", func(i int) bool { return mixed.Drift(seed, i, n).Drifted() }); c == 0 {
+		t.Error("churn+skew+flap: no drifted devices in a 400-device fleet")
+	}
+}
+
+// TestScenarioByNameUnknown checks unknown names are rejected with the
+// valid names in the message (the flag layer surfaces this verbatim).
+func TestScenarioByNameUnknown(t *testing.T) {
+	_, err := ScenarioByName("nope")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("error does not name the offender and the valid set: %v", err)
+	}
+}
+
+// TestScenarioNames checks the registry is sorted and complete.
+func TestScenarioNames(t *testing.T) {
+	names := ScenarioNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	want := []string{"churn", "churn+skew+flap", "dead", "flap", "pockets", "skew", "slowloris", "standard"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Transport == nil || sc.Drift == nil || sc.Description == "" {
+			t.Errorf("%s: incomplete scenario entry", name)
+		}
+	}
+}

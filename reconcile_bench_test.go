@@ -1,0 +1,110 @@
+package nassim_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"nassim"
+)
+
+// BenchmarkReconcileFleet measures one reconcile cycle over a 64-device
+// mixed-vendor fleet running the combined churn+skew+flap scenario: probe
+// every device through its resilient client, classify drift, re-validate
+// only the invalidated pipeline stages, and build the plan. The first
+// (unmeasured) cycle warms the artifact cache, so measured cycles show the
+// steady-state economy. With NASSIM_RECONCILE_BENCH_OUT set (make
+// bench-reconcile) the figures export as BENCH_reconcile.json (schema
+// nassim-reconcile-bench/v1).
+func BenchmarkReconcileFleet(b *testing.B) {
+	sc, err := nassim.FleetScenarioByName("churn+skew+flap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const devices = 64
+	ctx := context.Background()
+	r, err := nassim.NewFleetReconciler(ctx, nassim.ReconcilerConfig{
+		Spec:        nassim.FleetSpec{Devices: devices, Scale: 0.02, Seed: 17, Scenario: sc},
+		MaxParallel: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunCycle(ctx); err != nil { // warm the artifact cache
+		b.Fatal(err)
+	}
+
+	cycleLat := make([]time.Duration, 0, b.N)
+	var last *nassim.ReconcileCycle
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		cr, err := r.RunCycle(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycleLat = append(cycleLat, cr.Wall)
+		last = cr
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	p50, _ := latencyQuantiles(cycleLat)
+	var total time.Duration
+	for _, d := range cycleLat {
+		total += d
+	}
+	meanMs := float64(total.Microseconds()) / 1e3 / float64(len(cycleLat))
+	probesPerSec := float64(devices*b.N) / elapsed.Seconds()
+	b.ReportMetric(float64(p50.Microseconds())/1e3, "cycle_p50_ms")
+	b.ReportMetric(probesPerSec, "probes/sec")
+	b.ReportMetric(last.CacheHitRatio(), "cache_hit_ratio")
+
+	out := os.Getenv("NASSIM_RECONCILE_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	doc := struct {
+		Schema        string  `json:"schema"`
+		N             int     `json:"n"`
+		Devices       int     `json:"devices"`
+		Scenario      string  `json:"scenario"`
+		CycleP50Ms    float64 `json:"cycle_p50_ms"`
+		CycleMeanMs   float64 `json:"cycle_mean_ms"`
+		ProbesPerSec  float64 `json:"probes_per_sec"`
+		ProbeP50Ms    float64 `json:"probe_p50_ms"`
+		ProbeP99Ms    float64 `json:"probe_p99_ms"`
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+		DriftActions  int     `json:"drift_actions"`
+		Health        struct {
+			Converged   int `json:"converged"`
+			Drifted     int `json:"drifted"`
+			Degraded    int `json:"degraded"`
+			Unreachable int `json:"unreachable"`
+		} `json:"health"`
+	}{
+		Schema: "nassim-reconcile-bench/v1", N: len(cycleLat),
+		Devices: devices, Scenario: sc.Name,
+		CycleP50Ms:    float64(p50.Microseconds()) / 1e3,
+		CycleMeanMs:   meanMs,
+		ProbesPerSec:  probesPerSec,
+		ProbeP50Ms:    float64(last.ProbeP50.Microseconds()) / 1e3,
+		ProbeP99Ms:    float64(last.ProbeP99.Microseconds()) / 1e3,
+		CacheHitRatio: last.CacheHitRatio(),
+		DriftActions:  len(last.Plan.Actions),
+	}
+	doc.Health.Converged = last.Health[nassim.FleetConverged]
+	doc.Health.Drifted = last.Health[nassim.FleetDrifted]
+	doc.Health.Degraded = last.Health[nassim.FleetDegraded]
+	doc.Health.Unreachable = last.Health[nassim.FleetUnreachable]
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
