@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-reconcile bench-all benchdiff chaos reconcile stages fuzz
+.PHONY: check fmt vet build test race bench bench-pipeline bench-mapper bench-frontend bench-reconcile bench-serve bench-all benchdiff chaos reconcile serve stages fuzz
 
 check: fmt vet build race
 
@@ -86,6 +86,21 @@ bench-reconcile:
 	NASSIM_RECONCILE_BENCH_OUT=BENCH_reconcile.json $(GO) test -run '^$$' \
 		-bench BenchmarkReconcileFleet -benchtime 5x .
 
+# Run nassimd, the long-lived assimilation daemon (Ctrl-C drains).
+serve:
+	$(GO) run ./cmd/nassim serve
+
+# Serving suite: the serve package's singleflight, admission, shutdown,
+# and golden tests under the race detector, then the serving benchmark
+# (loadgen hosts the daemon in-process) exported to BENCH_serve.json
+# (schema nassim-serve-bench/v1: latency percentiles, sustained RPS,
+# dedup economy, queue pressure). -check enforces the acceptance
+# criterion: 8 concurrent identical requests -> exactly one pipeline
+# execution, dedup hit ratio >= 0.8.
+bench-serve:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json -check
+
 # Per-stage pipeline timing + BENCH_telemetry.json, plus the run manifest
 # (see README Observability).
 stages:
@@ -95,6 +110,7 @@ stages:
 bench-all: bench-pipeline bench-mapper bench-frontend bench-reconcile stages
 	NASSIM_CHAOS_BENCH_OUT=BENCH_chaos.json $(GO) test -run '^$$' \
 		-bench BenchmarkChaosExec -benchtime 2s .
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json -check
 
 # Regression gate: regenerate every benchmark into out/ and diff against
 # the committed baselines (cmd/benchdiff exits non-zero on regression).
@@ -112,4 +128,5 @@ benchdiff:
 		-bench BenchmarkReconcileFleet -benchtime 5x .
 	$(GO) run ./cmd/evalbench -stages -scale 0.1 -telemetry-out $(BENCHDIFF_OUT)/BENCH_telemetry.json \
 		-manifest-out $(BENCHDIFF_OUT)/RUN_MANIFEST.json
+	$(GO) run ./cmd/loadgen -out $(BENCHDIFF_OUT)/BENCH_serve.json -check
 	$(GO) run ./cmd/benchdiff -baseline . -current $(BENCHDIFF_OUT)

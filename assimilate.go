@@ -99,6 +99,14 @@ type Options struct {
 	// serialize on the recorder; run with Workers <= 1 for faithful
 	// per-stage attribution.
 	ProfileStages string
+	// StageHook observes actual stage executions (cache hits never fire
+	// it): it is called immediately before each execution attempt and the
+	// returned func — which may be nil — runs when the attempt finishes.
+	// The serving daemon streams live per-stage progress through it; it
+	// composes with ProfileStages (both hooks fire). The hook is called
+	// from the engine's worker goroutines, so it must be safe for
+	// concurrent use.
+	StageHook func(vendor string, stage PipelineStage) func()
 }
 
 // Result is the outcome of one Assimilate run.
@@ -173,6 +181,9 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 	if opts.ProfileStages != "" {
 		flight = obsreport.NewFlightRecorder(opts.ProfileStages)
 		cfg.StageHook = flight.StageHook()
+	}
+	if opts.StageHook != nil {
+		cfg.StageHook = chainStageHooks(cfg.StageHook, opts.StageHook)
 	}
 	eng, err := pipeline.New(cfg)
 	if err != nil {
@@ -282,6 +293,8 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 			StagesRun:            jr.Ran,
 			StagesSkipped:        jr.Skipped,
 			DegradedStages:       jr.DegradedStages,
+			PagesHash:            jr.PagesHash,
+			ConfigHash:           jr.ConfigHash,
 		}
 	}
 	return res, runErr
@@ -290,6 +303,25 @@ func assimilateModels(ctx context.Context, opts Options, models []*DeviceModel) 
 func closeAll(closers []func()) {
 	for _, c := range closers {
 		c()
+	}
+}
+
+// chainStageHooks composes stage observers: both fire before the stage,
+// their finish funcs run in reverse order after it. a may be nil.
+func chainStageHooks(a, b func(string, PipelineStage) func()) func(string, PipelineStage) func() {
+	if a == nil {
+		return b
+	}
+	return func(vendor string, stage PipelineStage) func() {
+		fa, fb := a(vendor, stage), b(vendor, stage)
+		return func() {
+			if fb != nil {
+				fb()
+			}
+			if fa != nil {
+				fa()
+			}
+		}
 	}
 }
 

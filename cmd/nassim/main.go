@@ -106,6 +106,10 @@ func main() {
 		err = cmdRun(rest[1:])
 	case "reconcile":
 		err = cmdReconcile(rest[1:])
+	case "serve":
+		err = cmdServe(rest[1:])
+	case "client":
+		err = cmdClient(rest[1:])
 	case "parse":
 		err = cmdParse(rest[1:])
 	case "validate":
@@ -137,6 +141,9 @@ subcommands:
   run        drive the staged pipeline engine over several vendors concurrently
   reconcile  hold a simulated fleet to its assimilated desired state (drift
              detection, incremental re-validation, deterministic plans)
+  serve      run nassimd, the long-lived assimilation daemon (singleflight
+             dedup, bounded queue, per-tenant admission control, SSE progress)
+  client     submit one request to a running nassimd and print the result
   parse     parse vendor manual pages into the vendor-independent corpus
   validate  formal syntax validation + hierarchy derivation over a corpus
   map       recommend UDM attributes for VDM parameters

@@ -41,6 +41,18 @@ type (
 	FleetHealth = reconciler.Health
 	// DriftClass labels one kind of desired-vs-observed divergence.
 	DriftClass = reconciler.DriftClass
+	// FleetTransport selects how a simulated fleet is served (TCP
+	// listeners or in-process pipes).
+	FleetTransport = reconciler.Transport
+)
+
+// The fleet transports. TCP (the default) serves each device on its own
+// loopback listener; Pipe serves devices over in-process net.Pipe
+// connections, costing no file descriptors, so fleets scale past the
+// per-process FD limit. Probes and plans are byte-identical across both.
+const (
+	FleetTransportTCP  = reconciler.TransportTCP
+	FleetTransportPipe = reconciler.TransportPipe
 )
 
 // The fleet health states, in per-device precedence order.

@@ -94,6 +94,7 @@ const (
 	SchemaFrontend  = "nassim-frontend-bench/v1"
 	SchemaChaos     = "nassim-chaos-bench/v1"
 	SchemaReconcile = "nassim-reconcile-bench/v1"
+	SchemaServe     = "nassim-serve-bench/v1"
 )
 
 // Flatten parses one BENCH_*.json document and flattens it into
@@ -120,6 +121,8 @@ func Flatten(doc []byte) (string, []Metric, error) {
 		ms, err = flattenChaos(doc)
 	case SchemaReconcile:
 		ms, err = flattenReconcile(doc)
+	case SchemaServe:
+		ms, err = flattenServe(doc)
 	case "":
 		return "", nil, fmt.Errorf("benchdiff: document has no schema field")
 	default:
@@ -327,6 +330,58 @@ func flattenReconcile(doc []byte) ([]Metric, error) {
 		{Name: "health.converged", Value: float64(d.Health.Converged), Dir: Info},
 		{Name: "health.drifted", Value: float64(d.Health.Drifted), Dir: Info},
 		{Name: "health.degraded", Value: float64(d.Health.Degraded), Dir: Info},
+	}, nil
+}
+
+func flattenServe(doc []byte) ([]Metric, error) {
+	var d struct {
+		Requests      int     `json:"requests"`
+		Errors        int     `json:"errors"`
+		DurationMs    float64 `json:"duration_ms"`
+		RPS           float64 `json:"rps"`
+		LatencyP50Ms  float64 `json:"latency_p50_ms"`
+		LatencyP99Ms  float64 `json:"latency_p99_ms"`
+		LatencyMeanMs float64 `json:"latency_mean_ms"`
+		DedupHitRatio float64 `json:"dedup_hit_ratio"`
+		Dedup8Way     struct {
+			Clients    int     `json:"clients"`
+			Executions float64 `json:"executions"`
+			HitRatio   float64 `json:"hit_ratio"`
+		} `json:"dedup_8way"`
+		Queue struct {
+			MaxDepth float64 `json:"max_depth"`
+			Shed     float64 `json:"shed"`
+		} `json:"queue"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, err
+	}
+	return []Metric{
+		// Serving latency is measured per request but over a short warm
+		// loop on a shared runner, so it gates like a single-shot timing
+		// with a millisecond floor.
+		{Name: "latency_p50_ms", Value: d.LatencyP50Ms, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "latency_p99_ms", Value: d.LatencyP99Ms, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "latency_mean_ms", Value: d.LatencyMeanMs, Dir: LowerBetter,
+			Tol: SingleShotTolerance, Floor: SingleShotFloorMs},
+		{Name: "rps", Value: d.RPS, Dir: HigherBetter, Tol: SpeedupTolerance},
+		// The dedup economy is the tentpole invariant: the warm phase must
+		// stay near-fully deduplicated and the 8-way fan-in must coalesce
+		// to one execution. These are deterministic, not timing-noisy.
+		{Name: "dedup_hit_ratio", Value: d.DedupHitRatio, Dir: HigherBetter},
+		{Name: "dedup_8way.hit_ratio", Value: d.Dedup8Way.HitRatio, Dir: HigherBetter},
+		{Name: "dedup_8way.executions", Value: d.Dedup8Way.Executions, Dir: LowerBetter},
+		// Queue pressure under the bench workload: a depth or shed growth
+		// means admission started backing up. A small absolute floor keeps
+		// the empty-queue baseline from tripping on a 0 -> 1 blip.
+		{Name: "queue.max_depth", Value: d.Queue.MaxDepth, Dir: LowerBetter, Floor: 8},
+		{Name: "queue.shed", Value: d.Queue.Shed, Dir: LowerBetter, Floor: 8},
+		{Name: "errors", Value: float64(d.Errors), Dir: LowerBetter},
+		{Name: "requests", Value: float64(d.Requests), Dir: Info},
+		{Name: "dedup_8way.clients", Value: float64(d.Dedup8Way.Clients), Dir: Info},
+		{Name: "duration_ms", Value: d.DurationMs, Dir: Info},
 	}, nil
 }
 

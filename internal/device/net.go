@@ -180,6 +180,17 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("device: dial %s: %w", addr, err)
 	}
+	return NewClientConn(ctx, conn)
+}
+
+// NewClientConn completes the device handshake over an existing
+// connection and returns a ready client session. It is the injection
+// point for non-TCP transports — the reconciler's in-process net.Pipe
+// fleet hands its synthetic connections here — and carries the same
+// greeting semantics as DialContext: the HELLO read is bounded by the
+// context's deadline (DefaultDialTimeout when it has none), and the
+// connection is closed on a handshake failure.
+func NewClientConn(ctx context.Context, conn net.Conn) (*Client, error) {
 	greetDeadline := time.Now().Add(DefaultDialTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(greetDeadline) {
 		greetDeadline = d

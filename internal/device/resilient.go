@@ -19,6 +19,13 @@ type ResilientOptions struct {
 	// Seed drives backoff jitter; fixed seeds keep chaos runs
 	// reproducible.
 	Seed uint64
+	// Dial, when set, replaces the default TCP DialContext with a custom
+	// transport — the reconciler's net.Pipe fleets inject an in-process
+	// dial here so device count is no longer bounded by the process's
+	// file-descriptor limit. It must return a ready client (greeting
+	// consumed, see NewClientConn); the addr passed to DialResilient then
+	// serves only as the breaker identity and error label.
+	Dial func(ctx context.Context) (*Client, error)
 }
 
 // maxEpochLines bounds the replayable enter chain. View nesting in real
@@ -42,6 +49,7 @@ type ResilientClient struct {
 	addr    string
 	policy  RetryPolicy
 	breaker *Breaker
+	dial    func(ctx context.Context) (*Client, error)
 
 	mu      sync.Mutex
 	cl      *Client
@@ -62,6 +70,7 @@ func DialResilient(addr string, opts ResilientOptions) *ResilientClient {
 		addr:    addr,
 		policy:  opts.Retry.withDefaults(),
 		breaker: NewBreaker(addr, opts.Breaker),
+		dial:    opts.Dial,
 		rng:     rand.New(rand.NewPCG(opts.Seed, 0x5e5111e47)),
 		sleep:   sleepCtx,
 	}
@@ -149,7 +158,13 @@ func (rc *ResilientClient) attempt(ctx context.Context, line string) (Response, 
 		defer cancel()
 	}
 	if rc.cl == nil {
-		cl, err := DialContext(actx, rc.addr)
+		var cl *Client
+		var err error
+		if rc.dial != nil {
+			cl, err = rc.dial(actx)
+		} else {
+			cl, err = DialContext(actx, rc.addr)
+		}
 		if err != nil {
 			return Response{}, err
 		}

@@ -103,6 +103,10 @@ func Retryable(err error) bool {
 		return true
 	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
 		return true
+	case errors.Is(err, io.ErrClosedPipe):
+		// net.Pipe transports surface a peer reset as ErrClosedPipe on the
+		// next write — the same event TCP reports as ECONNRESET/EPIPE.
+		return true
 	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.ECONNREFUSED),
 		errors.Is(err, syscall.EPIPE), errors.Is(err, net.ErrClosed):
 		return true

@@ -199,7 +199,35 @@ type Manifest struct {
 	// Reconcile carries the fleet-reconciliation block when the manifest
 	// records a `nassim reconcile` run (nil for assimilation runs).
 	Reconcile *ReconcileSummary `json:"reconcile,omitempty"`
-	Timing    Timing            `json:"timing"`
+	// Serve carries the daemon's serving block when the manifest records a
+	// `nassim serve` process (nil for one-shot runs).
+	Serve  *ServeSummary `json:"serve,omitempty"`
+	Timing Timing        `json:"timing"`
+}
+
+// ServeSummary is the serving slice of a daemon manifest: request and
+// dedup economy since the server started. Counters are monotonic; the
+// block is a snapshot, so it lives outside the deterministic body's
+// guarantees only via the counters' values (the field set is fixed).
+type ServeSummary struct {
+	// Requests counts submissions admitted past rate limiting; Executions
+	// counts the pipeline runs they coalesced onto.
+	Requests   int64 `json:"requests"`
+	Executions int64 `json:"executions"`
+	// DedupInflight counts requests that attached to an in-flight job;
+	// DedupCached counts warm result-cache hits.
+	DedupInflight int64   `json:"dedup_inflight"`
+	DedupCached   int64   `json:"dedup_cached"`
+	DedupHitRatio float64 `json:"dedup_hit_ratio"`
+	// Shed counts requests rejected with 429 (queue full, rate, quota);
+	// QueueMax is the high-water queue depth observed.
+	Shed     int64 `json:"shed"`
+	QueueMax int64 `json:"queue_max"`
+	// Workers and QueueDepth echo the server's admission configuration.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Tenants counts distinct tenant IDs seen since start.
+	Tenants int `json:"tenants"`
 }
 
 // ReconcileSummary is the fleet-reconciliation slice of a manifest: the

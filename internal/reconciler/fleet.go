@@ -1,6 +1,7 @@
 package reconciler
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"net"
@@ -36,7 +37,28 @@ type FleetSpec struct {
 	// report instead (default "8.4.2").
 	DesiredFirmware string
 	SkewedFirmware  string
+	// Transport selects how devices are served: loopback TCP (the
+	// default — one listener socket plus a connection pair per device) or
+	// in-process net.Pipe connections, which cost no file descriptors and
+	// let fleets scale past the per-process FD limit (~10k devices on
+	// default ulimits). Probes, health, and plans are byte-identical
+	// across transports; the fault-injection and resilience layers run
+	// unchanged over both.
+	Transport Transport
 }
+
+// Transport names a fleet serving transport.
+type Transport string
+
+// The fleet transports.
+const (
+	// TransportTCP serves each device on its own loopback TCP listener.
+	TransportTCP Transport = "tcp"
+	// TransportPipe serves each device over in-process net.Pipe
+	// connections — no file descriptors, same wire protocol, same chaos
+	// injection.
+	TransportPipe Transport = "pipe"
+)
 
 func (s FleetSpec) withDefaults() FleetSpec {
 	if len(s.Vendors) == 0 {
@@ -58,6 +80,9 @@ func (s FleetSpec) withDefaults() FleetSpec {
 	}
 	if s.SkewedFirmware == "" {
 		s.SkewedFirmware = "8.4.2"
+	}
+	if s.Transport == "" {
+		s.Transport = TransportTCP
 	}
 	return s
 }
@@ -150,14 +175,32 @@ func newFleet(spec FleetSpec, desired map[string]*vendorDesired, cooldown time.D
 		if spec.Scenario.Transport != nil {
 			profile = spec.Scenario.Transport(spec.Seed, i, spec.Devices)
 		}
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("reconciler: fleet listen: %w", err)
+		opts := fleetClientOptions(spec.Seed, i, cooldown)
+		var l net.Listener
+		if spec.Transport == TransportPipe {
+			pl := newPipeListener(fd.id)
+			// The resilient client dials the pipe in-process and completes
+			// the greeting over the synthetic connection; everything above
+			// the dial (retry, breaker, replay) is transport-agnostic.
+			opts.Dial = func(ctx context.Context) (*device.Client, error) {
+				conn, err := pl.Dial(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return device.NewClientConn(ctx, conn)
+			}
+			l = pl
+		} else {
+			tl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("reconciler: fleet listen: %w", err)
+			}
+			l = tl
 		}
 		fd.fl = faultnet.Wrap(l, profile)
 		fd.srv = device.ServeListener(fd.dev, fd.fl)
-		fd.client = device.DialResilient(fd.srv.Addr(), fleetClientOptions(spec.Seed, i, cooldown))
+		fd.client = device.DialResilient(fd.srv.Addr(), opts)
 		f.devices = append(f.devices, fd)
 	}
 	return f, nil

@@ -1,0 +1,83 @@
+package reconciler
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The in-process fleet transport. Loopback TCP costs one listener socket
+// plus one connection pair per device, so a simulated fleet hits the
+// process's file-descriptor limit around ~10k devices. A pipeListener is
+// a net.Listener backed by net.Pipe: Dial synthesizes a connection pair
+// and hands the server half to Accept, so a device costs zero file
+// descriptors while the entire transport stack above it — fault
+// injection (faultnet.Wrap decorates any net.Listener), the device
+// server, and the resilient client — runs unchanged. net.Pipe
+// connections honor deadlines, so every timeout, flap window, and
+// bandwidth-shaping layer behaves exactly as it does over TCP, and the
+// acceptance suite pins reconcile plans byte-identical across the two
+// transports.
+
+// pipeAddr is the synthetic address of an in-process pipe listener; the
+// name doubles as the resilient client's breaker identity.
+type pipeAddr struct{ name string }
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return a.name }
+
+// pipeListener implements net.Listener over in-process pipes.
+type pipeListener struct {
+	addr   pipeAddr
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newPipeListener(name string) *pipeListener {
+	return &pipeListener{
+		addr:   pipeAddr{name: name},
+		conns:  make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+}
+
+// Accept returns the server half of the next dialed pipe.
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unblocks Accept and fails later dials. Closing twice is safe
+// (the device server and the fault injector both close their listener).
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// Addr returns the listener's synthetic address.
+func (l *pipeListener) Addr() net.Addr { return l.addr }
+
+// Dial synthesizes one connection to the listener: the caller gets the
+// client half, Accept gets the server half. A closed listener refuses
+// the dial, mirroring a TCP connect against a closed port.
+func (l *pipeListener) Dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("reconciler: dial %s: %w", l.addr.name, net.ErrClosed)
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}

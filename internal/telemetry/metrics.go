@@ -52,6 +52,12 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// Inc adds one to the gauge value.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one from the gauge value.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

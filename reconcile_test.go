@@ -28,10 +28,11 @@ func TestReconcileFleetAcceptance(t *testing.T) {
 	// cache directory.
 	store := nassim.NewPipelineCache()
 
-	run := func(maxParallel int) (plans [][]byte) {
+	run := func(maxParallel int, transport nassim.FleetTransport) (plans [][]byte) {
 		r, err := nassim.NewFleetReconciler(context.Background(), nassim.ReconcilerConfig{
 			Spec: nassim.FleetSpec{
 				Devices: devices, Scale: 0.02, Seed: 1177, Scenario: sc,
+				Transport: transport,
 			},
 			MaxParallel: maxParallel,
 			Store:       store,
@@ -72,15 +73,22 @@ func TestReconcileFleetAcceptance(t *testing.T) {
 		return plans
 	}
 
-	first := run(32)
-	again := run(32)
-	narrow := run(4)
+	first := run(32, nassim.FleetTransportTCP)
+	again := run(32, nassim.FleetTransportTCP)
+	narrow := run(4, nassim.FleetTransportTCP)
+	// The in-process pipe transport (zero file descriptors per device)
+	// must be a pure transport swap: same probes, same health, same plan
+	// bytes.
+	piped := run(32, nassim.FleetTransportPipe)
 	for c := range first {
 		if !bytes.Equal(first[c], again[c]) {
 			t.Errorf("cycle %d: plan differs between two runs with the same seed", c+1)
 		}
 		if !bytes.Equal(first[c], narrow[c]) {
 			t.Errorf("cycle %d: plan differs between MaxParallel 32 and 4", c+1)
+		}
+		if !bytes.Equal(first[c], piped[c]) {
+			t.Errorf("cycle %d: plan differs between TCP and pipe transports", c+1)
 		}
 	}
 	// The scenario must produce real drift at this scale or the byte

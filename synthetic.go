@@ -176,6 +176,12 @@ type AssimilationResult struct {
 	// connections — to its machine-readable reason. Degraded artifacts are
 	// never cached; a later run re-executes those stages.
 	DegradedStages map[PipelineStage]string
+	// PagesHash and ConfigHash are the content hashes of the job's inputs
+	// — the same sha256 hashes the artifact cache keys chain from — so
+	// callers (the run manifest, the serving daemon) can name exactly
+	// what was assimilated.
+	PagesHash  string
+	ConfigHash string
 }
 
 // Degraded reports whether any stage of this vendor's run produced a
